@@ -1,0 +1,189 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  1. the w >= 32 tuples-per-cluster-per-sweep rule (sweep w directly);
+//  2. multi-pass vs single-pass Radix-Cluster at high fan-out;
+//  3. hashed vs identity clustering under Zipf key skew;
+//  4. paged (Section 5, three-phase) vs flat Radix-Decluster overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "bufferpool/buffer_manager.h"
+#include "cluster/radix_cluster.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "decluster/paged_decluster.h"
+#include "decluster/radix_decluster.h"
+#include "workload/distributions.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+
+using ClusteredIds = radix::bench::DeclusterInput;
+
+ClusteredIds MakeClustered(size_t n, radix_bits_t bits, uint64_t seed) {
+  return radix::bench::MakeDeclusterInput(n, bits, seed);
+}
+
+// ----------------------------------------------------- 1. the w = 32 rule
+void BM_TuplesPerClusterSweep(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(4'000'000, 1'000'000);
+  constexpr radix_bits_t kBits = 10;
+  static ClusteredIds c = MakeClustered(n, kBits, 1);
+  size_t w = static_cast<size_t>(state.range(0));  // tuples/cluster/sweep
+  size_t window = w << kBits;
+  std::vector<value_t> result(n);
+  for (auto _ : state) {
+    decluster::RadixDecluster<value_t>(c.values, c.ids,
+                                       decluster::MakeCursors(c.borders),
+                                       window, std::span<value_t>(result));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.counters["w"] = static_cast<double>(w);
+  state.counters["window_KB"] =
+      static_cast<double>(window * sizeof(value_t)) / 1024;
+}
+BENCHMARK(BM_TuplesPerClusterSweep)
+    ->RangeMultiplier(2)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ------------------------------------ 2. multi-pass vs single-pass cluster
+void BM_ClusterPasses(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(4'000'000, 1'000'000);
+  radix_bits_t bits = 14;  // far beyond one pass's healthy fan-out
+  uint32_t passes = static_cast<uint32_t>(state.range(0));
+  std::vector<cluster::KeyOid> data(n);
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {static_cast<value_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
+  std::vector<cluster::KeyOid> scratch(n);
+  auto radix_of = [](const cluster::KeyOid& t) { return KeyHash{}(t.key); };
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cluster::KeyOid> work = data;
+    state.ResumeTiming();
+    cluster::ClusterSpec spec{.total_bits = bits, .ignore_bits = 0,
+                              .passes = passes};
+    simcache::NoTracer tracer;
+    auto borders = cluster::RadixClusterMultiPass(work.data(), scratch.data(),
+                                                  n, radix_of, spec, tracer);
+    benchmark::DoNotOptimize(borders.offsets.data());
+  }
+  state.counters["passes"] = passes;
+  state.counters["B"] = bits;
+}
+BENCHMARK(BM_ClusterPasses)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ------------------------------------------- 3. hashing vs skewed inputs
+// Keys are distinct but pathological for low-bit clustering (multiples of
+// 4096, as surrogate keys from sequence generators often are): clustering
+// on the raw low bits collapses everything into one cluster, while hashing
+// "ensures that all bits of the join attribute play a role" (paper §2.2).
+void BM_ClusterSkew(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(2'000'000, 500'000);
+  bool hashed = state.range(0) != 0;
+  std::vector<cluster::KeyOid> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {static_cast<value_t>(i * 4096), static_cast<oid_t>(i)};
+  }
+  std::vector<cluster::KeyOid> scratch(n);
+  double max_over_mean = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cluster::KeyOid> work = data;
+    state.ResumeTiming();
+    cluster::ClusterSpec spec{.total_bits = 8, .ignore_bits = 0, .passes = 2};
+    simcache::NoTracer tracer;
+    cluster::ClusterBorders borders;
+    if (hashed) {
+      auto radix_of = [](const cluster::KeyOid& t) { return KeyHash{}(t.key); };
+      borders = cluster::RadixClusterMultiPass(work.data(), scratch.data(), n,
+                                               radix_of, spec, tracer);
+    } else {
+      auto radix_of = [](const cluster::KeyOid& t) {
+        return static_cast<uint64_t>(static_cast<uint32_t>(t.key));
+      };
+      borders = cluster::RadixClusterMultiPass(work.data(), scratch.data(), n,
+                                               radix_of, spec, tracer);
+    }
+    uint64_t max_size = 0;
+    for (size_t k = 0; k < borders.num_clusters(); ++k) {
+      max_size = std::max(max_size, borders.size(k));
+    }
+    max_over_mean = static_cast<double>(max_size) * borders.num_clusters() /
+                    static_cast<double>(n);
+    benchmark::DoNotOptimize(borders.offsets.data());
+  }
+  state.counters["hashed"] = hashed ? 1 : 0;
+  state.counters["max_cluster_over_mean"] = max_over_mean;
+}
+BENCHMARK(BM_ClusterSkew)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ----------------------------------------- 4. paged vs flat decluster
+void BM_FlatDecluster(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(2'000'000, 500'000);
+  static ClusteredIds c = MakeClustered(n, 8, 4);
+  std::vector<value_t> result(n);
+  for (auto _ : state) {
+    decluster::RadixDecluster<value_t>(c.values, c.ids,
+                                       decluster::MakeCursors(c.borders),
+                                       64 * 1024, std::span<value_t>(result));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.counters["variant"] = 0;
+}
+BENCHMARK(BM_FlatDecluster)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PagedDeclusterFixedValues(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(2'000'000, 500'000);
+  static ClusteredIds c = MakeClustered(n, 8, 4);
+  for (auto _ : state) {
+    bufferpool::BufferManager bm(8192);
+    auto result = decluster::PagedDeclusterFixed(c.values, c.ids, c.borders,
+                                                 64 * 1024, &bm);
+    benchmark::DoNotOptimize(result.directory.data());
+  }
+  state.counters["variant"] = 1;
+}
+BENCHMARK(BM_PagedDeclusterFixedValues)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_PagedDeclusterVarStrings(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(500'000, 200'000);
+  static ClusteredIds c = MakeClustered(n, 8, 5);
+  static decluster::VarValues values = [] {
+    decluster::VarValues v;
+    for (oid_t id : c.ids) {
+      v.Append("value-" + std::to_string(id));
+    }
+    return v;
+  }();
+  for (auto _ : state) {
+    bufferpool::BufferManager bm(8192);
+    auto result =
+        decluster::PagedDeclusterVar(values, c.ids, c.borders, 64 * 1024, &bm);
+    benchmark::DoNotOptimize(result.directory.data());
+  }
+  state.counters["variant"] = 2;
+}
+BENCHMARK(BM_PagedDeclusterVarStrings)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

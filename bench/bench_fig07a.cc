@@ -1,0 +1,79 @@
+// Figure 7a: Radix-Decluster in isolation — elapsed time and L1/L2/TLB
+// event counts versus insertion-window size ||W|| (N = 8M, pi = 1, input
+// clustered on 8 radix bits). The paper's cliffs: performance improves as
+// the window grows (better sequential bandwidth per cluster) until ||W||
+// exceeds the cache, where L2 misses spike; TLB pressure appears earlier.
+//
+// Event counts come from the software cache simulator (our substitute for
+// hardware performance counters), run at a reduced cardinality so the
+// simulation stays fast; miss counts are reported per-tuple-scaled.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "costmodel/models.h"
+#include "decluster/radix_decluster.h"
+#include "simcache/mem_tracer.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+using radix::bench::DeclusterInput;
+using radix::bench::MakeDeclusterInput;
+
+constexpr radix_bits_t kBits = 8;
+
+void BM_DeclusterVsWindow(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 2'000'000);
+  static DeclusterInput in = MakeDeclusterInput(n, kBits, 42);
+  size_t window_bytes = static_cast<size_t>(state.range(0));
+  size_t window_elems = std::max<size_t>(1, window_bytes / sizeof(value_t));
+  std::vector<value_t> result(n);
+  for (auto _ : state) {
+    decluster::RadixDecluster<value_t>(in.values, in.ids,
+                                       decluster::MakeCursors(in.borders),
+                                       window_elems,
+                                       std::span<value_t>(result));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["window_KB"] =
+      static_cast<double>(window_bytes) / 1024.0;
+
+  // Simulated hardware events at reduced N, scaled per million tuples so
+  // curves across window sizes are comparable.
+  size_t sim_n = std::min<size_t>(n, 1u << 20);
+  static DeclusterInput sim_in = MakeDeclusterInput(sim_n, kBits, 43);
+  simcache::MemTracer tracer(hardware::MemoryHierarchy::Pentium4());
+  std::vector<value_t> sim_result(sim_n);
+  size_t sim_window = std::max<size_t>(1, window_bytes / sizeof(value_t));
+  decluster::RadixDecluster<value_t>(sim_in.values, sim_in.ids,
+                                     decluster::MakeCursors(sim_in.borders),
+                                     sim_window,
+                                     std::span<value_t>(sim_result), &tracer);
+  simcache::MemCounters c = tracer.counters();
+  double per_m = 1e6 / static_cast<double>(sim_n);
+  state.counters["L1_misses_perM"] = static_cast<double>(c.l1_misses) * per_m;
+  state.counters["L2_misses_perM"] = static_cast<double>(c.l2_misses) * per_m;
+  state.counters["TLB_misses_perM"] =
+      static_cast<double>(c.tlb_misses) * per_m;
+
+  // Modeled elapsed time from the Appendix-A cost model.
+  costmodel::CostEstimate est = costmodel::RadixDeclusterCost(
+      radix::bench::BenchHw(), costmodel::CpuCosts::Default(), n,
+      sizeof(value_t), kBits, window_elems);
+  state.counters["modeled_ms"] = est.seconds * 1e3;
+}
+
+}  // namespace
+
+// Window sweep 1KB .. 32MB, the x-axis of Fig. 7a.
+BENCHMARK(BM_DeclusterVsWindow)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 32 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

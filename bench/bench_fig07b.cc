@@ -1,0 +1,125 @@
+// Figure 7b: the interplay of the three components of the Radix-Decluster
+// DSM post-projection strategy — Radix-Cluster, Positional-Join, and
+// Radix-Decluster — plus their total, as a function of the number of
+// radix-bits B (N = 8M, pi = 1, best insertion window).
+//
+// Expected shape (paper §4.1): positional-join cost falls until B reaches
+// the partial-cluster formula's value (B = 8 for 8M tuples on a 512KB
+// cache), radix-decluster cost only grows with B, radix-cluster cost grows
+// mildly (extra pass once B exceeds the per-pass fan-out limit), so the
+// total has its optimum near the formula's B.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/partition_plan.h"
+#include "cluster/radix_cluster.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "costmodel/models.h"
+#include "decluster/window.h"
+#include "decluster/radix_decluster.h"
+#include "join/positional_join.h"
+#include "workload/distributions.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+
+void BM_DeclusterComponents(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 2'000'000);
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(0));
+  radix_bits_t sig = SignificantBits(n);
+  if (bits > sig) {
+    state.SkipWithError("bits exceed significant bits of N");
+    return;
+  }
+  const auto& hw = radix::bench::BenchHw();
+
+  // Unclustered (oid, result-position) pairs, as they come out of the join.
+  static size_t cached_n = 0;
+  static std::vector<oid_t> base_ids;
+  if (cached_n != n) {
+    cached_n = n;
+    base_ids.resize(n);
+    std::iota(base_ids.begin(), base_ids.end(), 0u);
+    Rng rng(7);
+    workload::Shuffle(base_ids.data(), n, rng);
+  }
+  static storage::Column<value_t> column = workload::MakeBaseColumn(n, 1);
+  if (column.size() != n) column = workload::MakeBaseColumn(n, 1);
+
+  double cluster_ms = 0, posjoin_ms = 0, decluster_ms = 0;
+  for (auto _ : state) {
+    struct IdPos {
+      oid_t id;
+      oid_t pos;
+    };
+    std::vector<IdPos> pairs(n);
+    for (size_t i = 0; i < n; ++i) {
+      pairs[i] = {base_ids[i], static_cast<oid_t>(i)};
+    }
+    cluster::ClusterSpec spec{
+        .total_bits = bits,
+        .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+        .passes = cluster::PassesFor(bits, hw)};
+    Timer t;
+    std::vector<IdPos> scratch(n);
+    simcache::NoTracer tracer;
+    auto radix_of = [](const IdPos& p) -> uint64_t { return p.id; };
+    cluster::ClusterBorders borders = cluster::RadixClusterMultiPass(
+        pairs.data(), scratch.data(), n, radix_of, spec, tracer);
+    cluster_ms += t.ElapsedMillis();
+
+    t.Reset();
+    std::vector<oid_t> ids(n), result_pos(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = pairs[i].id;
+      result_pos[i] = pairs[i].pos;
+    }
+    std::vector<value_t> clust_values(n);
+    join::PositionalJoin<value_t>(ids, column.span(),
+                                  std::span<value_t>(clust_values));
+    posjoin_ms += t.ElapsedMillis();
+
+    t.Reset();
+    size_t window = decluster::WindowPolicy::ChooseWindowElems(
+        hw, sizeof(value_t), borders.num_clusters(), n);
+    std::vector<value_t> result(n);
+    decluster::RadixDecluster<value_t>(clust_values, result_pos,
+                                       decluster::MakeCursors(borders), window,
+                                       std::span<value_t>(result));
+    decluster_ms += t.ElapsedMillis();
+    benchmark::DoNotOptimize(result.data());
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["radix_cluster_ms"] = cluster_ms / iters;
+  state.counters["positional_join_ms"] = posjoin_ms / iters;
+  state.counters["radix_decluster_ms"] = decluster_ms / iters;
+  state.counters["B"] = bits;
+
+  const auto& cpu = costmodel::CpuCosts::Default();
+  size_t window = decluster::WindowPolicy::ChooseWindowElems(
+      hw, sizeof(value_t), size_t{1} << bits, n);
+  double modeled =
+      costmodel::RadixClusterCost(hw, cpu, n, 8, bits,
+                                  cluster::PassesFor(bits, hw))
+          .seconds +
+      costmodel::ClusteredPositionalJoinCost(hw, cpu, n, n, 4, bits, false)
+          .seconds +
+      costmodel::RadixDeclusterCost(hw, cpu, n, 4, bits, window).seconds;
+  state.counters["modeled_total_ms"] = modeled * 1e3;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DeclusterComponents)
+    ->DenseRange(0, 24, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

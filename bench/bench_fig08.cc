@@ -1,0 +1,110 @@
+// Figure 8: DSM post-projection strategy comparison — unsorted (u), sorted
+// (s), partial-clustered (c), and declustered (d) — versus the number of
+// projection attributes pi, at cardinalities 500K and 8M.
+//
+// Expected shapes (paper §4.1):
+//  * N = 500K (columns ~2MB, larger than a 512KB cache but modest):
+//    reordering wins over unsorted;
+//  * N = 8M: unsorted loses by a large factor (paper quotes ~10x at
+//    pi = 256); c beats s at small pi, s wins past pi ≈ 16 (the one-off
+//    sort amortizes); d (decluster) is costlier than c but far better than
+//    u — and d is the only option besides u for the *second* table.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "project/dsm_post.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+using project::SideStrategy;
+
+/// One (ids, columns) fixture per cardinality, shared across the sweep.
+struct Fixture {
+  std::vector<oid_t> ids;  // random join-index side, unclustered
+  storage::DsmRelation table{"src", 0, 1};
+
+  explicit Fixture(size_t n, size_t max_pi) {
+    Rng rng(11);
+    ids.resize(n);
+    for (auto& id : ids) id = static_cast<oid_t>(rng.Below(n));
+    table = storage::DsmRelation("src", n, max_pi + 1);
+    for (size_t a = 1; a <= max_pi; ++a) {
+      auto& col = table.attr(a);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = workload::PayloadValue(static_cast<value_t>(i), a);
+      }
+    }
+  }
+};
+
+constexpr size_t kMaxPi = 64;
+
+Fixture& FixtureFor(size_t n) {
+  static Fixture small(radix::bench::ScaledN(500'000), kMaxPi);
+  static Fixture large(radix::bench::ScaledN(8'000'000, 2'000'000), kMaxPi);
+  return n <= small.ids.size() ? small : large;
+}
+
+void RunStrategy(benchmark::State& state, SideStrategy strategy) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t pi = static_cast<size_t>(state.range(1));
+  Fixture& f = FixtureFor(n);
+  n = f.ids.size();
+
+  std::vector<std::span<const value_t>> columns(pi);
+  std::vector<storage::Column<value_t>> out_storage(pi);
+  std::vector<std::span<value_t>> out(pi);
+  for (size_t a = 0; a < pi; ++a) {
+    columns[a] = f.table.attr(1 + a).span();
+    out_storage[a].Resize(n);
+    out[a] = out_storage[a].span();
+  }
+  for (auto _ : state) {
+    // Strategies that reorder ids mutate them; copy per iteration (copy
+    // cost is part of none of the phases; pause timing).
+    state.PauseTiming();
+    std::vector<oid_t> ids = f.ids;
+    state.ResumeTiming();
+    project::PhaseBreakdown phases;
+    project::ProjectSide(ids, strategy, columns, out, n,
+                         radix::bench::BenchHw(),
+                         project::DsmPostOptions::kAuto, 0, &phases);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * pi);
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["pi"] = static_cast<double>(pi);
+}
+
+void BM_Unsorted(benchmark::State& s) { RunStrategy(s, SideStrategy::kUnsorted); }
+void BM_Sorted(benchmark::State& s) { RunStrategy(s, SideStrategy::kSorted); }
+void BM_PartialClustered(benchmark::State& s) {
+  RunStrategy(s, SideStrategy::kClustered);
+}
+void BM_Declustered(benchmark::State& s) {
+  RunStrategy(s, SideStrategy::kDecluster);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {500'000, 8'000'000}) {
+    for (int64_t pi : {1, 4, 16, 64}) {
+      b->Args({n, pi});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Unsorted)->Apply(Args);
+BENCHMARK(BM_Sorted)->Apply(Args);
+BENCHMARK(BM_PartialClustered)->Apply(Args);
+BENCHMARK(BM_Declustered)->Apply(Args);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,260 @@
+// Figure 9 (a-f): modeled (cost-model) versus measured performance of the
+// six join-phase kernels, each swept over the number of radix-bits at
+// several cardinalities:
+//   a) Radix-Cluster            b) Partitioned Hash-Join
+//   c) Clustered Positional Join d) Radix-Decluster (w = 32 rule)
+//   e) Left Jive-Join            f) Right Jive-Join
+// Each benchmark reports measured wall time plus a "modeled_ms" counter
+// from the Appendix-A cost model; the reproduction claim is that the two
+// move together (optima and cliffs at the same B).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/partition_plan.h"
+#include "cluster/radix_cluster.h"
+#include "cluster/radix_sort.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "costmodel/models.h"
+#include "decluster/radix_decluster.h"
+#include "decluster/window.h"
+#include "join/hash_join.h"
+#include "join/jive_join.h"
+#include "join/partitioned_hash_join.h"
+#include "join/positional_join.h"
+#include "workload/distributions.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+
+const costmodel::CpuCosts& Cpu() {
+  static costmodel::CpuCosts cpu = costmodel::CpuCosts::Default();
+  return cpu;
+}
+
+size_t CapN(size_t n) { return radix::bench::ScaledN(n, 1'000'000); }
+
+// ---------------------------------------------------------------- Fig 9a
+void BM_RadixCluster(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  const auto& hw = radix::bench::BenchHw();
+  uint32_t passes = cluster::PassesFor(bits, hw);
+
+  std::vector<cluster::KeyOid> data(n), scratch(n);
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {static_cast<value_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
+  auto radix_of = [](const cluster::KeyOid& t) { return KeyHash{}(t.key); };
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cluster::KeyOid> work = data;
+    state.ResumeTiming();
+    cluster::ClusterSpec spec{.total_bits = bits, .ignore_bits = 0,
+                              .passes = passes};
+    simcache::NoTracer tracer;
+    auto borders = cluster::RadixClusterMultiPass(
+        work.data(), scratch.data(), n, radix_of, spec, tracer);
+    benchmark::DoNotOptimize(borders.offsets.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::RadixClusterCost(hw, Cpu(), n, sizeof(cluster::KeyOid), bits,
+                                  passes)
+          .seconds *
+      1e3;
+}
+
+// ---------------------------------------------------------------- Fig 9b
+void BM_PartitionedHashJoin(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  const auto& hw = radix::bench::BenchHw();
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 1;
+  spec.build_nsm = false;
+  auto w = workload::MakeJoinWorkload(spec);
+  join::PartitionedHashJoinOptions options;
+  options.radix_bits = bits;
+  for (auto _ : state) {
+    join::JoinIndex ji = join::PartitionedHashJoin(
+        w.dsm_left.key().span(), w.dsm_right.key().span(), hw, options);
+    benchmark::DoNotOptimize(ji.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::PartitionedHashJoinCost(hw, Cpu(), n, n,
+                                         sizeof(cluster::KeyOid), bits)
+          .seconds *
+      1e3;
+}
+
+// ---------------------------------------------------------------- Fig 9c
+void BM_ClusteredPositionalJoin(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits =
+      std::min<radix_bits_t>(static_cast<radix_bits_t>(state.range(1)),
+                             SignificantBits(n));
+  const auto& hw = radix::bench::BenchHw();
+
+  std::vector<oid_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng(2);
+  workload::Shuffle(ids.data(), n, rng);
+  radix_bits_t sig = SignificantBits(n);
+  cluster::ClusterSpec cspec{
+      .total_bits = bits,
+      .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+      .passes = cluster::PassesFor(bits, hw)};
+  cluster::RadixCluster(std::span<oid_t>(ids),
+                        [](oid_t v) { return uint64_t{v}; }, cspec);
+  auto column = workload::MakeBaseColumn(n, 1);
+  std::vector<value_t> out(n);
+  for (auto _ : state) {
+    join::PositionalJoin<value_t>(ids, column.span(), std::span<value_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::ClusteredPositionalJoinCost(hw, Cpu(), n, n, sizeof(value_t),
+                                             bits, false)
+          .seconds *
+      1e3;
+}
+
+// ---------------------------------------------------------------- Fig 9d
+void BM_RadixDecluster(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits =
+      std::min<radix_bits_t>(static_cast<radix_bits_t>(state.range(1)),
+                             SignificantBits(n));
+  const auto& hw = radix::bench::BenchHw();
+
+  // Paper-distribution input: per-cluster positions ascend but spread over
+  // the whole result (see bench_common.h).
+  radix::bench::DeclusterInput in =
+      radix::bench::MakeDeclusterInput(n, bits, 3);
+  // The paper's w = 32 rule: window sized so each cluster contributes >= 32
+  // tuples per sweep, capped at the cache.
+  size_t window = decluster::WindowPolicy::ChooseWindowElems(
+      hw, sizeof(value_t), in.borders.num_clusters(), n);
+  std::vector<value_t> result(n);
+  for (auto _ : state) {
+    decluster::RadixDecluster<value_t>(in.values, in.ids,
+                                       decluster::MakeCursors(in.borders),
+                                       window, std::span<value_t>(result));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::RadixDeclusterCost(hw, Cpu(), n, sizeof(value_t), bits,
+                                    window)
+          .seconds *
+      1e3;
+}
+
+// ------------------------------------------------------------- Fig 9e/9f
+struct JiveFixture {
+  std::vector<cluster::OidPair> index;
+  storage::Column<value_t> left_col;
+  storage::Column<value_t> right_col;
+};
+
+JiveFixture MakeJive(size_t n) {
+  JiveFixture f;
+  Rng rng(4);
+  f.index.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    f.index[i] = {static_cast<oid_t>(i), static_cast<oid_t>(rng.Below(n))};
+  }
+  cluster::RadixSortJoinIndex(std::span<cluster::OidPair>(f.index),
+                              static_cast<oid_t>(n), true);
+  f.left_col = workload::MakeBaseColumn(n, 1);
+  f.right_col = workload::MakeBaseColumn(n, 2);
+  return f;
+}
+
+void BM_LeftJiveJoin(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits =
+      std::min<radix_bits_t>(static_cast<radix_bits_t>(state.range(1)),
+                             SignificantBits(n));
+  JiveFixture f = MakeJive(n);
+  std::vector<value_t> left_out(n);
+  join::JiveJoinOptions options;
+  options.cluster_bits = bits;
+  for (auto _ : state) {
+    join::JiveIntermediate inter = join::LeftJiveJoinDsm(
+        f.index, {f.left_col.span()}, {std::span<value_t>(left_out)},
+        static_cast<oid_t>(n), options);
+    benchmark::DoNotOptimize(inter.entries.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::LeftJiveJoinCost(radix::bench::BenchHw(), Cpu(), n, n,
+                                  sizeof(value_t), bits)
+          .seconds *
+      1e3;
+}
+
+void BM_RightJiveJoin(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits =
+      std::min<radix_bits_t>(static_cast<radix_bits_t>(state.range(1)),
+                             SignificantBits(n));
+  JiveFixture f = MakeJive(n);
+  std::vector<value_t> left_out(n), right_out(n);
+  join::JiveJoinOptions options;
+  options.cluster_bits = bits;
+  join::JiveIntermediate inter = join::LeftJiveJoinDsm(
+      f.index, {f.left_col.span()}, {std::span<value_t>(left_out)},
+      static_cast<oid_t>(n), options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    join::JiveIntermediate work = inter;  // phase 2 sorts in place
+    state.ResumeTiming();
+    join::RightJiveJoinDsm(work, {f.right_col.span()},
+                           {std::span<value_t>(right_out)});
+    benchmark::DoNotOptimize(right_out.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::RightJiveJoinCost(radix::bench::BenchHw(), Cpu(), n, n,
+                                   sizeof(value_t), bits)
+          .seconds *
+      1e3;
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {250'000, 1'000'000, 4'000'000}) {
+    for (int64_t bits = 0; bits <= 20; bits += 4) {
+      b->Args({n, bits});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RadixCluster)->Apply(Args);
+BENCHMARK(BM_PartitionedHashJoin)->Apply(Args);
+BENCHMARK(BM_ClusteredPositionalJoin)->Apply(Args);
+BENCHMARK(BM_RadixDecluster)->Apply(Args);
+BENCHMARK(BM_LeftJiveJoin)->Apply(Args);
+BENCHMARK(BM_RightJiveJoin)->Apply(Args);
+
+BENCHMARK_MAIN();

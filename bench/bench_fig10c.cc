@@ -1,0 +1,105 @@
+// Figure 10c: overall join performance versus cardinality N in
+// {15K .. 16M} (omega = 64, pi = 4, h = 1:1), with the DSM post-projection
+// strategy-code progression the paper annotates on the curve:
+//   u/u (both columns fit cache) -> c/u -> c/d -> s/d as N grows.
+// Expected shape: linear scaling in N for all strategies, with a steeper
+// segment for DSM-post at the point where columns outgrow the cache and
+// the Radix-Decluster machinery kicks in.
+//
+// Only the DSM columns are materialized (the paper notes that for DSM only
+// pi matters, not omega), which keeps the 16M point inside laptop memory.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "project/executor.h"
+#include "project/planner.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+using project::JoinStrategy;
+using project::SideStrategy;
+
+constexpr size_t kPi = 4;
+
+workload::JoinWorkload MakeW(size_t n) {
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = kPi + 1;
+  spec.hit_rate = 1.0;
+  spec.build_nsm = false;  // DSM-only experiment
+  return workload::MakeJoinWorkload(spec);
+}
+
+/// Planned DSM-post (the paper's annotated curve): the planner picks the
+/// side codes by cardinality.
+void BM_DsmPostPlanned(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(static_cast<size_t>(state.range(0)),
+                                   4'000'000);
+  workload::JoinWorkload w = MakeW(n);
+  project::QueryOptions qopts;
+  qopts.pi_left = kPi;
+  qopts.pi_right = kPi;
+  std::string code;
+  for (auto _ : state) {
+    project::QueryRun run = project::RunQuery(
+        w, JoinStrategy::kDsmPostDecluster, qopts, radix::bench::BenchHw());
+    code = run.detail;
+    benchmark::DoNotOptimize(run.checksum);
+  }
+  state.SetLabel(code);  // the u/u, c/u, c/d, s/d annotation
+  state.counters["N"] = static_cast<double>(n);
+}
+
+/// Forced side-code variants, to expose the crossovers between codes.
+void RunForced(benchmark::State& state, SideStrategy left,
+               SideStrategy right) {
+  size_t n = radix::bench::ScaledN(static_cast<size_t>(state.range(0)),
+                                   4'000'000);
+  workload::JoinWorkload w = MakeW(n);
+  project::QueryOptions qopts;
+  qopts.pi_left = kPi;
+  qopts.pi_right = kPi;
+  qopts.plan_sides = false;
+  qopts.left = left;
+  qopts.right = right;
+  for (auto _ : state) {
+    project::QueryRun run = project::RunQuery(
+        w, JoinStrategy::kDsmPostDecluster, qopts, radix::bench::BenchHw());
+    benchmark::DoNotOptimize(run.checksum);
+  }
+  state.counters["N"] = static_cast<double>(n);
+}
+
+void BM_DsmPost_uu(benchmark::State& s) {
+  RunForced(s, SideStrategy::kUnsorted, SideStrategy::kUnsorted);
+}
+void BM_DsmPost_cu(benchmark::State& s) {
+  RunForced(s, SideStrategy::kClustered, SideStrategy::kUnsorted);
+}
+void BM_DsmPost_cd(benchmark::State& s) {
+  RunForced(s, SideStrategy::kClustered, SideStrategy::kDecluster);
+}
+void BM_DsmPost_sd(benchmark::State& s) {
+  RunForced(s, SideStrategy::kSorted, SideStrategy::kDecluster);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {15'625, 62'500, 250'000, 1'000'000, 4'000'000,
+                    16'000'000}) {
+    b->Args({n});
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DsmPostPlanned)->Apply(Args);
+BENCHMARK(BM_DsmPost_uu)->Apply(Args);
+BENCHMARK(BM_DsmPost_cu)->Apply(Args);
+BENCHMARK(BM_DsmPost_cd)->Apply(Args);
+BENCHMARK(BM_DsmPost_sd)->Apply(Args);
+
+BENCHMARK_MAIN();

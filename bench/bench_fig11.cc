@@ -1,0 +1,78 @@
+// Figure 11: impact of selectivity on the sparse Clustered Positional Join
+// (N = 1M index entries, selectivities 100% / 10% / 1%), swept over the
+// number of radix-bits. The join input is a selection of a base table of
+// cardinality N/s, so the fetched oids are spread sparsely: DSM cache
+// lines hold values of consecutive base tuples of which only a fraction is
+// used, so sequential bandwidth utilization (and thus performance) drops
+// as s falls — but clustering still helps, and the curve keeps its shape.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/partition_plan.h"
+#include "cluster/radix_cluster.h"
+#include "common/rng.h"
+#include "join/positional_join.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+
+// range(0): selectivity code 0 -> 100%, 1 -> 10%, 2 -> 1%.
+double Selectivity(int64_t code) {
+  switch (code) {
+    case 0:
+      return 1.0;
+    case 1:
+      return 0.1;
+    default:
+      return 0.01;
+  }
+}
+
+void BM_SparseClusteredPositionalJoin(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(1'000'000);
+  double s = Selectivity(state.range(0));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  size_t base_n = static_cast<size_t>(n / s);
+  radix_bits_t sig = SignificantBits(base_n);
+  if (bits > sig) {
+    state.SkipWithError("bits exceed base-table significant bits");
+    return;
+  }
+  Rng rng(5);
+  std::vector<oid_t> ids = workload::MakeSparseOids(n, s, rng);
+  cluster::ClusterSpec spec{
+      .total_bits = bits,
+      .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+      .passes = cluster::PassesFor(bits, radix::bench::BenchHw())};
+  cluster::RadixCluster(std::span<oid_t>(ids),
+                        [](oid_t v) { return uint64_t{v}; }, spec);
+  auto base = workload::MakeBaseColumn(base_n, 1);
+  std::vector<value_t> out(n);
+  for (auto _ : state) {
+    join::PositionalJoin<value_t>(ids, base.span(), std::span<value_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["selectivity_pct"] = s * 100;
+  state.counters["B"] = bits;
+  state.counters["base_tuples"] = static_cast<double>(base_n);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t sel = 0; sel <= 2; ++sel) {
+    for (int64_t bits = 0; bits <= 24; bits += 4) {
+      b->Args({sel, bits});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SparseClusteredPositionalJoin)->Apply(Args);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Calibrator demo, mirroring the MonetDB Calibrator the paper uses to
+// derive its cost-model parameters: measures the latency curve over
+// growing working sets (exposing the cache capacities as knees), the
+// sequential bandwidth, and prints the refined hierarchy plus the derived
+// radix-algorithm parameters for this machine.
+
+#include <cstdio>
+
+#include "cluster/partition_plan.h"
+#include "decluster/window.h"
+#include "hardware/calibrator.h"
+#include "hardware/memory_hierarchy.h"
+
+int main() {
+  using namespace radix;  // NOLINT
+
+  hardware::MemoryHierarchy detected = hardware::MemoryHierarchy::Detect();
+  std::printf("Detected geometry (sysfs):\n%s\n",
+              detected.ToString().c_str());
+
+  hardware::Calibrator::Options opts;
+  opts.accesses_per_point = 1u << 20;
+  opts.max_working_set_bytes = 32u << 20;
+  hardware::Calibrator cal(opts);
+
+  std::printf("Latency curve (random pointer chase):\n");
+  std::printf("%12s %12s\n", "working set", "ns/access");
+  for (const auto& point : cal.MeasureLatencyCurve()) {
+    std::printf("%10zuKB %12.2f\n", point.working_set_bytes / 1024,
+                point.ns_per_access);
+  }
+
+  hardware::MemoryHierarchy calibrated = cal.Calibrate(detected);
+  std::printf("\nCalibrated hierarchy:\n%s\n",
+              calibrated.ToString().c_str());
+
+  // What the radix algorithms derive from this machine.
+  std::printf("Derived parameters for this machine:\n");
+  std::printf("  max healthy per-pass radix bits: %u\n",
+              cluster::MaxPassBits(calibrated));
+  for (size_t n : {1'000'000ul, 10'000'000ul, 100'000'000ul}) {
+    radix_bits_t b = cluster::PartialClusterBits(n, 4, calibrated);
+    std::printf("  partial-cluster bits for %9zu-tuple column: B=%u "
+                "(ignore %u)\n",
+                n, b, cluster::IgnoreBits(n, b));
+  }
+  std::printf("  default decluster window: %zu elements (4-byte values)\n",
+              decluster::WindowPolicy::DefaultWindowElems(calibrated, 4));
+  std::printf("  max efficient decluster cardinality: %zu tuples\n",
+              decluster::WindowPolicy::MaxEfficientCardinality(calibrated, 4));
+  return 0;
+}

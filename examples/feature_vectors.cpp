@@ -1,0 +1,80 @@
+// Domain example from the paper's introduction: a multimedia application
+// joining a result set against a table of feature vectors, where the
+// projection propagates MANY columns ("imagine a join with thousands of
+// projection columns to propagate feature vectors"). This is the regime
+// where projection dominates total cost (>90% in the paper's measurements)
+// and where the choice of projection strategy matters most.
+//
+// We join a 64-dimensional feature-vector table against a selection and
+// compare three right-side projection strategies: unsorted, sorted (full
+// Radix-Sort of the join index), and the paper's cluster+decluster.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "hardware/memory_hierarchy.h"
+#include "join/partitioned_hash_join.h"
+#include "project/dsm_post.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace radix;  // NOLINT
+
+  size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 20);
+  constexpr size_t kDims = 64;  // feature-vector dimensionality
+
+  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Detect();
+
+  // Feature table: key + 64 feature columns, DSM so the join phase touches
+  // only the key column.
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 1 + kDims;
+  spec.hit_rate = 1.0;
+  spec.build_nsm = false;  // column store only
+  workload::JoinWorkload w = workload::MakeJoinWorkload(spec);
+
+  join::JoinIndex index = join::PartitionedHashJoin(
+      w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
+  std::printf("Joined %zu query tuples against %zu feature vectors "
+              "(%zu matches)\n\n", n, n, index.size());
+
+  auto run = [&](project::SideStrategy strategy, const char* name) {
+    // Project all 64 feature columns of the "smaller" (right) table.
+    std::vector<oid_t> ids = index.RightOids();
+    std::vector<std::span<const value_t>> columns(kDims);
+    std::vector<storage::Column<value_t>> out(kDims);
+    std::vector<std::span<value_t>> out_spans(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      columns[d] = w.dsm_right.attr(1 + d).span();
+      out[d].Resize(index.size());
+      out_spans[d] = out[d].span();
+    }
+    Timer timer;
+    project::PhaseBreakdown phases;
+    project::ProjectSide(ids, strategy, columns, out_spans, n, hw,
+                         project::DsmPostOptions::kAuto, 0, &phases);
+    double ms = timer.ElapsedMillis();
+    std::printf("%-22s %8.1f ms  (reorder %6.1f, fetch %6.1f, "
+                "decluster %6.1f)\n",
+                name, ms, phases.cluster_seconds * 1e3,
+                phases.projection_seconds * 1e3,
+                phases.decluster_seconds * 1e3);
+    return out[0][0];  // defeat dead-code elimination
+  };
+
+  std::printf("Projecting %zu feature columns of the matched vectors:\n",
+              kDims);
+  value_t sink = 0;
+  sink ^= run(project::SideStrategy::kUnsorted, "unsorted (u)");
+  sink ^= run(project::SideStrategy::kDecluster, "radix-decluster (d)");
+  // For reference, what the *first* (reorderable) table could use:
+  sink ^= run(project::SideStrategy::kSorted, "full radix-sort (s)");
+  sink ^= run(project::SideStrategy::kClustered, "partial cluster (c)");
+
+  std::printf("\nNote: u and d preserve the result order and are the only "
+              "valid choices for the second projection table; s and c are "
+              "shown for comparison (paper §4.1).\n");
+  return sink == 1 ? 1 : 0;
+}

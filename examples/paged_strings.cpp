@@ -1,0 +1,74 @@
+// Section-5 example: Radix-Decluster into an NSM buffer manager with
+// variable-size (string) values — the three-phase scheme of the paper's
+// Fig. 12. Shows that the result pages contain every string at its correct
+// result position even though values cannot be inserted "by position"
+// directly.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bufferpool/buffer_manager.h"
+#include "cluster/radix_cluster.h"
+#include "common/rng.h"
+#include "decluster/paged_decluster.h"
+#include "workload/distributions.h"
+
+int main(int argc, char** argv) {
+  using namespace radix;  // NOLINT
+
+  size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+
+  // Build a clustered (string values, result positions) pair, as the DSM
+  // post-projection pipeline would deliver it: positions ascend within
+  // each cluster but spread over the whole result.
+  struct KeyPos {
+    oid_t key;
+    oid_t pos;
+  };
+  Rng rng(1);
+  std::vector<KeyPos> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<oid_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
+  radix_bits_t sig = SignificantBits(n);
+  radix_bits_t bits = std::min<radix_bits_t>(8, sig);
+  cluster::ClusterSpec spec{.total_bits = bits,
+                            .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+                            .passes = 1};
+  std::vector<KeyPos> scratch(n);
+  simcache::NoTracer tracer;
+  auto radix_of = [](const KeyPos& p) -> uint64_t { return p.key; };
+  cluster::ClusterBorders borders = cluster::RadixClusterMultiPass(
+      pairs.data(), scratch.data(), n, radix_of, spec, tracer);
+
+  decluster::VarValues values;
+  std::vector<oid_t> ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = pairs[i].pos;
+    // Variable-length strings, like the "fast"/"hashing"/"great" of Fig. 12.
+    values.Append("str-" + std::to_string(pairs[i].pos) +
+                  std::string(pairs[i].pos % 17, '.'));
+  }
+
+  bufferpool::BufferManager bm(8192);
+  decluster::PagedResult result =
+      decluster::PagedDeclusterVar(values, ids, borders, 64 * 1024, &bm);
+
+  std::printf("Declustered %zu variable-size strings into %zu pages of %zu "
+              "bytes\n", n, result.num_pages, bm.page_bytes());
+
+  // Verify: result position i must hold the string built for position i.
+  size_t errors = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::string expect = "str-" + std::to_string(i) + std::string(i % 17, '.');
+    if (result.Read(bm, i) != expect) ++errors;
+  }
+  std::printf("Verification: %zu mismatches out of %zu strings\n", errors, n);
+
+  std::printf("First page holds %zu records; e.g. result[0] = \"%.*s\"\n",
+              bm.page(result.first_page).num_records(),
+              static_cast<int>(result.Read(bm, 0).size()),
+              result.Read(bm, 0).data());
+  return errors == 0 ? 0 : 1;
+}

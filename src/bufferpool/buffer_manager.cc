@@ -1,0 +1,13 @@
+#include "bufferpool/buffer_manager.h"
+
+namespace radix::bufferpool {
+
+page_id_t BufferManager::Allocate(size_t n) {
+  page_id_t first = static_cast<page_id_t>(pages_.size());
+  for (size_t i = 0; i < n; ++i) {
+    pages_.push_back(std::make_unique<Page>(page_bytes_));
+  }
+  return first;
+}
+
+}  // namespace radix::bufferpool

@@ -1,0 +1,51 @@
+#ifndef RADIX_BUFFERPOOL_BUFFER_MANAGER_H_
+#define RADIX_BUFFERPOOL_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bufferpool/page.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace radix::bufferpool {
+
+using page_id_t = uint32_t;
+
+/// A deliberately small frame-based buffer manager: pages are allocated in
+/// memory and addressed by page id through an index array of start
+/// addresses — the indirection that breaks Radix-Decluster's contiguous
+/// "insert by position" and motivates the three-phase scheme of paper §5.
+/// (No eviction: the paper's scenario keeps the output pages resident and
+/// relies on sequential bulk I/O underneath; we model the addressing
+/// problem, not the disk.)
+class BufferManager {
+ public:
+  explicit BufferManager(size_t page_bytes = Page::kDefaultPageBytes)
+      : page_bytes_(page_bytes) {}
+
+  size_t page_bytes() const { return page_bytes_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Allocate `n` fresh pages, returning the first new page id; the ids are
+  /// consecutive (the "index array of start addresses" of Fig. 12).
+  page_id_t Allocate(size_t n);
+
+  Page& page(page_id_t id) { return *pages_[id]; }
+  const Page& page(page_id_t id) const { return *pages_[id]; }
+
+  /// Payload capacity per page, the P of the paper's
+  /// page# = B / P, offset = B % P computation.
+  size_t payload_capacity() const {
+    return Page::PayloadCapacity(page_bytes_);
+  }
+
+ private:
+  size_t page_bytes_;
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace radix::bufferpool
+
+#endif  // RADIX_BUFFERPOOL_BUFFER_MANAGER_H_

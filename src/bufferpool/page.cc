@@ -1,0 +1,53 @@
+#include "bufferpool/page.h"
+
+#include <vector>
+
+namespace radix::bufferpool {
+
+Page::Page(size_t page_bytes) : bytes_(page_bytes, 0) {
+  RADIX_CHECK(page_bytes >= sizeof(Header) + sizeof(Slot));
+  RADIX_CHECK(page_bytes <= 65536);  // 16-bit offsets
+  header() = Header{};
+}
+
+size_t Page::free_bytes() const {
+  size_t used_tail = num_records() * sizeof(Slot);
+  size_t front = header().free_offset;
+  size_t avail = bytes_.size() - used_tail;
+  if (front + sizeof(Slot) > avail) return 0;
+  return avail - front - sizeof(Slot);
+}
+
+int Page::Append(const uint8_t* data, size_t len) {
+  if (len > free_bytes()) return -1;
+  Header& h = header();
+  uint16_t off = h.free_offset;
+  std::memcpy(bytes_.data() + off, data, len);
+  Slot* slots = slot_array();
+  slots[-static_cast<ptrdiff_t>(h.num_records)] = {
+      off, static_cast<uint16_t>(len)};
+  h.free_offset = static_cast<uint16_t>(off + len);
+  return h.num_records++;
+}
+
+void Page::WriteAt(size_t payload_offset, const uint8_t* data, size_t len) {
+  size_t off = sizeof(Header) + payload_offset;
+  RADIX_DCHECK(off + len <= bytes_.size());
+  std::memcpy(bytes_.data() + off, data, len);
+  Header& h = header();
+  if (off + len > h.free_offset) h.free_offset = static_cast<uint16_t>(off + len);
+}
+
+std::span<const uint8_t> Page::Record(size_t slot) const {
+  RADIX_DCHECK(slot < num_records());
+  const Slot& s = slot_array()[-static_cast<ptrdiff_t>(slot)];
+  return {bytes_.data() + s.offset, s.length};
+}
+
+void Page::SetSlot(size_t slot, uint16_t offset, uint16_t len) {
+  Header& h = header();
+  slot_array()[-static_cast<ptrdiff_t>(slot)] = {offset, len};
+  if (slot >= h.num_records) h.num_records = static_cast<uint16_t>(slot + 1);
+}
+
+}  // namespace radix::bufferpool

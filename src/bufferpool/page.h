@@ -1,0 +1,83 @@
+#ifndef RADIX_BUFFERPOOL_PAGE_H_
+#define RADIX_BUFFERPOOL_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace radix::bufferpool {
+
+/// A slotted page for variable-size values, matching the layout the paper
+/// sketches in Fig. 12: a small header, record bytes growing from the
+/// front, and 2-byte record offsets growing from the end. The usable
+/// payload per page is P = page_size - (header + one offset slot per
+/// record), which is exactly the divisor in the paper's page/offset
+/// computation.
+class Page {
+ public:
+  static constexpr size_t kDefaultPageBytes = 8192;
+  /// Bytes one slot-directory entry occupies at the page tail; positional
+  /// writers must budget `record length + kSlotBytes` per record.
+  static constexpr size_t kSlotBytes = 4;
+
+  struct Header {
+    uint16_t num_records = 0;
+    uint16_t free_offset = sizeof(Header);  ///< first free payload byte
+  };
+
+  explicit Page(size_t page_bytes = kDefaultPageBytes);
+
+  size_t page_bytes() const { return bytes_.size(); }
+  size_t num_records() const { return header().num_records; }
+
+  /// Bytes still available for one more record (payload + its slot).
+  size_t free_bytes() const;
+
+  /// Append a record; returns its slot number, or -1 if it does not fit.
+  int Append(const uint8_t* data, size_t len);
+
+  /// Write `len` bytes at a fixed payload offset (positional insert used by
+  /// the paged decluster, which precomputes offsets); grows num_records
+  /// metadata lazily via SetSlot.
+  void WriteAt(size_t payload_offset, const uint8_t* data, size_t len);
+
+  /// Record `slot`'s bytes.
+  std::span<const uint8_t> Record(size_t slot) const;
+
+  /// Directly set a slot's offset/length entry (positional construction).
+  void SetSlot(size_t slot, uint16_t offset, uint16_t len);
+
+  uint8_t* raw() { return bytes_.data(); }
+  const uint8_t* raw() const { return bytes_.data(); }
+
+  /// Max payload bytes per page for positional math: page minus header.
+  static size_t PayloadCapacity(size_t page_bytes) {
+    return page_bytes - sizeof(Header);
+  }
+
+ private:
+  struct Slot {
+    uint16_t offset;
+    uint16_t length;
+  };
+
+  Header& header() { return *reinterpret_cast<Header*>(bytes_.data()); }
+  const Header& header() const {
+    return *reinterpret_cast<const Header*>(bytes_.data());
+  }
+  Slot* slot_array() {
+    return reinterpret_cast<Slot*>(bytes_.data() + bytes_.size()) - 1;
+  }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(bytes_.data() + bytes_.size()) - 1;
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace radix::bufferpool
+
+#endif  // RADIX_BUFFERPOOL_PAGE_H_

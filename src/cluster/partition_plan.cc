@@ -1,0 +1,70 @@
+#include "cluster/partition_plan.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace radix::cluster {
+
+radix_bits_t PartialClusterBits(size_t column_tuples, size_t column_width,
+                                const hardware::MemoryHierarchy& hw) {
+  if (column_tuples == 0) return 0;
+  size_t cache = hw.target_cache().capacity_bytes;
+  size_t tuples_per_cache = std::max<size_t>(1, cache / column_width);
+  // B = 1 + log2(|COLUMN|) - log2(C / width): one more bit than "number of
+  // cache-sized chunks" so the mean cluster is strictly below cache size.
+  int64_t b = 1 + static_cast<int64_t>(Log2Floor(column_tuples)) -
+              static_cast<int64_t>(Log2Floor(tuples_per_cache));
+  int64_t max_b = SignificantBits(column_tuples);
+  b = std::clamp<int64_t>(b, 0, max_b);
+  return static_cast<radix_bits_t>(b);
+}
+
+radix_bits_t IgnoreBits(size_t index_tuples, radix_bits_t total_bits) {
+  if (index_tuples == 0) return 0;
+  uint32_t sig = SignificantBits(index_tuples);
+  return sig > total_bits ? sig - total_bits : 0;
+}
+
+radix_bits_t PartitionedJoinBits(size_t tuples, size_t tuple_bytes,
+                                 const hardware::MemoryHierarchy& hw) {
+  if (tuples == 0) return 0;
+  // Inner cluster + bucket-chained hash table (~2x the cluster bytes of
+  // overhead: next[] chain and bucket heads) must fit the target cache.
+  size_t cache = hw.target_cache().capacity_bytes;
+  size_t bytes_per_tuple = tuple_bytes * 3;
+  size_t tuples_per_cluster = std::max<size_t>(1, cache / bytes_per_tuple);
+  size_t clusters_needed =
+      (tuples + tuples_per_cluster - 1) / tuples_per_cluster;
+  radix_bits_t b = static_cast<radix_bits_t>(Log2Ceil(clusters_needed));
+  return std::min<radix_bits_t>(b, SignificantBits(tuples));
+}
+
+radix_bits_t MaxPassBits(const hardware::MemoryHierarchy& hw) {
+  // One output cursor per cluster; cursors thrash once they outnumber TLB
+  // entries or cache lines, whichever is smaller.
+  size_t tlb_entries = hw.tlb.entries == 0 ? 64 : hw.tlb.entries;
+  size_t l1_lines = hw.l1().num_lines();
+  size_t limit = std::min(tlb_entries, l1_lines);
+  radix_bits_t b = static_cast<radix_bits_t>(Log2Floor(std::max<size_t>(2, limit)));
+  return std::max<radix_bits_t>(1, b);
+}
+
+uint32_t PassesFor(radix_bits_t total_bits,
+                   const hardware::MemoryHierarchy& hw) {
+  radix_bits_t per_pass = MaxPassBits(hw);
+  if (total_bits == 0) return 1;
+  return (total_bits + per_pass - 1) / per_pass;
+}
+
+ClusterSpec PartialClusterSpec(size_t index_tuples, size_t column_tuples,
+                               size_t column_width,
+                               const hardware::MemoryHierarchy& hw) {
+  ClusterSpec spec;
+  spec.total_bits = PartialClusterBits(column_tuples, column_width, hw);
+  spec.ignore_bits = IgnoreBits(column_tuples, spec.total_bits);
+  spec.passes = PassesFor(spec.total_bits, hw);
+  return spec;
+}
+
+}  // namespace radix::cluster

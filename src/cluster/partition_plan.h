@@ -1,0 +1,53 @@
+#ifndef RADIX_CLUSTER_PARTITION_PLAN_H_
+#define RADIX_CLUSTER_PARTITION_PLAN_H_
+
+#include <cstddef>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+
+namespace radix::cluster {
+
+/// Planning helpers that turn cache geometry into Radix-Cluster parameters.
+/// All thresholds are cache-relative, which is why the paper's curves keep
+/// their shape on different hardware.
+
+/// Number of radix bits for a *partial* cluster of a join index so that the
+/// subsequent Positional-Joins into a column of `column_tuples` entries of
+/// `column_width` bytes touch cache-resident regions (paper §3.1):
+///   B = 1 + log2(|COLUMN|) - log2(C / width)
+/// clamped to [0, significant bits of the column].
+radix_bits_t PartialClusterBits(size_t column_tuples, size_t column_width,
+                                const hardware::MemoryHierarchy& hw);
+
+/// Ignore-bits I = log2(|JI|) - B for a join index of `index_tuples`
+/// entries (paper §3.1); clamped at 0.
+radix_bits_t IgnoreBits(size_t index_tuples, radix_bits_t total_bits);
+
+/// Number of radix bits for Partitioned Hash-Join so each inner cluster
+/// (plus its hash table) fits the target cache: clusters of
+/// `tuple_bytes`-wide tuples from a relation of `tuples` rows.
+radix_bits_t PartitionedJoinBits(size_t tuples, size_t tuple_bytes,
+                                 const hardware::MemoryHierarchy& hw);
+
+/// Maximum per-pass fan-out that keeps all output cursors cache/TLB
+/// resident (§2.1: cursors must each sit in a cache line, and systems with
+/// a slow TLB are limited by its 64 entries).
+radix_bits_t MaxPassBits(const hardware::MemoryHierarchy& hw);
+
+/// Number of passes needed to produce 2^total_bits clusters without any
+/// pass exceeding MaxPassBits.
+uint32_t PassesFor(radix_bits_t total_bits,
+                   const hardware::MemoryHierarchy& hw);
+
+/// Complete spec for a partial cluster of a join index ahead of projections
+/// (the "c" strategy): B from the projection column, I from the index size,
+/// P from the TLB constraint.
+ClusterSpec PartialClusterSpec(size_t index_tuples, size_t column_tuples,
+                               size_t column_width,
+                               const hardware::MemoryHierarchy& hw);
+
+}  // namespace radix::cluster
+
+#endif  // RADIX_CLUSTER_PARTITION_PLAN_H_

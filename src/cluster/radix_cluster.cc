@@ -1,0 +1,18 @@
+#include "cluster/radix_cluster.h"
+
+// Kernels are templates (header); this TU pins common instantiations so
+// most callers link against them instead of re-instantiating.
+namespace radix::cluster {
+
+namespace {
+struct IdentityRadix {
+  uint64_t operator()(const OidPair& p) const { return p.left; }
+};
+}  // namespace
+
+template ClusterBorders RadixClusterMultiPass<OidPair, IdentityRadix,
+                                              simcache::NoTracer>(
+    OidPair*, OidPair*, size_t, IdentityRadix, const ClusterSpec&,
+    simcache::NoTracer&);
+
+}  // namespace radix::cluster

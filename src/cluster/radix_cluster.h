@@ -1,0 +1,168 @@
+#ifndef RADIX_CLUSTER_RADIX_CLUSTER_H_
+#define RADIX_CLUSTER_RADIX_CLUSTER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "common/types.h"
+#include "simcache/mem_tracer.h"
+#include "storage/column.h"
+
+namespace radix::cluster {
+
+/// Cluster boundaries after a (partial) Radix-Cluster: cluster k occupies
+/// [offsets[k], offsets[k+1]) in the clustered array. offsets.size() == H+1.
+struct ClusterBorders {
+  std::vector<uint64_t> offsets;
+
+  size_t num_clusters() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  uint64_t start(size_t k) const { return offsets[k]; }
+  uint64_t end(size_t k) const { return offsets[k + 1]; }
+  uint64_t size(size_t k) const { return offsets[k + 1] - offsets[k]; }
+  uint64_t total() const { return offsets.empty() ? 0 : offsets.back(); }
+};
+
+/// Parameters of radix_cluster(B, P, I) as used throughout the paper:
+/// cluster on bits [ignore_bits, ignore_bits + total_bits) of the tuples'
+/// radix value, in `passes` sequential passes, most-significant slice
+/// first. ignore_bits > 0 yields the *partial* Radix-Cluster of §3.1
+/// ("stop early and ignore a certain number of lower Radix-Bits").
+struct ClusterSpec {
+  radix_bits_t total_bits = 0;   ///< B
+  radix_bits_t ignore_bits = 0;  ///< I
+  uint32_t passes = 1;           ///< P
+
+  size_t num_clusters() const { return size_t{1} << total_bits; }
+
+  /// Split B into `passes` per-pass bit counts Bp (sum == B), largest
+  /// first, as evenly as possible.
+  std::vector<radix_bits_t> PassBits() const {
+    std::vector<radix_bits_t> bits(passes);
+    radix_bits_t base = total_bits / passes;
+    radix_bits_t extra = total_bits % passes;
+    for (uint32_t p = 0; p < passes; ++p) {
+      bits[p] = base + (p < extra ? 1 : 0);
+    }
+    return bits;
+  }
+};
+
+/// One histogram+scatter pass over [in, in+n) into `out`, clustering on
+/// `pass_bits` bits of radix(v) starting at bit `shift`. `borders_out`, if
+/// non-null, receives the 2^pass_bits cluster offsets *relative to out*.
+///
+/// This is the memory-access kernel the paper models as
+///   s_trav(X) ⊙ nest({Xj}, 2^Bp, s_trav(Xj), ran):
+/// a sequential read of the input concurrent with one append cursor per
+/// output cluster. The cursors are what limits single-pass fan-out: beyond
+/// the number of cache lines / TLB entries the pass starts thrashing (§2.1).
+template <typename T, typename RadixFn, typename Tracer>
+void RadixClusterPass(const T* in, T* out, size_t n, RadixFn radix_of,
+                      uint32_t shift, radix_bits_t pass_bits,
+                      std::vector<uint64_t>* borders_out, Tracer& tracer) {
+  size_t buckets = size_t{1} << pass_bits;
+  std::vector<uint64_t> histogram(buckets, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (Tracer::kEnabled) tracer.Touch(&in[i], sizeof(T));
+    ++histogram[RadixBits(radix_of(in[i]), shift, pass_bits)];
+  }
+  std::vector<uint64_t> cursor(buckets + 1, 0);
+  for (size_t b = 0; b < buckets; ++b) {
+    cursor[b + 1] = cursor[b] + histogram[b];
+  }
+  if (borders_out != nullptr) *borders_out = cursor;
+  // Scatter. Stable: append order within a cluster == scan order, the
+  // property Radix-Decluster's window merge relies on.
+  std::vector<uint64_t> insert(cursor.begin(), cursor.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (Tracer::kEnabled) tracer.Touch(&in[i], sizeof(T));
+    size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
+    if constexpr (Tracer::kEnabled) tracer.Touch(&out[insert[b]], sizeof(T));
+    out[insert[b]++] = in[i];
+  }
+}
+
+/// Multi-pass Radix-Cluster driver: clusters `data` (in place, using
+/// `scratch` as the alternate buffer) per `spec`, returning the final
+/// H = 2^B cluster borders. After return, the clustered data is in `data`.
+///
+/// Pass p refines every cluster produced by pass p-1 using the next
+/// lower-significance slice of bits, exactly as in paper Fig. 2.
+template <typename T, typename RadixFn, typename Tracer>
+ClusterBorders RadixClusterMultiPass(T* data, T* scratch, size_t n,
+                                     RadixFn radix_of, const ClusterSpec& spec,
+                                     Tracer& tracer) {
+  ClusterBorders borders;
+  borders.offsets = {0, n};
+  if (spec.total_bits == 0) return borders;
+
+  std::vector<radix_bits_t> pass_bits = spec.PassBits();
+  uint32_t bits_done = 0;
+  T* src = data;
+  T* dst = scratch;
+
+  for (uint32_t p = 0; p < spec.passes; ++p) {
+    radix_bits_t bp = pass_bits[p];
+    if (bp == 0) continue;
+    bits_done += bp;
+    uint32_t shift = spec.ignore_bits + spec.total_bits - bits_done;
+
+    std::vector<uint64_t> new_offsets;
+    new_offsets.reserve((borders.num_clusters() << bp) + 1);
+    new_offsets.push_back(0);
+    for (size_t c = 0; c < borders.num_clusters(); ++c) {
+      uint64_t begin = borders.start(c);
+      uint64_t len = borders.size(c);
+      std::vector<uint64_t> sub;
+      RadixClusterPass(src + begin, dst + begin, len, radix_of, shift, bp,
+                       &sub, tracer);
+      for (size_t b = 1; b < sub.size(); ++b) {
+        new_offsets.push_back(begin + sub[b]);
+      }
+    }
+    borders.offsets = std::move(new_offsets);
+    std::swap(src, dst);
+  }
+  if (src != data) {
+    std::memcpy(data, src, n * sizeof(T));
+    if constexpr (Tracer::kEnabled) {
+      tracer.Touch(src, n * sizeof(T));
+      tracer.Touch(data, n * sizeof(T));
+    }
+  }
+  return borders;
+}
+
+/// Convenience wrapper allocating its own scratch space.
+template <typename T, typename RadixFn>
+ClusterBorders RadixCluster(std::span<T> data, RadixFn radix_of,
+                            const ClusterSpec& spec) {
+  storage::Column<T> scratch(data.size());
+  simcache::NoTracer tracer;
+  return RadixClusterMultiPass(data.data(), scratch.data(), data.size(),
+                               radix_of, spec, tracer);
+}
+
+/// A [left-oid, right-oid] pair: one entry of a join index [Val87].
+struct OidPair {
+  oid_t left;
+  oid_t right;
+};
+static_assert(sizeof(OidPair) == 8, "join index entries must stay 8 bytes");
+
+/// A (key, oid) pair carried through clustering into Partitioned Hash-Join.
+struct KeyOid {
+  value_t key;
+  oid_t oid;
+};
+static_assert(sizeof(KeyOid) == 8);
+
+}  // namespace radix::cluster
+
+#endif  // RADIX_CLUSTER_RADIX_CLUSTER_H_

@@ -1,0 +1,33 @@
+#include "cluster/radix_count.h"
+
+#include "common/bits.h"
+
+namespace radix::cluster {
+
+ClusterBorders RadixCount(std::span<const oid_t> clustered_oids,
+                          radix_bits_t total_bits, radix_bits_t ignore_bits) {
+  size_t buckets = size_t{1} << total_bits;
+  std::vector<uint64_t> histogram(buckets, 0);
+  for (oid_t v : clustered_oids) {
+    ++histogram[RadixBits(v, ignore_bits, total_bits)];
+  }
+  ClusterBorders borders;
+  borders.offsets.assign(buckets + 1, 0);
+  for (size_t b = 0; b < buckets; ++b) {
+    borders.offsets[b + 1] = borders.offsets[b] + histogram[b];
+  }
+  return borders;
+}
+
+bool IsRadixClustered(std::span<const oid_t> data, radix_bits_t total_bits,
+                      radix_bits_t ignore_bits) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    uint32_t b = RadixBits(data[i], ignore_bits, total_bits);
+    if (i > 0 && b < prev) return false;
+    prev = b;
+  }
+  return true;
+}
+
+}  // namespace radix::cluster

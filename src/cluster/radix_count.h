@@ -1,0 +1,26 @@
+#ifndef RADIX_CLUSTER_RADIX_COUNT_H_
+#define RADIX_CLUSTER_RADIX_COUNT_H_
+
+#include <span>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+
+namespace radix::cluster {
+
+/// radix_count(B, I) of the paper (Fig. 4): analyze an already (partially)
+/// radix-clustered column and return the actual cluster borders — the
+/// structure Radix-Decluster uses to initialize its cursors. A single
+/// sequential pass counting bucket occupancies.
+ClusterBorders RadixCount(std::span<const oid_t> clustered_oids,
+                          radix_bits_t total_bits, radix_bits_t ignore_bits);
+
+/// Verify that `data`'s bucket ids are non-decreasing under the given
+/// clustering (i.e., the column really is clustered on those bits); used by
+/// tests and debug assertions.
+bool IsRadixClustered(std::span<const oid_t> data, radix_bits_t total_bits,
+                      radix_bits_t ignore_bits);
+
+}  // namespace radix::cluster
+
+#endif  // RADIX_CLUSTER_RADIX_COUNT_H_

@@ -1,0 +1,47 @@
+#include "cluster/radix_sort.h"
+
+#include "common/bits.h"
+#include "storage/column.h"
+
+namespace radix::cluster {
+
+namespace {
+
+ClusterSpec FullSortSpec(oid_t max_oid_exclusive, radix_bits_t max_pass_bits) {
+  ClusterSpec spec;
+  spec.total_bits = SignificantBits(max_oid_exclusive == 0 ? 1 : max_oid_exclusive);
+  spec.ignore_bits = 0;
+  spec.passes = (spec.total_bits + max_pass_bits - 1) / max_pass_bits;
+  if (spec.passes == 0) spec.passes = 1;
+  return spec;
+}
+
+}  // namespace
+
+void RadixSortJoinIndex(std::span<OidPair> index, oid_t max_oid_exclusive,
+                        bool by_left, radix_bits_t max_pass_bits) {
+  ClusterSpec spec = FullSortSpec(max_oid_exclusive, max_pass_bits);
+  storage::Column<OidPair> scratch(index.size());
+  simcache::NoTracer tracer;
+  if (by_left) {
+    auto radix = [](const OidPair& p) -> uint64_t { return p.left; };
+    RadixClusterMultiPass(index.data(), scratch.data(), index.size(), radix,
+                          spec, tracer);
+  } else {
+    auto radix = [](const OidPair& p) -> uint64_t { return p.right; };
+    RadixClusterMultiPass(index.data(), scratch.data(), index.size(), radix,
+                          spec, tracer);
+  }
+}
+
+void RadixSortOids(std::span<oid_t> oids, oid_t max_oid_exclusive,
+                   radix_bits_t max_pass_bits) {
+  ClusterSpec spec = FullSortSpec(max_oid_exclusive, max_pass_bits);
+  storage::Column<oid_t> scratch(oids.size());
+  simcache::NoTracer tracer;
+  auto radix = [](oid_t v) -> uint64_t { return v; };
+  RadixClusterMultiPass(oids.data(), scratch.data(), oids.size(), radix, spec,
+                        tracer);
+}
+
+}  // namespace radix::cluster

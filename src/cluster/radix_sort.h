@@ -1,0 +1,28 @@
+#ifndef RADIX_CLUSTER_RADIX_SORT_H_
+#define RADIX_CLUSTER_RADIX_SORT_H_
+
+#include <span>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+
+namespace radix::cluster {
+
+/// Radix-Sort of a join index on one side's oids, implemented as
+/// Radix-Cluster on all significant bits with no hashing (§3.1: "a
+/// Radix-Cluster on all significant bits is equivalent to Radix-Sort",
+/// because oids stem from the dense domain [0, N)).
+///
+/// `max_oid_exclusive` bounds the sorted side's oids; `by_left` selects
+/// which pair member to sort on. Multi-pass is chosen automatically so no
+/// pass exceeds `max_pass_bits` of fan-out.
+void RadixSortJoinIndex(std::span<OidPair> index, oid_t max_oid_exclusive,
+                        bool by_left, radix_bits_t max_pass_bits = 11);
+
+/// Sort a plain oid column ascending (dense-domain radix sort).
+void RadixSortOids(std::span<oid_t> oids, oid_t max_oid_exclusive,
+                   radix_bits_t max_pass_bits = 11);
+
+}  // namespace radix::cluster
+
+#endif  // RADIX_CLUSTER_RADIX_SORT_H_

@@ -1,0 +1,43 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace radix {
+
+AlignedBuffer::AlignedBuffer(size_t bytes, size_t alignment) {
+  Resize(bytes, alignment);
+}
+
+AlignedBuffer::~AlignedBuffer() { Free(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Free();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::Resize(size_t bytes, size_t alignment) {
+  Free();
+  if (bytes == 0) return;
+  // aligned_alloc requires size to be a multiple of alignment.
+  size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  data_ = static_cast<uint8_t*>(std::aligned_alloc(alignment, padded));
+  RADIX_CHECK(data_ != nullptr);
+  size_ = bytes;
+}
+
+void AlignedBuffer::Free() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace radix

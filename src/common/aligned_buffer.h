@@ -1,0 +1,52 @@
+#ifndef RADIX_COMMON_ALIGNED_BUFFER_H_
+#define RADIX_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace radix {
+
+/// Cache-line / page aligned raw memory. Columns and cluster buffers are
+/// allocated through this so that (a) sequential kernels see aligned
+/// streams and (b) the cache simulator's address arithmetic matches what
+/// real hardware would see.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kDefaultAlignment = 64;  // common cache-line size
+
+  AlignedBuffer() = default;
+  AlignedBuffer(size_t bytes, size_t alignment = kDefaultAlignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(AlignedBuffer);
+
+  /// (Re)allocate to hold `bytes`; contents are not preserved.
+  void Resize(size_t bytes, size_t alignment = kDefaultAlignment);
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  template <typename T>
+  T* As() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  void Free();
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,4 @@
+#include "common/bits.h"
+
+// All of bits.h is inline; this translation unit exists so the header is
+// compiled stand-alone at least once (self-containedness check).

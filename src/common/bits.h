@@ -1,0 +1,41 @@
+#ifndef RADIX_COMMON_BITS_H_
+#define RADIX_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace radix {
+
+/// floor(log2(x)) for x > 0.
+inline uint32_t Log2Floor(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x > 0; Log2Ceil(1) == 0.
+inline uint32_t Log2Ceil(uint64_t x) {
+  if (x <= 1) return 0;
+  return Log2Floor(x - 1) + 1;
+}
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : (uint64_t{1} << Log2Ceil(x));
+}
+
+/// Extract `bits` radix bits of `v` starting at bit `shift` (LSB = bit 0).
+/// This is the clustering criterion of Radix-Cluster: pass p of a
+/// radix_cluster(B, P) looks at bits [I + B - sum(B_1..B_p), ...) of the
+/// hashed key, i.e., most-significant slice first.
+inline uint32_t RadixBits(uint64_t v, uint32_t shift, uint32_t bits) {
+  return static_cast<uint32_t>((v >> shift) & ((uint64_t{1} << bits) - 1));
+}
+
+/// Number of low bits needed to address n distinct dense oids [0, n).
+inline uint32_t SignificantBits(uint64_t n) { return Log2Ceil(n); }
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_BITS_H_

@@ -1,0 +1,39 @@
+#ifndef RADIX_COMMON_HASH_H_
+#define RADIX_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace radix {
+
+/// Finalizer-style integer hash (Murmur3 fmix64). Radix-Cluster hashes the
+/// join attribute "to ensure that all bits of the join attribute play a role
+/// in the lower B bits used for clustering" (paper §2.2) and to combat skew.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t HashInt32(uint32_t k) { return HashInt64(k); }
+
+/// Identity "hash" used for oids: oids stem from dense domains [0, N) and
+/// are neither skewed nor in need of bit mixing, so Radix-Cluster on all
+/// significant bits of an oid column is exactly Radix-Sort (paper §3.1).
+struct OidIdentityHash {
+  uint64_t operator()(uint32_t oid) const { return oid; }
+};
+
+/// Mixing hash for join keys.
+struct KeyHash {
+  uint64_t operator()(uint32_t key) const { return HashInt32(key); }
+  uint64_t operator()(int32_t key) const {
+    return HashInt32(static_cast<uint32_t>(key));
+  }
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_HASH_H_

@@ -1,0 +1,37 @@
+#ifndef RADIX_COMMON_MACROS_H_
+#define RADIX_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Abort with a message when an internal invariant is violated. Used for
+/// programmer errors only; recoverable conditions return radix::Status.
+#define RADIX_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RADIX_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define RADIX_DCHECK(cond) RADIX_CHECK(cond)
+#else
+#define RADIX_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define RADIX_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::radix::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define RADIX_DISALLOW_COPY_AND_ASSIGN(T) \
+  T(const T&) = delete;                   \
+  T& operator=(const T&) = delete
+
+#endif  // RADIX_COMMON_MACROS_H_

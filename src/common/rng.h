@@ -1,0 +1,56 @@
+#ifndef RADIX_COMMON_RNG_H_
+#define RADIX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace radix {
+
+/// Deterministic, fast PRNG (xoshiro256**). Workload generation must be
+/// reproducible across runs so that modeled-vs-measured comparisons and
+/// tests see identical data; std::mt19937 is avoided in hot paths.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace radix {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kNotFound:
+      return "NotFound";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace radix

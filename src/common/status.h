@@ -1,0 +1,95 @@
+#ifndef RADIX_COMMON_STATUS_H_
+#define RADIX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace radix {
+
+/// Error handling in the RocksDB/Arrow style: no exceptions; fallible
+/// operations return Status (or Result<T> below). Hot kernels never return
+/// Status — argument validation happens at the API boundary.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kOutOfRange = 2,
+    kFailedPrecondition = 3,
+    kResourceExhausted = 4,
+    kInternal = 5,
+    kNotFound = 6,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string; "OK" for success.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing the value of an errored
+/// Result is a fatal programmer error (RADIX_CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    RADIX_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    RADIX_CHECK(ok());
+    return value_;
+  }
+  const T& value() const {
+    RADIX_CHECK(ok());
+    return value_;
+  }
+  T take() {
+    RADIX_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_STATUS_H_

@@ -1,0 +1,3 @@
+#include "common/timer.h"
+
+// Header-only; compiled once for self-containedness.

@@ -1,0 +1,52 @@
+#ifndef RADIX_COMMON_TIMER_H_
+#define RADIX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace radix {
+
+/// Monotonic wall-clock timer used by the benchmark harness.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used to break a
+/// strategy's total cost into phases (cluster / positional join / decluster)
+/// as in paper Fig. 7b.
+class PhaseTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+  void Clear() { total_seconds_ = 0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0;
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_TIMER_H_

@@ -1,0 +1,28 @@
+#ifndef RADIX_COMMON_TYPES_H_
+#define RADIX_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace radix {
+
+/// Object identifier. MonetDB-style dense, zero-based position within a
+/// column. 32 bits suffice for the cardinalities the paper evaluates
+/// (up to 16M tuples) while keeping the join index at the paper's
+/// 8-bytes-per-entry footprint, which matters for cache behaviour.
+using oid_t = uint32_t;
+
+/// Default column value type: the paper's experiments use 4-byte integers
+/// for keys and all projection payloads.
+using value_t = int32_t;
+
+/// Sentinel for "no oid".
+inline constexpr oid_t kInvalidOid = ~oid_t{0};
+
+/// Number of radix bits / passes are small integers; use a narrow type in
+/// interfaces so nonsense values are caught early.
+using radix_bits_t = uint32_t;
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_TYPES_H_

@@ -1,0 +1,38 @@
+#include "costmodel/compose.h"
+
+#include <algorithm>
+
+namespace radix::costmodel {
+
+MissVector Sequential(const hardware::MemoryHierarchy& hw,
+                      const std::vector<WeightedPattern>& patterns) {
+  MissVector total;
+  PatternContext ctx{&hw, 1.0};
+  for (const auto& p : patterns) total += p.eval(ctx);
+  return total;
+}
+
+MissVector Concurrent(const hardware::MemoryHierarchy& hw,
+                      const std::vector<WeightedPattern>& patterns) {
+  double total_footprint = 0;
+  for (const auto& p : patterns) total_footprint += p.footprint_bytes;
+  MissVector total;
+  for (const auto& p : patterns) {
+    double share = total_footprint > 0
+                       ? std::max(0.05, p.footprint_bytes / total_footprint)
+                       : 1.0;
+    PatternContext ctx{&hw, share};
+    total += p.eval(ctx);
+  }
+  return total;
+}
+
+double MissesToSeconds(const hardware::MemoryHierarchy& hw,
+                       const MissVector& misses, double cpu_seconds) {
+  double ns = misses.l1 * hw.l1().miss_latency_ns +
+              misses.l2 * hw.target_cache().miss_latency_ns +
+              misses.tlb * hw.tlb.miss_latency_ns;
+  return cpu_seconds + ns * 1e-9;
+}
+
+}  // namespace radix::costmodel

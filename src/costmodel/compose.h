@@ -1,0 +1,40 @@
+#ifndef RADIX_COSTMODEL_COMPOSE_H_
+#define RADIX_COSTMODEL_COMPOSE_H_
+
+#include <functional>
+#include <vector>
+
+#include "costmodel/patterns.h"
+
+namespace radix::costmodel {
+
+/// Composition operators of Appendix A: patterns executed one after the
+/// other ("⊕", sequential) simply add their misses; patterns executed
+/// concurrently ("⊙") share the cache, which the model captures by giving
+/// each pattern an effective capacity proportional to its footprint
+/// ([MBK02]'s capacity-division composition).
+struct WeightedPattern {
+  /// Evaluate the pattern under a given capacity share.
+  std::function<MissVector(const PatternContext&)> eval;
+  /// Footprint in bytes, used to split capacity among concurrent patterns.
+  double footprint_bytes = 0;
+};
+
+/// Sequential execution: sum of the parts at full capacity.
+MissVector Sequential(const hardware::MemoryHierarchy& hw,
+                      const std::vector<WeightedPattern>& patterns);
+
+/// Concurrent execution: each pattern sees capacity scaled by its share of
+/// the total footprint.
+MissVector Concurrent(const hardware::MemoryHierarchy& hw,
+                      const std::vector<WeightedPattern>& patterns);
+
+/// Convert predicted misses into seconds using the per-level miss
+/// latencies, plus a CPU term: the model's time estimate
+///   T = cpu_seconds + Σ_level misses_level · latency_level.
+double MissesToSeconds(const hardware::MemoryHierarchy& hw,
+                       const MissVector& misses, double cpu_seconds);
+
+}  // namespace radix::costmodel
+
+#endif  // RADIX_COSTMODEL_COMPOSE_H_

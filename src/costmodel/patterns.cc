@@ -1,0 +1,132 @@
+#include "costmodel/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace radix::costmodel {
+
+namespace {
+
+struct LevelView {
+  double capacity;  // effective bytes available to this pattern
+  double block;     // line or page size
+  double entries;   // lines/entries at this level
+};
+
+LevelView L1View(const PatternContext& ctx) {
+  const auto& c = ctx.hw->l1();
+  double cap = static_cast<double>(c.capacity_bytes) * ctx.capacity_share;
+  return {cap, static_cast<double>(c.line_bytes),
+          cap / static_cast<double>(c.line_bytes)};
+}
+LevelView L2View(const PatternContext& ctx) {
+  const auto& c = ctx.hw->target_cache();
+  double cap = static_cast<double>(c.capacity_bytes) * ctx.capacity_share;
+  return {cap, static_cast<double>(c.line_bytes),
+          cap / static_cast<double>(c.line_bytes)};
+}
+LevelView TlbView(const PatternContext& ctx) {
+  const auto& t = ctx.hw->tlb;
+  double cap = static_cast<double>(t.capacity_bytes()) * ctx.capacity_share;
+  return {cap, static_cast<double>(t.page_bytes),
+          cap / static_cast<double>(t.page_bytes)};
+}
+
+double SeqMisses(const LevelView& lv, const Region& r) {
+  return r.bytes() / lv.block;
+}
+
+double RepeatSeqMisses(const LevelView& lv, double k, const Region& r) {
+  if (r.bytes() <= lv.capacity) return SeqMisses(lv, r);
+  return k * SeqMisses(lv, r);
+}
+
+/// Random traversal: |R| touches, bytes/block distinct blocks. Compulsory
+/// misses = distinct blocks; re-touches of an already-seen block miss with
+/// the eviction probability 1 - capacity/bytes (clamped).
+double RandTravMisses(const LevelView& lv, const Region& r) {
+  double blocks = SeqMisses(lv, r);
+  double touches = r.tuples;
+  double evict_p = std::clamp(1.0 - lv.capacity / std::max(r.bytes(), 1.0),
+                              0.0, 1.0);
+  double retouches = std::max(0.0, touches - blocks);
+  return std::min(touches, blocks) + retouches * evict_p;
+}
+
+double RandAccMisses(const LevelView& lv, double k, const Region& r) {
+  double blocks = SeqMisses(lv, r);
+  double evict_p = std::clamp(1.0 - lv.capacity / std::max(r.bytes(), 1.0),
+                              0.0, 1.0);
+  double warm = std::min(k, blocks);
+  return warm + std::max(0.0, k - warm) * evict_p;
+}
+
+/// m concurrent sequential cursors: while m fits the level's entries, pure
+/// compulsory misses; beyond that, the surviving fraction of cursor lines
+/// shrinks like entries/m and the rest of the touches miss.
+double NestMisses(const LevelView& lv, double m, const Region& r) {
+  double compulsory = SeqMisses(lv, r);
+  if (m <= lv.entries) return compulsory;
+  double touches = r.tuples;
+  double survive = lv.entries / m;
+  return compulsory + std::max(0.0, touches - compulsory) * (1.0 - survive);
+}
+
+}  // namespace
+
+MissVector STrav(const PatternContext& ctx, const Region& r) {
+  return {SeqMisses(L1View(ctx), r), SeqMisses(L2View(ctx), r),
+          SeqMisses(TlbView(ctx), r)};
+}
+
+MissVector RsTrav(const PatternContext& ctx, double k, const Region& r) {
+  return {RepeatSeqMisses(L1View(ctx), k, r),
+          RepeatSeqMisses(L2View(ctx), k, r),
+          RepeatSeqMisses(TlbView(ctx), k, r)};
+}
+
+MissVector RTrav(const PatternContext& ctx, const Region& r) {
+  return {RandTravMisses(L1View(ctx), r), RandTravMisses(L2View(ctx), r),
+          RandTravMisses(TlbView(ctx), r)};
+}
+
+MissVector RrTrav(const PatternContext& ctx, double k, const Region& r,
+                  double stride) {
+  // Each of the k traversals touches |R|/k slots with the given stride;
+  // across all k traversals every slot is touched once. When the region
+  // fits, only compulsory misses remain; otherwise, each traversal's
+  // working set competes and the random-traversal estimate applies per
+  // traversal's slice amplified by re-fetching the region k times.
+  LevelView views[3] = {L1View(ctx), L2View(ctx), TlbView(ctx)};
+  MissVector mv;
+  double* out[3] = {&mv.l1, &mv.l2, &mv.tlb};
+  for (int i = 0; i < 3; ++i) {
+    const LevelView& lv = views[i];
+    double compulsory = SeqMisses(lv, r);
+    if (r.bytes() <= lv.capacity) {
+      *out[i] = compulsory;
+    } else {
+      // Region larger than the level: each traversal strides through the
+      // whole region touching |R|/k slots, re-fetching lines every time if
+      // the stride exceeds the block size.
+      double touches_per_trav = r.tuples / std::max(k, 1.0);
+      double lines_per_trav = (stride >= lv.block)
+                                  ? touches_per_trav
+                                  : touches_per_trav * stride / lv.block;
+      *out[i] = std::max(compulsory, k * lines_per_trav);
+    }
+  }
+  return mv;
+}
+
+MissVector RAcc(const PatternContext& ctx, double k, const Region& r) {
+  return {RandAccMisses(L1View(ctx), k, r), RandAccMisses(L2View(ctx), k, r),
+          RandAccMisses(TlbView(ctx), k, r)};
+}
+
+MissVector NestSTrav(const PatternContext& ctx, double m, const Region& r) {
+  return {NestMisses(L1View(ctx), m, r), NestMisses(L2View(ctx), m, r),
+          NestMisses(TlbView(ctx), m, r)};
+}
+
+}  // namespace radix::costmodel

@@ -1,0 +1,49 @@
+#ifndef RADIX_COSTMODEL_PATTERNS_H_
+#define RADIX_COSTMODEL_PATTERNS_H_
+
+#include "costmodel/region.h"
+#include "hardware/memory_hierarchy.h"
+
+namespace radix::costmodel {
+
+/// The basic access patterns of Appendix A ([MBK02]); each returns the
+/// predicted miss vector of executing the pattern once against a cold-to-
+/// warm cache, parameterized by the hierarchy. Capacities can be scaled by
+/// the concurrent-composition layer (compose.h), which models patterns
+/// sharing the cache by shrinking each one's effective capacity.
+struct PatternContext {
+  const hardware::MemoryHierarchy* hw;
+  /// Fraction of each cache level available to this pattern (set by ⊙).
+  double capacity_share = 1.0;
+};
+
+/// s_trav(R): single sequential traversal — pure compulsory misses.
+MissVector STrav(const PatternContext& ctx, const Region& r);
+
+/// rs_trav(k, R): k repeated sequential traversals; levels that hold R pay
+/// only the first traversal.
+MissVector RsTrav(const PatternContext& ctx, double k, const Region& r);
+
+/// r_trav(R): single random traversal — every tuple touched exactly once,
+/// in random order. Compulsory misses plus capacity misses for the
+/// re-touched fraction of lines that got evicted.
+MissVector RTrav(const PatternContext& ctx, const Region& r);
+
+/// rr_trav(k, R, stride): k interleaved random traversals with the given
+/// average stride; the decluster insertion window's write pattern. Total
+/// element touches = |R| (each slot once across all k traversals).
+MissVector RrTrav(const PatternContext& ctx, double k, const Region& r,
+                  double stride);
+
+/// r_acc(k, R): k random accesses (with repetition) into R.
+MissVector RAcc(const PatternContext& ctx, double k, const Region& r);
+
+/// nest({Rj}, m, s_trav, ran): m concurrent sequential cursors appending
+/// into m sub-regions of total size R, visited in random order — the output
+/// side of a Radix-Cluster pass. Thrashes once m exceeds the level's line
+/// (or TLB entry) count.
+MissVector NestSTrav(const PatternContext& ctx, double m, const Region& r);
+
+}  // namespace radix::costmodel
+
+#endif  // RADIX_COSTMODEL_PATTERNS_H_

@@ -1,0 +1,53 @@
+#ifndef RADIX_COSTMODEL_REGION_H_
+#define RADIX_COSTMODEL_REGION_H_
+
+#include <cstddef>
+
+namespace radix::costmodel {
+
+/// A data region in the sense of the paper's Appendix A / [MBK02]: |R|
+/// tuples of width R-bar bytes, accessed by some pattern. All cost formulas
+/// are expressed over regions, which keeps them hardware-independent.
+struct Region {
+  double tuples = 0;  ///< |R|
+  double width = 0;   ///< R-bar, bytes per tuple
+
+  double bytes() const { return tuples * width; }
+
+  static Region Of(size_t tuples, size_t width) {
+    return {static_cast<double>(tuples), static_cast<double>(width)};
+  }
+};
+
+/// Predicted cache events, one entry per hierarchy level the model tracks
+/// (L1, L2/target cache, TLB) — the quantities plotted in paper Fig. 7a.
+struct MissVector {
+  double l1 = 0;
+  double l2 = 0;
+  double tlb = 0;
+
+  MissVector& operator+=(const MissVector& o) {
+    l1 += o.l1;
+    l2 += o.l2;
+    tlb += o.tlb;
+    return *this;
+  }
+  friend MissVector operator+(MissVector a, const MissVector& b) {
+    a += b;
+    return a;
+  }
+  MissVector& operator*=(double f) {
+    l1 *= f;
+    l2 *= f;
+    tlb *= f;
+    return *this;
+  }
+  friend MissVector operator*(MissVector a, double f) {
+    a *= f;
+    return a;
+  }
+};
+
+}  // namespace radix::costmodel
+
+#endif  // RADIX_COSTMODEL_REGION_H_

@@ -1,0 +1,88 @@
+#ifndef RADIX_DECLUSTER_PAGED_DECLUSTER_H_
+#define RADIX_DECLUSTER_PAGED_DECLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bufferpool/buffer_manager.h"
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+#include "decluster/radix_decluster.h"
+#include "storage/varchar.h"
+
+namespace radix::decluster {
+
+/// A variable-size (string) column in clustered order: concatenated bytes
+/// plus per-entry offsets, the clustered CLUST_VALUES of paper Fig. 12.
+struct VarValues {
+  std::vector<uint8_t> bytes;
+  std::vector<uint64_t> offsets;  ///< size n+1
+
+  size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::string_view at(size_t i) const {
+    return {reinterpret_cast<const char*>(bytes.data()) + offsets[i],
+            static_cast<size_t>(offsets[i + 1] - offsets[i])};
+  }
+  void Append(std::string_view s) {
+    if (offsets.empty()) offsets.push_back(0);
+    bytes.insert(bytes.end(), s.begin(), s.end());
+    offsets.push_back(bytes.size());
+  }
+};
+
+/// Where each result tuple landed: page id + payload offset + length; the
+/// record offsets stored "at end of page" in Fig. 12 are set accordingly.
+struct PagedLocation {
+  bufferpool::page_id_t page;
+  uint32_t offset;
+  uint32_t length;
+};
+
+/// Result of a paged decluster: the pages live in the buffer manager; the
+/// directory maps result position -> location for verification/reads.
+struct PagedResult {
+  bufferpool::page_id_t first_page = 0;
+  size_t num_pages = 0;
+  std::vector<PagedLocation> directory;
+
+  std::string_view Read(const bufferpool::BufferManager& bm, size_t i) const;
+};
+
+/// Section 5 of the paper: Radix-Decluster into buffer-manager pages for
+/// variable-sized values, where "insert by position" cannot address a page
+/// directly. Three phases, exactly as Fig. 12:
+///   1. run Radix-Decluster but only scatter each value's *length* into a
+///      positionally addressable integer array (SIZE_VALUES);
+///   2. sequential prefix-sum over the lengths, yielding each tuple's byte
+///      position B, hence page# = B / P and offset = B % P;
+///   3. re-run Radix-Decluster, copying each value to its page and offset.
+/// For fixed-size values the extra passes are unnecessary (page/offset
+/// follow from the oid), which PagedDeclusterFixed exploits.
+PagedResult PagedDeclusterVar(const VarValues& values,
+                              std::span<const oid_t> ids,
+                              const cluster::ClusterBorders& borders,
+                              size_t window_elems,
+                              bufferpool::BufferManager* bm);
+
+/// Fixed-size fast path (paper §5 note): page and offset are computed
+/// directly from the result oid; a single decluster pass writes into pages.
+PagedResult PagedDeclusterFixed(std::span<const value_t> values,
+                                std::span<const oid_t> ids,
+                                const cluster::ClusterBorders& borders,
+                                size_t window_elems,
+                                bufferpool::BufferManager* bm);
+
+/// Flat (in-memory column) variant of the three-phase scheme: decluster a
+/// varchar column into result order, producing offsets + one contiguous
+/// heap. Phases mirror Fig. 12 minus the page arithmetic: (1) decluster
+/// lengths, (2) prefix-sum into heap positions, (3) decluster copies.
+storage::VarcharColumn RadixDeclusterVarchar(
+    const storage::VarcharColumn& values, std::span<const oid_t> ids,
+    const cluster::ClusterBorders& borders, size_t window_elems);
+
+}  // namespace radix::decluster
+
+#endif  // RADIX_DECLUSTER_PAGED_DECLUSTER_H_

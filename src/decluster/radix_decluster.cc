@@ -1,0 +1,26 @@
+#include "decluster/radix_decluster.h"
+
+namespace radix::decluster {
+
+std::vector<ClusterCursor> MakeCursors(
+    const cluster::ClusterBorders& borders) {
+  std::vector<ClusterCursor> cursors;
+  cursors.reserve(borders.num_clusters());
+  for (size_t k = 0; k < borders.num_clusters(); ++k) {
+    if (borders.size(k) == 0) continue;  // empty clusters never participate
+    cursors.push_back({borders.start(k), borders.end(k)});
+  }
+  return cursors;
+}
+
+// Pin the hot instantiations.
+template void RadixDecluster<value_t, simcache::NoTracer>(
+    std::span<const value_t>, std::span<const oid_t>,
+    std::vector<ClusterCursor>, size_t, std::span<value_t>,
+    simcache::NoTracer*);
+template void RadixDecluster<value_t, simcache::MemTracer>(
+    std::span<const value_t>, std::span<const oid_t>,
+    std::vector<ClusterCursor>, size_t, std::span<value_t>,
+    simcache::MemTracer*);
+
+}  // namespace radix::decluster

@@ -1,0 +1,134 @@
+#ifndef RADIX_DECLUSTER_RADIX_DECLUSTER_H_
+#define RADIX_DECLUSTER_RADIX_DECLUSTER_H_
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "cluster/radix_cluster.h"
+#include "common/macros.h"
+#include "common/types.h"
+#include "simcache/mem_tracer.h"
+
+namespace radix::decluster {
+
+/// Mutable per-cluster cursor state for the window merge; initialized from
+/// radix_count borders (paper Fig. 4/6).
+struct ClusterCursor {
+  uint64_t start;  ///< next unread element of this cluster
+  uint64_t end;    ///< one past the cluster's last element
+};
+
+/// Build the cursor array from cluster borders (dropping empty clusters,
+/// which the merge loop would otherwise delete on first touch).
+std::vector<ClusterCursor> MakeCursors(const cluster::ClusterBorders& borders);
+
+/// Radix-Decluster (paper §3.2, pseudo-code in Fig. 6) — the paper's main
+/// contribution.
+///
+/// Inputs: `values[i]` must end up at `result[ids[i]]`, where `ids` is a
+/// permutation of [0, n) that has been radix-CLUSTERED on its upper bits
+/// (so within each cluster ids are ascending, and across the whole array
+/// they form a dense sequence — properties (1) and (2) of §3.2).
+///
+/// The merge restricts the random insertion pattern to a window of
+/// `window_elems` result slots: each sweep visits every live cluster and
+/// consumes its prefix of ids below the window limit (sequential reads of
+/// values/ids), scattering into the window (cacheable random writes);
+/// exhausted clusters are deleted by swapping in the last cluster. After a
+/// sweep the window is full (density), so the limit advances.
+///
+/// CPU cost O(n + #windows * #clusters); memory cost sequential except for
+/// the in-cache window — the best of merge-sort and direct insertion.
+template <typename T, typename Tracer = simcache::NoTracer>
+void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
+                    std::vector<ClusterCursor> clusters, size_t window_elems,
+                    std::span<T> result, Tracer* tracer = nullptr) {
+  RADIX_CHECK(values.size() == ids.size());
+  RADIX_CHECK(result.size() == ids.size());
+  RADIX_CHECK(window_elems > 0);
+
+  const T* v = values.data();
+  const oid_t* id = ids.data();
+  T* out = result.data();
+  size_t nclusters = clusters.size();
+  ClusterCursor* cl = clusters.data();
+
+  for (uint64_t window_limit = window_elems; nclusters > 0;
+       window_limit += window_elems) {
+    for (size_t i = 0; i < nclusters; ++i) {
+      // Repeated sequential scan over the (small, cacheable) cursor array.
+      if constexpr (Tracer::kEnabled) tracer->Touch(&cl[i], sizeof(ClusterCursor));
+      while (true) {
+        uint64_t pos = cl[i].start;
+        if constexpr (Tracer::kEnabled) tracer->Touch(&id[pos], sizeof(oid_t));
+        if (id[pos] >= window_limit) break;  // rest of cluster outside window
+        if constexpr (Tracer::kEnabled) {
+          tracer->Touch(&v[pos], sizeof(T));
+          tracer->Touch(&out[id[pos]], sizeof(T));
+        }
+        out[id[pos]] = v[pos];
+        if (++cl[i].start >= cl[i].end) {
+          // Delete the exhausted cluster and keep draining the one swapped
+          // into slot i (exactly as in paper Fig. 6).
+          cl[i] = cl[--nclusters];
+          if (i >= nclusters) break;
+        }
+      }
+      if (i >= nclusters) break;
+    }
+  }
+}
+
+/// Convenience overload: cursors from borders, result allocated by caller.
+template <typename T, typename Tracer = simcache::NoTracer>
+void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
+                    const cluster::ClusterBorders& borders,
+                    size_t window_elems, std::span<T> result,
+                    Tracer* tracer = nullptr) {
+  RadixDecluster(values, ids, MakeCursors(borders), window_elems, result,
+                 tracer);
+}
+
+/// Byte-oriented Radix-Decluster for fixed-width rows of `row_bytes` each
+/// (the NSM post-projection path, where one "value" is a π-attribute
+/// record). Scalability degrades with row width as O(C^2 / T^2) — the
+/// effect the paper uses to explain why Radix-Decluster favours DSM.
+template <typename Tracer = simcache::NoTracer>
+void RadixDeclusterRows(const uint8_t* values, size_t row_bytes,
+                        std::span<const oid_t> ids,
+                        std::vector<ClusterCursor> clusters,
+                        size_t window_elems, uint8_t* result,
+                        Tracer* tracer = nullptr) {
+  RADIX_CHECK(window_elems > 0);
+  const oid_t* id = ids.data();
+  size_t nclusters = clusters.size();
+  ClusterCursor* cl = clusters.data();
+
+  for (uint64_t window_limit = window_elems; nclusters > 0;
+       window_limit += window_elems) {
+    for (size_t i = 0; i < nclusters; ++i) {
+      if constexpr (Tracer::kEnabled) tracer->Touch(&cl[i], sizeof(ClusterCursor));
+      while (true) {
+        uint64_t pos = cl[i].start;
+        if constexpr (Tracer::kEnabled) tracer->Touch(&id[pos], sizeof(oid_t));
+        if (id[pos] >= window_limit) break;
+        if constexpr (Tracer::kEnabled) {
+          tracer->Touch(values + pos * row_bytes, row_bytes);
+          tracer->Touch(result + size_t{id[pos]} * row_bytes, row_bytes);
+        }
+        std::memcpy(result + size_t{id[pos]} * row_bytes,
+                    values + pos * row_bytes, row_bytes);
+        if (++cl[i].start >= cl[i].end) {
+          cl[i] = cl[--nclusters];
+          if (i >= nclusters) break;
+        }
+      }
+      if (i >= nclusters) break;
+    }
+  }
+}
+
+}  // namespace radix::decluster
+
+#endif  // RADIX_DECLUSTER_RADIX_DECLUSTER_H_

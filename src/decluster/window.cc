@@ -1,0 +1,28 @@
+#include "decluster/window.h"
+
+#include <algorithm>
+
+namespace radix::decluster {
+
+size_t WindowPolicy::DefaultWindowElems(const hardware::MemoryHierarchy& hw,
+                                        size_t elem_bytes) {
+  size_t cache = hw.target_cache().capacity_bytes;
+  return std::max<size_t>(1, cache / (2 * elem_bytes));
+}
+
+size_t WindowPolicy::ChooseWindowElems(const hardware::MemoryHierarchy& hw,
+                                       size_t elem_bytes, size_t num_clusters,
+                                       size_t cardinality) {
+  size_t cache_bound = DefaultWindowElems(hw, elem_bytes);
+  size_t want = num_clusters * kMinTuplesPerClusterSweep;
+  size_t window = std::min(cache_bound, std::max<size_t>(want, 1024));
+  return std::min(window, std::max<size_t>(cardinality, 1));
+}
+
+size_t WindowPolicy::MaxEfficientCardinality(
+    const hardware::MemoryHierarchy& hw, size_t elem_bytes) {
+  size_t c = hw.target_cache().capacity_bytes;
+  return c / elem_bytes * c / (kMinTuplesPerClusterSweep * elem_bytes);
+}
+
+}  // namespace radix::decluster

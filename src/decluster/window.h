@@ -1,0 +1,44 @@
+#ifndef RADIX_DECLUSTER_WINDOW_H_
+#define RADIX_DECLUSTER_WINDOW_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+
+namespace radix::decluster {
+
+/// Insertion-window sizing for Radix-Decluster (paper §3.2 / Fig. 7a).
+/// Two constraints bound the window:
+///   * ||W|| must fit the target cache (it is filled in random order);
+///     beyond C, L2 misses spike — the cliff in Fig. 7a;
+///   * the average tuples-per-cluster-per-iteration w = |W| / 2^B should be
+///     at least ~32 so the sequential scans of CLUST_VALUES / CLUST_RESULT
+///     amortize per-cluster (TLB) startup costs.
+/// From these, relations up to |R| = C^2 / (32 * width^2) can be handled
+/// efficiently — the scalability bound quoted in the paper's conclusion.
+struct WindowPolicy {
+  /// Minimum average tuples read per cluster per window sweep.
+  static constexpr size_t kMinTuplesPerClusterSweep = 32;
+
+  /// Paper Fig. 6 uses CACHESIZE / (2 * sizeof(T)): half the cache for the
+  /// window (in elements), the other half left to the sequential streams.
+  static size_t DefaultWindowElems(const hardware::MemoryHierarchy& hw,
+                                   size_t elem_bytes);
+
+  /// Window size honoring both constraints for a given cluster count; never
+  /// exceeds the cache, and grows to give each cluster >= kMin... tuples
+  /// per sweep when possible within the cache bound.
+  static size_t ChooseWindowElems(const hardware::MemoryHierarchy& hw,
+                                  size_t elem_bytes, size_t num_clusters,
+                                  size_t cardinality);
+
+  /// Largest relation (in tuples) Radix-Decluster handles without cache or
+  /// TLB trouble: C^2 / (kMin * width^2), paper §4.1.
+  static size_t MaxEfficientCardinality(const hardware::MemoryHierarchy& hw,
+                                        size_t elem_bytes);
+};
+
+}  // namespace radix::decluster
+
+#endif  // RADIX_DECLUSTER_WINDOW_H_

@@ -1,0 +1,94 @@
+#include "hardware/calibrator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace radix::hardware {
+
+double Calibrator::MeasureChaseLatency(size_t working_set_bytes) const {
+  // Build a random cyclic permutation of cache-line-spaced slots, then
+  // chase it. Line spacing (64B) ensures every access is a distinct line.
+  constexpr size_t kStride = 64;
+  size_t slots = std::max<size_t>(working_set_bytes / kStride, 16);
+  AlignedBuffer buf(slots * kStride, 4096);
+  auto* base = buf.data();
+
+  std::vector<uint32_t> order(slots);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(working_set_bytes ^ 0xabcdefULL);
+  for (size_t i = slots - 1; i > 0; --i) {
+    size_t j = rng.Below(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  // next-pointer stored at the head of each slot.
+  for (size_t i = 0; i < slots; ++i) {
+    uint64_t* slot = reinterpret_cast<uint64_t*>(base + size_t{order[i]} * kStride);
+    uint32_t next = order[(i + 1) % slots];
+    *slot = reinterpret_cast<uint64_t>(base + size_t{next} * kStride);
+  }
+
+  size_t steps = options_.accesses_per_point;
+  // Warm up one full cycle so the structure is resident where it fits.
+  volatile uint64_t* p = reinterpret_cast<uint64_t*>(base + size_t{order[0]} * kStride);
+  for (size_t i = 0; i < slots; ++i) p = reinterpret_cast<uint64_t*>(*p);
+
+  Timer timer;
+  for (size_t i = 0; i < steps; ++i) p = reinterpret_cast<uint64_t*>(*p);
+  double seconds = timer.ElapsedSeconds();
+  // Defeat dead-code elimination.
+  if (reinterpret_cast<uint64_t>(p) == 1) std::fprintf(stderr, "?");
+  return seconds * 1e9 / static_cast<double>(steps);
+}
+
+std::vector<Calibrator::LatencyPoint> Calibrator::MeasureLatencyCurve() const {
+  std::vector<LatencyPoint> curve;
+  for (size_t ws = 4 * 1024; ws <= options_.max_working_set_bytes; ws *= 2) {
+    curve.push_back({ws, MeasureChaseLatency(ws)});
+    if (options_.verbose) {
+      std::fprintf(stderr, "calibrate: ws=%zuKB latency=%.2fns\n", ws / 1024,
+                   curve.back().ns_per_access);
+    }
+  }
+  return curve;
+}
+
+double Calibrator::MeasureSequentialBandwidthGbs() const {
+  size_t bytes = std::min<size_t>(options_.max_working_set_bytes, 64u << 20);
+  AlignedBuffer buf(bytes, 4096);
+  auto* data = buf.As<uint64_t>();
+  size_t words = bytes / sizeof(uint64_t);
+  for (size_t i = 0; i < words; ++i) data[i] = i;
+
+  uint64_t sink = 0;
+  Timer timer;
+  constexpr int kRounds = 4;
+  for (int r = 0; r < kRounds; ++r) {
+    for (size_t i = 0; i < words; ++i) sink += data[i];
+  }
+  double seconds = timer.ElapsedSeconds();
+  if (sink == 0x12345) std::fprintf(stderr, "?");
+  return static_cast<double>(bytes) * kRounds / seconds / 1e9;
+}
+
+MemoryHierarchy Calibrator::Calibrate(const MemoryHierarchy& base) const {
+  MemoryHierarchy h = base;
+  // Marginal latency of missing each level: chase latency at a working set
+  // well beyond the level, minus latency when comfortably inside it.
+  for (CacheLevel& level : h.caches) {
+    size_t inside = std::max<size_t>(level.capacity_bytes / 2, 4 * 1024);
+    size_t outside = level.capacity_bytes * 4;
+    double lat_in = MeasureChaseLatency(inside);
+    double lat_out = MeasureChaseLatency(outside);
+    if (lat_out > lat_in) level.miss_latency_ns = lat_out - lat_in;
+  }
+  h.ram_seq_bandwidth_gbs = MeasureSequentialBandwidthGbs();
+  return h;
+}
+
+}  // namespace radix::hardware

@@ -1,0 +1,58 @@
+#ifndef RADIX_HARDWARE_CALIBRATOR_H_
+#define RADIX_HARDWARE_CALIBRATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hardware/memory_hierarchy.h"
+
+namespace radix::hardware {
+
+/// Runtime cache/latency measurement in the spirit of the MonetDB
+/// Calibrator referenced by the paper (§1.1): pointer-chase loops over
+/// growing working sets detect capacity cliffs and per-level latencies;
+/// a streaming loop measures sequential bandwidth.
+///
+/// The calibrator refines an existing MemoryHierarchy (its geometry may
+/// come from sysfs) with *measured* latencies and bandwidth, so that the
+/// cost model predicts in the units of the machine it runs on.
+class Calibrator {
+ public:
+  struct Options {
+    size_t max_working_set_bytes = 64u << 20;  ///< largest chase footprint
+    size_t accesses_per_point = 1u << 22;      ///< chase steps per sample
+    bool verbose = false;
+  };
+
+  Calibrator() : options_() {}
+  explicit Calibrator(Options options) : options_(options) {}
+
+  /// One sample of the latency curve: working-set size -> ns per access.
+  struct LatencyPoint {
+    size_t working_set_bytes;
+    double ns_per_access;
+  };
+
+  /// Random-order pointer chase over `working_set` bytes; returns average
+  /// ns per dependent load. This is the classic latency measurement: each
+  /// load's address depends on the previous load, so no overlap is possible.
+  double MeasureChaseLatency(size_t working_set_bytes) const;
+
+  /// Latency curve over power-of-two working sets up to the configured max.
+  std::vector<LatencyPoint> MeasureLatencyCurve() const;
+
+  /// STREAM-like sequential read bandwidth in GB/s.
+  double MeasureSequentialBandwidthGbs() const;
+
+  /// Refine `base` with measured latencies: for each cache level, the miss
+  /// latency is the chase latency at 4x its capacity minus the latency at
+  /// half its capacity (i.e., the marginal cost of falling out of it).
+  MemoryHierarchy Calibrate(const MemoryHierarchy& base) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace radix::hardware
+
+#endif  // RADIX_HARDWARE_CALIBRATOR_H_

@@ -1,0 +1,113 @@
+#include "hardware/memory_hierarchy.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace radix::hardware {
+
+std::string MemoryHierarchy::ToString() const {
+  std::ostringstream os;
+  for (const CacheLevel& c : caches) {
+    os << c.name << ": " << c.capacity_bytes / 1024 << "KB, "
+       << c.line_bytes << "B lines, " << c.miss_latency_ns << "ns miss\n";
+  }
+  os << "TLB: " << tlb.entries << " entries x " << tlb.page_bytes
+     << "B pages, " << tlb.miss_latency_ns << "ns miss\n";
+  os << "RAM seq bandwidth: " << ram_seq_bandwidth_gbs << " GB/s\n";
+  return os.str();
+}
+
+MemoryHierarchy MemoryHierarchy::Pentium4() {
+  MemoryHierarchy h;
+  double ns_per_cycle = 1.0 / 2.2;  // 2.2 GHz
+  h.cpu_ghz = 2.2;
+  h.caches.push_back(
+      {"L1", 16 * 1024, 32, 8, 28 * ns_per_cycle});
+  h.caches.push_back({"L2", 512 * 1024, 128, 8, 178.0});
+  h.tlb = {64, 4096, 0, 50 * ns_per_cycle};
+  h.ram_seq_bandwidth_gbs = 3.2;  // STREAM number quoted in the paper
+  return h;
+}
+
+MemoryHierarchy MemoryHierarchy::GenericModern() {
+  MemoryHierarchy h;
+  h.cpu_ghz = 3.0;
+  h.caches.push_back({"L1", 32 * 1024, 64, 8, 4.0});
+  h.caches.push_back({"L2", 1024 * 1024, 64, 16, 80.0});
+  h.tlb = {64, 4096, 4, 20.0};
+  h.ram_seq_bandwidth_gbs = 12.0;
+  return h;
+}
+
+namespace {
+
+// Read a sysfs cache attribute like "32K" or "1024"; returns 0 on failure.
+size_t ReadSysfsSize(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string s;
+  in >> s;
+  if (s.empty()) return 0;
+  size_t mult = 1;
+  char suffix = s.back();
+  if (suffix == 'K' || suffix == 'k') {
+    mult = 1024;
+    s.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    mult = 1024 * 1024;
+    s.pop_back();
+  }
+  return static_cast<size_t>(std::strtoull(s.c_str(), nullptr, 10)) * mult;
+}
+
+uint64_t ReadSysfsUint(const std::string& path) {
+  std::ifstream in(path);
+  uint64_t v = 0;
+  in >> v;
+  return v;
+}
+
+}  // namespace
+
+MemoryHierarchy MemoryHierarchy::Detect() {
+  MemoryHierarchy h = GenericModern();
+  // Probe sysfs for cpu0's data/unified caches. Keep generic latencies: the
+  // Calibrator measures those; sysfs only knows geometry.
+  std::vector<CacheLevel> found;
+  for (int index = 0; index < 8; ++index) {
+    std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    std::ifstream type_in(base + "/type");
+    if (!type_in) break;
+    std::string type;
+    type_in >> type;
+    if (type == "Instruction") continue;
+    CacheLevel level;
+    uint64_t level_no = ReadSysfsUint(base + "/level");
+    level.name = "L" + std::to_string(level_no);
+    level.capacity_bytes = ReadSysfsSize(base + "/size");
+    level.line_bytes = ReadSysfsUint(base + "/coherency_line_size");
+    level.associativity =
+        static_cast<uint32_t>(ReadSysfsUint(base + "/ways_of_associativity"));
+    if (level.capacity_bytes == 0 || level.line_bytes == 0) continue;
+    // Latency heuristics by level (calibrator refines these).
+    level.miss_latency_ns = level_no == 1 ? 4.0 : (level_no == 2 ? 30.0 : 90.0);
+    found.push_back(level);
+  }
+  if (!found.empty()) {
+    // Keep at most two levels (the model, like the paper, uses L1+"the
+    // cache"); choose the first and last reported data caches.
+    std::vector<CacheLevel> kept;
+    kept.push_back(found.front());
+    if (found.size() > 1) kept.push_back(found.back());
+    h.caches = kept;
+  }
+  long page = sysconf(_SC_PAGESIZE);
+  if (page > 0) h.tlb.page_bytes = static_cast<size_t>(page);
+  return h;
+}
+
+}  // namespace radix::hardware

@@ -1,0 +1,67 @@
+#include "join/hash_join.h"
+
+#include "join/hash_table.h"
+
+namespace radix::join {
+
+JoinIndex HashJoin(std::span<const value_t> left_keys,
+                   std::span<const value_t> right_keys) {
+  HashTable table;
+  table.Build(right_keys);
+  JoinIndex out;
+  out.Reserve(left_keys.size());
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    table.Probe(left_keys[i], [&](oid_t right_pos) {
+      out.Append(static_cast<oid_t>(i), right_pos);
+    });
+  }
+  return out;
+}
+
+namespace {
+
+/// Small open-coded bucket chain over KeyOid clusters; avoids materializing
+/// a separate key array per cluster.
+class KeyOidTable {
+ public:
+  explicit KeyOidTable(std::span<const cluster::KeyOid> build) : build_(build) {
+    size_t buckets = NextPowerOfTwo(build.size() == 0 ? 1 : build.size());
+    mask_ = buckets - 1;
+    heads_.assign(buckets, 0);
+    next_.assign(build.size(), 0);
+    for (size_t i = 0; i < build.size(); ++i) {
+      uint64_t h = HashTable::Bucket(build[i].key, mask_);
+      next_[i] = heads_[h];
+      heads_[h] = static_cast<uint32_t>(i + 1);
+    }
+  }
+
+  template <typename EmitFn>
+  void Probe(value_t key, EmitFn&& emit) const {
+    // Upper hash bits: disjoint from the radix-cluster bits (see
+    // HashTable::Bucket) so per-cluster tables stay uniformly filled.
+    uint64_t h = HashTable::Bucket(key, mask_);
+    for (uint32_t i = heads_[h]; i != 0; i = next_[i - 1]) {
+      if (build_[i - 1].key == key) emit(build_[i - 1].oid);
+    }
+  }
+
+ private:
+  std::span<const cluster::KeyOid> build_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> next_;
+  uint64_t mask_;
+};
+
+}  // namespace
+
+void HashJoinKeyOid(std::span<const cluster::KeyOid> left,
+                    std::span<const cluster::KeyOid> right, JoinIndex* out) {
+  KeyOidTable table(right);
+  for (const cluster::KeyOid& probe : left) {
+    table.Probe(probe.key,
+                [&](oid_t right_oid) { out->Append(probe.oid, right_oid); });
+  }
+}
+
+}  // namespace radix::join

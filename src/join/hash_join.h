@@ -1,0 +1,30 @@
+#ifndef RADIX_JOIN_HASH_JOIN_H_
+#define RADIX_JOIN_HASH_JOIN_H_
+
+#include <span>
+
+#include "common/types.h"
+#include "join/join_index.h"
+
+namespace radix::join {
+
+/// Naive (non-partitioned) Hash-Join producing a join index: build a hash
+/// table over the whole `right_keys` ("smaller"), then scan `left_keys`
+/// ("larger") sequentially probing it. The probe's random access spans the
+/// entire inner relation plus hash table — the cache-hostile pattern that
+/// Partitioned Hash-Join removes (paper §2.1). This is the "NSM-pre-hash" /
+/// unclustered baseline of Figs. 9b and 10a.
+///
+/// `left_base` / `right_base` offset the emitted oids; the partitioned
+/// variant joins clusters whose tuples carry their original oids instead.
+JoinIndex HashJoin(std::span<const value_t> left_keys,
+                   std::span<const value_t> right_keys);
+
+/// Hash join over (key, oid) pairs, emitting original oids; the per-cluster
+/// kernel of Partitioned Hash-Join.
+void HashJoinKeyOid(std::span<const cluster::KeyOid> left,
+                    std::span<const cluster::KeyOid> right, JoinIndex* out);
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_HASH_JOIN_H_

@@ -1,0 +1,31 @@
+#include "join/hash_table.h"
+
+#include <algorithm>
+
+namespace radix::join {
+
+void HashTable::Build(std::span<const value_t> keys) {
+  keys_ = keys;
+  size_t n = keys.size();
+  size_t buckets = NextPowerOfTwo(n == 0 ? 1 : n);
+  buckets_.assign(buckets, 0);
+  next_.assign(n, 0);
+  mask_ = buckets - 1;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = Bucket(keys[i], mask_);
+    next_[i] = buckets_[h];
+    buckets_[h] = static_cast<uint32_t>(i + 1);
+  }
+}
+
+size_t HashTable::MaxChainLength() const {
+  size_t max_chain = 0;
+  for (uint32_t head : buckets_) {
+    size_t chain = 0;
+    for (uint32_t i = head; i != 0; i = next_[i - 1]) ++chain;
+    max_chain = std::max(max_chain, chain);
+  }
+  return max_chain;
+}
+
+}  // namespace radix::join

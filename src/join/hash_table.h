@@ -1,0 +1,70 @@
+#ifndef RADIX_JOIN_HASH_TABLE_H_
+#define RADIX_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace radix::join {
+
+/// Bucket-chained hash table over a (key, position) array, the classic
+/// main-memory join hash table: `buckets_[h]` holds 1 + the index of the
+/// first entry with that hash; `next_[i]` chains collisions. Positions are
+/// the build side's tuple indices, so probing yields oids directly.
+///
+/// The build side's random writes and the probe's random reads over
+/// buckets_/next_ are exactly the access pattern Partitioned Hash-Join
+/// shrinks below cache size (paper §2.1: r_trav on build, r_acc on probe).
+class HashTable {
+ public:
+  HashTable() = default;
+
+  /// Build over `keys` (whole array), with positions offset by `base_oid`
+  /// (used by the partitioned variant where keys is one cluster).
+  void Build(std::span<const value_t> keys);
+
+  /// Bucket index: the hash's UPPER 32 bits. Radix-Cluster consumes the
+  /// lower B hash bits, so keys within one cluster share them; bucketing
+  /// on disjoint bits keeps per-cluster tables uniformly filled instead of
+  /// collapsing into 1/2^B of the buckets with ~cluster-long chains.
+  static uint64_t Bucket(value_t key, uint64_t mask) {
+    return (KeyHash{}(key) >> 32) & mask;
+  }
+
+  /// Probe with one key; invokes `emit(build_position)` per match.
+  template <typename EmitFn>
+  void Probe(value_t key, EmitFn&& emit) const {
+    for (uint32_t i = buckets_[Bucket(key, mask_)]; i != 0;
+         i = next_[i - 1]) {
+      if (keys_[i - 1] == key) emit(static_cast<oid_t>(i - 1));
+    }
+  }
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t size() const { return keys_.size(); }
+
+  /// Longest collision chain; diagnostic for bucket dispersion. With a
+  /// sound bucket function this stays O(1) for distinct keys even when the
+  /// build side is one radix cluster (keys sharing their low hash bits).
+  size_t MaxChainLength() const;
+
+  /// Bytes of auxiliary state (buckets + chain); with the keys themselves
+  /// this is what must fit in cache for a per-cluster join to behave.
+  size_t footprint_bytes() const {
+    return buckets_.size() * sizeof(uint32_t) + next_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::span<const value_t> keys_;
+  std::vector<uint32_t> buckets_;  // 1-based entry index, 0 = empty
+  std::vector<uint32_t> next_;     // chain, 1-based, 0 = end
+  uint64_t mask_ = 0;
+};
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_HASH_TABLE_H_

@@ -1,0 +1,134 @@
+#include "join/jive_join.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace radix::join {
+
+namespace {
+
+/// Cluster geometry shared by both input flavours: cluster id is the top
+/// `bits` of the right oid's significant bits.
+struct JiveGeometry {
+  radix_bits_t bits;
+  radix_bits_t shift;
+  size_t clusters;
+};
+
+JiveGeometry Geometry(oid_t right_cardinality, const JiveJoinOptions& options) {
+  radix_bits_t sig = SignificantBits(right_cardinality == 0 ? 1 : right_cardinality);
+  radix_bits_t bits = std::min<radix_bits_t>(options.cluster_bits, sig);
+  return {bits, static_cast<radix_bits_t>(sig - bits), size_t{1} << bits};
+}
+
+/// Phase-1 scatter core: histogram + stable scatter of (result_pos,
+/// right_oid), identical for DSM and NSM flavours.
+JiveIntermediate ScatterIntermediate(std::span<const OidPair> index,
+                                     oid_t right_cardinality,
+                                     const JiveJoinOptions& options) {
+  JiveGeometry geo = Geometry(right_cardinality, options);
+  JiveIntermediate inter;
+  inter.right_cardinality = right_cardinality;
+  inter.shift = geo.shift;
+  inter.entries.resize(index.size());
+  std::vector<uint64_t> histogram(geo.clusters, 0);
+  for (const OidPair& p : index) ++histogram[p.right >> geo.shift];
+  inter.cluster_offsets.assign(geo.clusters + 1, 0);
+  for (size_t c = 0; c < geo.clusters; ++c) {
+    inter.cluster_offsets[c + 1] = inter.cluster_offsets[c] + histogram[c];
+  }
+  std::vector<uint64_t> cursor(inter.cluster_offsets.begin(),
+                               inter.cluster_offsets.end() - 1);
+  for (size_t i = 0; i < index.size(); ++i) {
+    size_t c = index[i].right >> geo.shift;
+    inter.entries[cursor[c]++] = {static_cast<oid_t>(i), index[i].right};
+  }
+  return inter;
+}
+
+/// Sort one cluster's entries by right oid. Entries arrive in ascending
+/// result-position order (phase 1 scans the index sequentially); we sort a
+/// copy, keeping result positions attached.
+void SortClusterByRightOid(JiveEntry* begin, JiveEntry* end) {
+  std::sort(begin, end, [](const JiveEntry& a, const JiveEntry& b) {
+    return a.right_oid < b.right_oid;
+  });
+}
+
+}  // namespace
+
+JiveIntermediate LeftJiveJoinDsm(
+    std::span<const OidPair> index,
+    const std::vector<std::span<const value_t>>& left_columns,
+    const std::vector<std::span<value_t>>& left_out, oid_t right_cardinality,
+    const JiveJoinOptions& options) {
+  RADIX_CHECK(left_columns.size() == left_out.size());
+  // Merge with the left relation: index sorted by left oid means these
+  // positional fetches traverse each left column sequentially.
+  for (size_t a = 0; a < left_columns.size(); ++a) {
+    const value_t* src = left_columns[a].data();
+    value_t* dst = left_out[a].data();
+    for (size_t i = 0; i < index.size(); ++i) dst[i] = src[index[i].left];
+  }
+  return ScatterIntermediate(index, right_cardinality, options);
+}
+
+void RightJiveJoinDsm(
+    JiveIntermediate& inter,
+    const std::vector<std::span<const value_t>>& right_columns,
+    const std::vector<std::span<value_t>>& right_out) {
+  RADIX_CHECK(right_columns.size() == right_out.size());
+  size_t clusters = inter.cluster_offsets.size() - 1;
+  for (size_t c = 0; c < clusters; ++c) {
+    JiveEntry* begin = inter.entries.data() + inter.cluster_offsets[c];
+    JiveEntry* end = inter.entries.data() + inter.cluster_offsets[c + 1];
+    if (begin == end) continue;
+    SortClusterByRightOid(begin, end);
+    // Fetch sequentially within the cluster's right-oid range; writes go to
+    // the recorded result positions (random but ascending per cluster).
+    for (size_t a = 0; a < right_columns.size(); ++a) {
+      const value_t* src = right_columns[a].data();
+      value_t* dst = right_out[a].data();
+      for (JiveEntry* e = begin; e != end; ++e) {
+        dst[e->result_pos] = src[e->right_oid];
+      }
+    }
+  }
+}
+
+JiveIntermediate LeftJiveJoinNsm(std::span<const OidPair> index,
+                                 const storage::NsmRelation& left,
+                                 size_t pi_left, storage::NsmResult* result,
+                                 oid_t right_cardinality,
+                                 const JiveJoinOptions& options) {
+  RADIX_CHECK(result->cardinality() == index.size());
+  RADIX_CHECK(pi_left + 1 <= left.num_attrs());
+  for (size_t i = 0; i < index.size(); ++i) {
+    const value_t* rec = left.record(index[i].left);
+    value_t* row = result->row(i);
+    for (size_t a = 0; a < pi_left; ++a) row[a] = rec[1 + a];
+  }
+  return ScatterIntermediate(index, right_cardinality, options);
+}
+
+void RightJiveJoinNsm(JiveIntermediate& inter,
+                      const storage::NsmRelation& right, size_t pi_right,
+                      size_t out_offset, storage::NsmResult* result) {
+  RADIX_CHECK(pi_right + 1 <= right.num_attrs());
+  size_t clusters = inter.cluster_offsets.size() - 1;
+  for (size_t c = 0; c < clusters; ++c) {
+    JiveEntry* begin = inter.entries.data() + inter.cluster_offsets[c];
+    JiveEntry* end = inter.entries.data() + inter.cluster_offsets[c + 1];
+    if (begin == end) continue;
+    SortClusterByRightOid(begin, end);
+    for (JiveEntry* e = begin; e != end; ++e) {
+      const value_t* rec = right.record(e->right_oid);
+      value_t* row = result->row(e->result_pos);
+      for (size_t a = 0; a < pi_right; ++a) row[out_offset + a] = rec[1 + a];
+    }
+  }
+}
+
+}  // namespace radix::join

@@ -1,0 +1,79 @@
+#ifndef RADIX_JOIN_JIVE_JOIN_H_
+#define RADIX_JOIN_JIVE_JOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "join/join_index.h"
+#include "storage/nsm.h"
+
+namespace radix::join {
+
+/// Jive-Join [Li & Ross, VLDBJ 8(1), 1999], re-targeted from its original
+/// I/O setting to the CPU-cache setting, as in paper §4.2 ("NSM-post-jive").
+///
+/// Precondition: the join index is sorted on the left oids. Phase 1 ("Left
+/// Jive-Join") merges it sequentially with the left relation, emitting the
+/// left half of the result in final result order, while scattering
+/// (result-position, right-oid) entries into 2^B clusters by right-oid
+/// range. Phase 2 ("Right Jive-Join") processes each cluster: sorts its
+/// entries by right oid (for a sequential-ish fetch confined to that
+/// cluster's oid range), fetches the right values, and writes them back at
+/// the recorded result positions.
+///
+/// Tuning trade-off (Figs. 9e/9f): too many clusters and phase 1 thrashes
+/// its output cursors like single-pass Radix-Cluster; too few and phase 2's
+/// fetch region exceeds the cache like unpartitioned Hash-Join.
+struct JiveJoinOptions {
+  radix_bits_t cluster_bits = 6;  ///< B: number of phase-1 output clusters
+};
+
+/// One phase-1 cluster entry.
+struct JiveEntry {
+  oid_t result_pos;
+  oid_t right_oid;
+};
+
+/// Intermediate state between the two phases; exposed so benchmarks can
+/// time Left and Right Jive-Join separately (Figs. 9e and 9f).
+struct JiveIntermediate {
+  std::vector<JiveEntry> entries;      ///< clustered on right-oid range
+  std::vector<uint64_t> cluster_offsets;  ///< size 2^B + 1
+  oid_t right_cardinality = 0;
+  radix_bits_t shift = 0;  ///< right_oid >> shift = cluster id
+};
+
+/// Phase 1 over DSM columns: left projection columns are filled in result
+/// order; returns the clustered (result_pos, right_oid) intermediate.
+/// `index` must be sorted by left oid.
+JiveIntermediate LeftJiveJoinDsm(
+    std::span<const OidPair> index,
+    const std::vector<std::span<const value_t>>& left_columns,
+    const std::vector<std::span<value_t>>& left_out, oid_t right_cardinality,
+    const JiveJoinOptions& options);
+
+/// Phase 2 over DSM columns: per cluster, sort by right oid, fetch each
+/// right projection column, write to the recorded result positions.
+void RightJiveJoinDsm(JiveIntermediate& inter,
+                      const std::vector<std::span<const value_t>>& right_columns,
+                      const std::vector<std::span<value_t>>& right_out);
+
+/// Phase 1 over an NSM relation: copies pi_left attributes (attrs 1..pi)
+/// of each left record into the row-major result.
+JiveIntermediate LeftJiveJoinNsm(std::span<const OidPair> index,
+                                 const storage::NsmRelation& left,
+                                 size_t pi_left, storage::NsmResult* result,
+                                 oid_t right_cardinality,
+                                 const JiveJoinOptions& options);
+
+/// Phase 2 over an NSM relation: fetches pi_right attributes of right
+/// records, writing them at column offset `out_offset` of each result row.
+void RightJiveJoinNsm(JiveIntermediate& inter,
+                      const storage::NsmRelation& right, size_t pi_right,
+                      size_t out_offset, storage::NsmResult* result);
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_JIVE_JOIN_H_

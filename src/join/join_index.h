@@ -1,0 +1,49 @@
+#ifndef RADIX_JOIN_JOIN_INDEX_H_
+#define RADIX_JOIN_JOIN_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+
+namespace radix::join {
+
+using cluster::OidPair;
+
+/// A join index [Val87]: the matching (left-oid, right-oid) pairs produced
+/// by the join phase of a post-projection strategy. Stored as an array of
+/// 8-byte pairs, the same layout the paper's experiments use.
+class JoinIndex {
+ public:
+  JoinIndex() = default;
+  explicit JoinIndex(std::vector<OidPair> pairs) : pairs_(std::move(pairs)) {}
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  OidPair* data() { return pairs_.data(); }
+  const OidPair* data() const { return pairs_.data(); }
+  OidPair& operator[](size_t i) { return pairs_[i]; }
+  const OidPair& operator[](size_t i) const { return pairs_[i]; }
+
+  std::span<OidPair> span() { return pairs_; }
+  std::span<const OidPair> span() const { return pairs_; }
+
+  std::vector<OidPair>& pairs() { return pairs_; }
+  const std::vector<OidPair>& pairs() const { return pairs_; }
+
+  void Reserve(size_t n) { pairs_.reserve(n); }
+  void Append(oid_t left, oid_t right) { pairs_.push_back({left, right}); }
+
+  /// Copy out one side as a plain oid column.
+  std::vector<oid_t> LeftOids() const;
+  std::vector<oid_t> RightOids() const;
+
+ private:
+  std::vector<OidPair> pairs_;
+};
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_JOIN_INDEX_H_

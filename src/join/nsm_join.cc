@@ -1,0 +1,183 @@
+#include "join/nsm_join.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace radix::join {
+
+NsmPreProjection::Intermediate NsmPreProjection::Scan(
+    const storage::NsmRelation& rel, size_t pi) {
+  RADIX_CHECK(pi + 1 <= rel.num_attrs());
+  Intermediate inter;
+  inter.rows = rel.cardinality();
+  inter.width = 1 + pi;
+  inter.buffer.Resize(inter.rows * inter.width * sizeof(value_t));
+  // Tuple-at-a-time extraction: per record, copy key + pi attributes. The
+  // source scan is sequential but uses only (1+pi)/omega of each line —
+  // NSM's bandwidth penalty at low projectivity (paper §4.2).
+  for (size_t i = 0; i < inter.rows; ++i) {
+    const value_t* rec = rel.record(i);
+    value_t* out = inter.row(i);
+    out[0] = rec[0];
+    for (size_t a = 0; a < pi; ++a) out[1 + a] = rec[1 + a];
+  }
+  return inter;
+}
+
+namespace {
+
+/// Bucket-chained table over intermediate rows (key at offset 0).
+class RowTable {
+ public:
+  RowTable(const NsmPreProjection::Intermediate& build, size_t begin,
+           size_t end)
+      : build_(build), begin_(begin) {
+    size_t n = end - begin;
+    size_t buckets = NextPowerOfTwo(n == 0 ? 1 : n);
+    mask_ = buckets - 1;
+    heads_.assign(buckets, 0);
+    next_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = Bucket(build.row(begin + i)[0]);
+      next_[i] = heads_[h];
+      heads_[h] = static_cast<uint32_t>(i + 1);
+    }
+  }
+
+  template <typename EmitFn>
+  void Probe(value_t key, EmitFn&& emit) const {
+    for (uint32_t i = heads_[Bucket(key)]; i != 0; i = next_[i - 1]) {
+      size_t row = begin_ + i - 1;
+      if (build_.row(row)[0] == key) emit(row);
+    }
+  }
+
+  /// Upper hash bits, disjoint from the radix-cluster bits, so that the
+  /// per-cluster tables of the partitioned variant stay uniformly filled.
+  uint64_t Bucket(value_t key) const {
+    return (KeyHash{}(key) >> 32) & mask_;
+  }
+
+ private:
+  const NsmPreProjection::Intermediate& build_;
+  size_t begin_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> next_;
+  uint64_t mask_;
+};
+
+/// Join rows of left[lbegin, lend) with right[rbegin, rend), appending
+/// result rows [left payload..., right payload...].
+void JoinRange(const NsmPreProjection::Intermediate& left, size_t lbegin,
+               size_t lend, const NsmPreProjection::Intermediate& right,
+               size_t rbegin, size_t rend,
+               std::vector<value_t>* out_rows) {
+  if (lbegin == lend || rbegin == rend) return;
+  RowTable table(right, rbegin, rend);
+  size_t lpi = left.width - 1;
+  size_t rpi = right.width - 1;
+  for (size_t i = lbegin; i < lend; ++i) {
+    const value_t* lrow = left.row(i);
+    table.Probe(lrow[0], [&](size_t rrow_idx) {
+      const value_t* rrow = right.row(rrow_idx);
+      size_t base = out_rows->size();
+      out_rows->resize(base + lpi + rpi);
+      value_t* dst = out_rows->data() + base;
+      for (size_t a = 0; a < lpi; ++a) dst[a] = lrow[1 + a];
+      for (size_t a = 0; a < rpi; ++a) dst[lpi + a] = rrow[1 + a];
+    });
+  }
+}
+
+storage::NsmResult RowsToResult(const std::vector<value_t>& rows,
+                                size_t width) {
+  storage::NsmResult result(width == 0 ? 0 : rows.size() / width, width);
+  std::memcpy(result.row(0), rows.data(), rows.size() * sizeof(value_t));
+  return result;
+}
+
+}  // namespace
+
+storage::NsmResult NsmPreProjection::HashJoinRows(const Intermediate& left,
+                                                  const Intermediate& right) {
+  std::vector<value_t> rows;
+  rows.reserve(left.rows * (left.width + right.width - 2));
+  JoinRange(left, 0, left.rows, right, 0, right.rows, &rows);
+  return RowsToResult(rows, left.width + right.width - 2);
+}
+
+std::vector<uint64_t> NsmPreProjection::ClusterRows(Intermediate& inter,
+                                                    radix_bits_t bits,
+                                                    uint32_t passes) {
+  size_t width_bytes = inter.width * sizeof(value_t);
+  size_t n = inter.rows;
+  AlignedBuffer scratch(n * width_bytes);
+  uint8_t* src = inter.buffer.data();
+  uint8_t* dst = scratch.data();
+
+  std::vector<uint64_t> offsets{0, n};
+  if (bits == 0 || n == 0) return offsets;
+  passes = std::max<uint32_t>(1, passes);
+  radix_bits_t base_bits = bits / passes;
+  radix_bits_t extra = bits % passes;
+  uint32_t bits_done = 0;
+
+  for (uint32_t p = 0; p < passes; ++p) {
+    radix_bits_t bp = base_bits + (p < extra ? 1 : 0);
+    if (bp == 0) continue;
+    bits_done += bp;
+    uint32_t shift = bits - bits_done;
+    std::vector<uint64_t> new_offsets;
+    new_offsets.reserve(((offsets.size() - 1) << bp) + 1);
+    new_offsets.push_back(0);
+    size_t buckets = size_t{1} << bp;
+    std::vector<uint64_t> histogram(buckets);
+    for (size_t c = 0; c + 1 < offsets.size(); ++c) {
+      uint64_t begin = offsets[c], end = offsets[c + 1];
+      std::fill(histogram.begin(), histogram.end(), 0);
+      for (uint64_t i = begin; i < end; ++i) {
+        value_t key = *reinterpret_cast<value_t*>(src + i * width_bytes);
+        ++histogram[RadixBits(KeyHash{}(key), shift, bp)];
+      }
+      std::vector<uint64_t> cursor(buckets, begin);
+      for (size_t b = 1; b < buckets; ++b) {
+        cursor[b] = cursor[b - 1] + histogram[b - 1];
+      }
+      for (size_t b = 0; b < buckets; ++b) {
+        new_offsets.push_back(cursor[b] + histogram[b]);
+      }
+      for (uint64_t i = begin; i < end; ++i) {
+        value_t key = *reinterpret_cast<value_t*>(src + i * width_bytes);
+        uint64_t& at = cursor[RadixBits(KeyHash{}(key), shift, bp)];
+        std::memcpy(dst + at * width_bytes, src + i * width_bytes,
+                    width_bytes);
+        ++at;
+      }
+    }
+    offsets = std::move(new_offsets);
+    std::swap(src, dst);
+  }
+  if (src != inter.buffer.data()) {
+    std::memcpy(inter.buffer.data(), src, n * width_bytes);
+  }
+  return offsets;
+}
+
+storage::NsmResult NsmPreProjection::PartitionedHashJoinRows(
+    Intermediate& left, Intermediate& right,
+    const hardware::MemoryHierarchy& hw, radix_bits_t bits, uint32_t passes) {
+  std::vector<uint64_t> lo = ClusterRows(left, bits, passes);
+  std::vector<uint64_t> ro = ClusterRows(right, bits, passes);
+  RADIX_CHECK(lo.size() == ro.size());
+  std::vector<value_t> rows;
+  rows.reserve(left.rows * (left.width + right.width - 2));
+  for (size_t c = 0; c + 1 < lo.size(); ++c) {
+    JoinRange(left, lo[c], lo[c + 1], right, ro[c], ro[c + 1], &rows);
+  }
+  return RowsToResult(rows, left.width + right.width - 2);
+}
+
+}  // namespace radix::join

@@ -1,0 +1,70 @@
+#include "join/partitioned_hash_join.h"
+
+#include <algorithm>
+
+#include "cluster/partition_plan.h"
+#include "common/hash.h"
+#include "join/hash_join.h"
+#include "storage/column.h"
+
+namespace radix::join {
+
+using cluster::ClusterBorders;
+using cluster::ClusterSpec;
+using cluster::KeyOid;
+
+cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
+                                      std::span<cluster::KeyOid> out,
+                                      radix_bits_t total_bits,
+                                      uint32_t passes) {
+  RADIX_CHECK(out.size() == keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = {keys[i], static_cast<oid_t>(i)};
+  }
+  ClusterSpec spec;
+  spec.total_bits = total_bits;
+  spec.ignore_bits = 0;
+  spec.passes = std::max<uint32_t>(1, passes);
+  storage::Column<KeyOid> scratch(out.size());
+  simcache::NoTracer tracer;
+  auto radix = [](const KeyOid& t) -> uint64_t { return KeyHash{}(t.key); };
+  return cluster::RadixClusterMultiPass(out.data(), scratch.data(), out.size(),
+                                        radix, spec, tracer);
+}
+
+JoinIndex PartitionedHashJoin(std::span<const value_t> left_keys,
+                              std::span<const value_t> right_keys,
+                              const hardware::MemoryHierarchy& hw,
+                              const PartitionedHashJoinOptions& options) {
+  radix_bits_t bits = options.radix_bits;
+  if (bits == PartitionedHashJoinOptions::kAutoBits) {
+    bits = cluster::PartitionedJoinBits(right_keys.size(), sizeof(KeyOid), hw);
+  }
+  if (bits == 0) {
+    return HashJoin(left_keys, right_keys);
+  }
+  radix_bits_t per_pass =
+      options.max_pass_bits != 0 ? options.max_pass_bits : cluster::MaxPassBits(hw);
+  uint32_t passes = (bits + per_pass - 1) / per_pass;
+
+  storage::Column<KeyOid> left(left_keys.size());
+  storage::Column<KeyOid> right(right_keys.size());
+  ClusterBorders lb = ClusterKeyOid(left_keys, left.span(), bits, passes);
+  ClusterBorders rb = ClusterKeyOid(right_keys, right.span(), bits, passes);
+
+  JoinIndex out;
+  out.Reserve(std::max(left_keys.size(), right_keys.size()));
+  size_t clusters = lb.num_clusters();
+  RADIX_CHECK(clusters == rb.num_clusters());
+  for (size_t c = 0; c < clusters; ++c) {
+    std::span<const KeyOid> lc{left.data() + lb.start(c),
+                               static_cast<size_t>(lb.size(c))};
+    std::span<const KeyOid> rc{right.data() + rb.start(c),
+                               static_cast<size_t>(rb.size(c))};
+    if (lc.empty() || rc.empty()) continue;
+    HashJoinKeyOid(lc, rc, &out);
+  }
+  return out;
+}
+
+}  // namespace radix::join

@@ -1,0 +1,43 @@
+#ifndef RADIX_JOIN_PARTITIONED_HASH_JOIN_H_
+#define RADIX_JOIN_PARTITIONED_HASH_JOIN_H_
+
+#include <span>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
+
+namespace radix::join {
+
+/// Options for Partitioned Hash-Join [SKN94] paired with Radix-Cluster
+/// [BMK99] (paper §2): both inputs are radix-clustered on the same B bits
+/// of hash(key), then matching clusters are hash-joined; each inner cluster
+/// (plus hash table) fits the cache.
+struct PartitionedHashJoinOptions {
+  /// Total radix bits B; kAutoBits picks from cache geometry.
+  static constexpr radix_bits_t kAutoBits = ~radix_bits_t{0};
+  radix_bits_t radix_bits = kAutoBits;
+  /// Per-pass fan-out cap (cursor/TLB constraint); 0 = from hardware.
+  radix_bits_t max_pass_bits = 0;
+};
+
+/// Join key columns, emitting the [left-oid, right-oid] join index. With
+/// radix_bits == 0 this degenerates to naive HashJoin (the "0 = unclustered"
+/// point of Figs. 9b).
+JoinIndex PartitionedHashJoin(std::span<const value_t> left_keys,
+                              std::span<const value_t> right_keys,
+                              const hardware::MemoryHierarchy& hw,
+                              const PartitionedHashJoinOptions& options = {});
+
+/// The clustering phase in isolation: materialize (key, oid) pairs and
+/// radix-cluster them on hash(key). Exposed for benchmarks (Fig. 9a) and
+/// for strategies that interleave clustering with payload handling.
+cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
+                                      std::span<cluster::KeyOid> out,
+                                      radix_bits_t total_bits,
+                                      uint32_t passes);
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_PARTITIONED_HASH_JOIN_H_

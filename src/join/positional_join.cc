@@ -1,0 +1,11 @@
+#include "join/positional_join.h"
+
+// Template instantiations for the common cases keep rebuilds fast.
+namespace radix::join {
+template void PositionalJoin<value_t, simcache::NoTracer>(
+    std::span<const oid_t>, std::span<const value_t>, std::span<value_t>,
+    simcache::NoTracer*);
+template void PositionalJoin<value_t, simcache::MemTracer>(
+    std::span<const oid_t>, std::span<const value_t>, std::span<value_t>,
+    simcache::MemTracer*);
+}  // namespace radix::join

@@ -1,0 +1,61 @@
+#ifndef RADIX_JOIN_POSITIONAL_JOIN_H_
+#define RADIX_JOIN_POSITIONAL_JOIN_H_
+
+#include <span>
+
+#include "cluster/radix_cluster.h"
+#include "common/types.h"
+#include "simcache/mem_tracer.h"
+
+namespace radix::join {
+
+/// Positional-Join (pointer-based join, §3): result[i] = values[ids[i]].
+/// In MonetDB a column is an array, so this is the whole projection kernel;
+/// its *memory behaviour* depends entirely on the order of `ids`:
+///   unsorted  -> r_acc over the source column,
+///   sorted    -> s_trav (oids ascending),
+///   clustered -> per-cluster random access confined to a cache-sized
+///                region (the "partial-cluster" strategy of §3.1).
+/// The code is the same; the names exist so benchmarks/tests say which
+/// input order they exercise.
+template <typename T, typename Tracer = simcache::NoTracer>
+void PositionalJoin(std::span<const oid_t> ids, std::span<const T> values,
+                    std::span<T> out, Tracer* tracer = nullptr) {
+  const oid_t* id = ids.data();
+  const T* v = values.data();
+  T* o = out.data();
+  size_t n = ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (Tracer::kEnabled) {
+      tracer->Touch(&id[i], sizeof(oid_t));
+      tracer->Touch(&v[id[i]], sizeof(T));
+      tracer->Touch(&o[i], sizeof(T));
+    }
+    o[i] = v[id[i]];
+  }
+}
+
+/// Positional-Join taking one side of a join index directly (avoids
+/// materializing an oid column).
+template <typename T, bool kLeft, typename Tracer = simcache::NoTracer>
+void PositionalJoinPairs(std::span<const cluster::OidPair> index,
+                         std::span<const T> values, std::span<T> out,
+                         Tracer* tracer = nullptr) {
+  const cluster::OidPair* p = index.data();
+  const T* v = values.data();
+  T* o = out.data();
+  size_t n = index.size();
+  for (size_t i = 0; i < n; ++i) {
+    oid_t id = kLeft ? p[i].left : p[i].right;
+    if constexpr (Tracer::kEnabled) {
+      tracer->Touch(&p[i], sizeof(cluster::OidPair));
+      tracer->Touch(&v[id], sizeof(T));
+      tracer->Touch(&o[i], sizeof(T));
+    }
+    o[i] = v[id];
+  }
+}
+
+}  // namespace radix::join
+
+#endif  // RADIX_JOIN_POSITIONAL_JOIN_H_

@@ -1,0 +1,221 @@
+#include "project/dsm_post.h"
+
+#include <algorithm>
+
+#include "cluster/partition_plan.h"
+#include "cluster/radix_count.h"
+#include "cluster/radix_sort.h"
+#include "common/timer.h"
+#include "decluster/radix_decluster.h"
+#include "decluster/window.h"
+#include "join/positional_join.h"
+#include "storage/column.h"
+
+namespace radix::project {
+
+namespace {
+
+using cluster::ClusterBorders;
+using cluster::ClusterSpec;
+
+/// Reorder `ids` by a (partial or full) radix cluster on the oid values,
+/// returning the borders. Keeps a parallel permutation `perm` in sync so
+/// callers can track where each result row went (needed by the decluster
+/// side). `perm` may be empty to skip that bookkeeping.
+ClusterBorders ClusterIds(std::vector<oid_t>& ids, std::vector<oid_t>& perm,
+                          const ClusterSpec& spec) {
+  struct IdPos {
+    oid_t id;
+    oid_t pos;
+  };
+  if (perm.empty()) {
+    storage::Column<oid_t> scratch(ids.size());
+    simcache::NoTracer tracer;
+    auto radix = [](oid_t v) -> uint64_t { return v; };
+    return cluster::RadixClusterMultiPass(ids.data(), scratch.data(),
+                                          ids.size(), radix, spec, tracer);
+  }
+  std::vector<IdPos> pairs(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    pairs[i] = {ids[i], perm[i]};
+  }
+  std::vector<IdPos> scratch(ids.size());
+  simcache::NoTracer tracer;
+  auto radix = [](const IdPos& p) -> uint64_t { return p.id; };
+  ClusterBorders borders = cluster::RadixClusterMultiPass(
+      pairs.data(), scratch.data(), pairs.size(), radix, spec, tracer);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = pairs[i].id;
+    perm[i] = pairs[i].pos;
+  }
+  return borders;
+}
+
+ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
+                    size_t column_cardinality,
+                    const hardware::MemoryHierarchy& hw, radix_bits_t bits) {
+  ClusterSpec spec;
+  if (strategy == SideStrategy::kSorted) {
+    spec.total_bits = SignificantBits(column_cardinality ? column_cardinality : 1);
+    spec.ignore_bits = 0;
+  } else {
+    if (bits == DsmPostOptions::kAuto) {
+      spec = cluster::PartialClusterSpec(index_tuples, column_cardinality,
+                                         sizeof(value_t), hw);
+      return spec;
+    }
+    spec.total_bits = bits;
+    radix_bits_t sig = SignificantBits(column_cardinality ? column_cardinality : 1);
+    spec.ignore_bits = sig > bits ? sig - bits : 0;
+  }
+  spec.passes = cluster::PassesFor(spec.total_bits, hw);
+  return spec;
+}
+
+}  // namespace
+
+void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
+                 const std::vector<std::span<const value_t>>& columns,
+                 const std::vector<std::span<value_t>>& out,
+                 size_t column_cardinality,
+                 const hardware::MemoryHierarchy& hw, radix_bits_t bits,
+                 size_t window_elems, PhaseBreakdown* phases) {
+  RADIX_CHECK(columns.size() == out.size());
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+
+  switch (strategy) {
+    case SideStrategy::kUnsorted: {
+      timer.Reset();
+      for (size_t a = 0; a < columns.size(); ++a) {
+        join::PositionalJoin<value_t>(ids, columns[a], out[a]);
+      }
+      ph->projection_seconds += timer.ElapsedSeconds();
+      return;
+    }
+    case SideStrategy::kSorted:
+    case SideStrategy::kClustered: {
+      // Reorder the ids (full sort or partial cluster), then positional
+      // joins see sequential / cache-confined access (paper §3.1).
+      ClusterSpec spec =
+          SpecFor(strategy, ids.size(), column_cardinality, hw, bits);
+      timer.Reset();
+      std::vector<oid_t> no_perm;
+      ClusterIds(ids, no_perm, spec);
+      ph->cluster_seconds += timer.ElapsedSeconds();
+      timer.Reset();
+      for (size_t a = 0; a < columns.size(); ++a) {
+        join::PositionalJoin<value_t>(ids, columns[a], out[a]);
+      }
+      ph->projection_seconds += timer.ElapsedSeconds();
+      return;
+    }
+    case SideStrategy::kDecluster: {
+      // Paper Fig. 4: cluster (ids, result positions) on the id values;
+      // positional-join fetches values in clustered order (cache-friendly);
+      // Radix-Decluster puts each projected column back in result order.
+      ClusterSpec spec = SpecFor(SideStrategy::kClustered, ids.size(),
+                                 column_cardinality, hw, bits);
+      timer.Reset();
+      std::vector<oid_t> result_pos(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        result_pos[i] = static_cast<oid_t>(i);
+      }
+      ClusterBorders borders = ClusterIds(ids, result_pos, spec);
+      ph->cluster_seconds += timer.ElapsedSeconds();
+
+      size_t window = window_elems;
+      if (window == 0) {
+        window = decluster::WindowPolicy::ChooseWindowElems(
+            hw, sizeof(value_t), borders.num_clusters(), ids.size());
+      }
+      storage::Column<value_t> clust_values(ids.size());
+      for (size_t a = 0; a < columns.size(); ++a) {
+        timer.Reset();
+        join::PositionalJoin<value_t>(ids, columns[a], clust_values.span());
+        ph->projection_seconds += timer.ElapsedSeconds();
+        timer.Reset();
+        decluster::RadixDecluster<value_t>(
+            clust_values.span(), result_pos,
+            decluster::MakeCursors(borders), window, out[a]);
+        ph->decluster_seconds += timer.ElapsedSeconds();
+      }
+      return;
+    }
+  }
+}
+
+storage::DsmResult DsmPostProject(join::JoinIndex& index,
+                                  const storage::DsmRelation& left,
+                                  const storage::DsmRelation& right,
+                                  size_t pi_left, size_t pi_right,
+                                  const hardware::MemoryHierarchy& hw,
+                                  const DsmPostOptions& options,
+                                  PhaseBreakdown* phases) {
+  RADIX_CHECK(pi_left + 1 <= left.num_attrs());
+  RADIX_CHECK(pi_right + 1 <= right.num_attrs());
+  size_t n = index.size();
+
+  storage::DsmResult result;
+  result.cardinality = n;
+  result.left_columns.resize(pi_left);
+  result.right_columns.resize(pi_right);
+  for (auto& c : result.left_columns) c.Resize(n);
+  for (auto& c : result.right_columns) c.Resize(n);
+
+  // Reordering the join index on the left side must carry the right oids
+  // along: cluster/sort the [l,r] pairs, then split into two id columns.
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+  timer.Reset();
+  if (options.left == SideStrategy::kSorted) {
+    cluster::RadixSortJoinIndex(index.span(),
+                                static_cast<oid_t>(left.cardinality()),
+                                /*by_left=*/true);
+  } else if (options.left == SideStrategy::kClustered ||
+             options.left == SideStrategy::kDecluster) {
+    cluster::ClusterSpec spec =
+        SpecFor(SideStrategy::kClustered, n, left.cardinality(), hw,
+                options.left_bits);
+    storage::Column<cluster::OidPair> scratch(n);
+    simcache::NoTracer tracer;
+    auto radix = [](const cluster::OidPair& p) -> uint64_t { return p.left; };
+    cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
+                                   spec, tracer);
+  }
+  ph->cluster_seconds += timer.ElapsedSeconds();
+
+  // Left projections: ids now (partially) ordered; plain positional joins.
+  timer.Reset();
+  for (size_t a = 0; a < pi_left; ++a) {
+    join::PositionalJoinPairs<value_t, /*kLeft=*/true>(
+        index.span(), left.attr(1 + a).span(),
+        result.left_columns[a].span());
+  }
+  ph->projection_seconds += timer.ElapsedSeconds();
+
+  // Right projections in the (possibly re-ordered) result order.
+  std::vector<oid_t> right_ids = index.RightOids();
+  std::vector<std::span<const value_t>> right_cols(pi_right);
+  std::vector<std::span<value_t>> right_out(pi_right);
+  for (size_t a = 0; a < pi_right; ++a) {
+    right_cols[a] = right.attr(1 + a).span();
+    right_out[a] = result.right_columns[a].span();
+  }
+  SideStrategy right_strategy = options.right;
+  if (right_strategy == SideStrategy::kSorted ||
+      right_strategy == SideStrategy::kClustered) {
+    // Reordering the right ids alone would desynchronize the sides; only
+    // u and d preserve result order, as the paper notes (§4.1: sorting or
+    // partial-cluster "is only applicable to the first projection table").
+    right_strategy = SideStrategy::kDecluster;
+  }
+  ProjectSide(right_ids, right_strategy, right_cols, right_out,
+              right.cardinality(), hw, options.right_bits,
+              options.window_elems, ph);
+  return result;
+}
+
+}  // namespace radix::project

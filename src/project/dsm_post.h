@@ -1,0 +1,55 @@
+#ifndef RADIX_PROJECT_DSM_POST_H_
+#define RADIX_PROJECT_DSM_POST_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
+#include "project/strategy.h"
+#include "storage/dsm.h"
+
+namespace radix::project {
+
+/// DSM post-projection (paper §3): given a join index, materialize the
+/// result columns with per-side strategies u/s/c/d. The left ("larger")
+/// side may be reordered (s or c), which changes the result order; the
+/// right side then projects in that same order, either unsorted (u) or via
+/// cluster + positional join + Radix-Decluster (d).
+struct DsmPostOptions {
+  SideStrategy left = SideStrategy::kClustered;
+  SideStrategy right = SideStrategy::kDecluster;
+  /// Radix bits for partial clustering; kAuto derives from cache geometry
+  /// per §3.1's formula.
+  static constexpr radix_bits_t kAuto = ~radix_bits_t{0};
+  radix_bits_t left_bits = kAuto;
+  radix_bits_t right_bits = kAuto;
+  /// Insertion window in elements; 0 = WindowPolicy default.
+  size_t window_elems = 0;
+};
+
+/// Execute the projection phase. `index` is consumed (may be reordered in
+/// place). Projects attributes 1..pi of each relation. Returns the result
+/// columns plus phase timings.
+storage::DsmResult DsmPostProject(join::JoinIndex& index,
+                                  const storage::DsmRelation& left,
+                                  const storage::DsmRelation& right,
+                                  size_t pi_left, size_t pi_right,
+                                  const hardware::MemoryHierarchy& hw,
+                                  const DsmPostOptions& options,
+                                  PhaseBreakdown* phases = nullptr);
+
+/// Project one side only, with an explicit strategy; building block used by
+/// the full projector and benchmarked in isolation in Fig. 8.
+/// For kDecluster the ids are re-clustered internally; `out[a]` receives
+/// column `columns[a]` fetched at `ids` in result order.
+void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
+                 const std::vector<std::span<const value_t>>& columns,
+                 const std::vector<std::span<value_t>>& out,
+                 size_t column_cardinality,
+                 const hardware::MemoryHierarchy& hw, radix_bits_t bits,
+                 size_t window_elems, PhaseBreakdown* phases);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_DSM_POST_H_

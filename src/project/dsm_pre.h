@@ -1,0 +1,29 @@
+#ifndef RADIX_PROJECT_DSM_PRE_H_
+#define RADIX_PROJECT_DSM_PRE_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/strategy.h"
+#include "storage/dsm.h"
+#include "storage/nsm.h"
+
+namespace radix::project {
+
+/// DSM pre-projection ("DSM-pre-phash" in Fig. 10): the projection columns
+/// are gathered from the DSM columns *before* the join and travel through
+/// Radix-Cluster and Partitioned Hash-Join as extra luggage. The gathered
+/// tuples are wide (1 + pi values), so fewer fit per cluster and the
+/// column list is a run-time parameter — both disadvantages the paper
+/// attributes to pre-projection strategies.
+storage::NsmResult DsmPreProject(const storage::DsmRelation& left,
+                                 const storage::DsmRelation& right,
+                                 size_t pi_left, size_t pi_right,
+                                 const hardware::MemoryHierarchy& hw,
+                                 radix_bits_t bits,
+                                 PhaseBreakdown* phases = nullptr);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_DSM_PRE_H_

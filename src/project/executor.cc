@@ -1,0 +1,168 @@
+#include "project/executor.h"
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "join/partitioned_hash_join.h"
+#include "project/dsm_post.h"
+#include "project/dsm_pre.h"
+#include "project/nsm_post.h"
+#include "project/nsm_pre.h"
+#include "project/planner.h"
+
+namespace radix::project {
+
+namespace {
+
+/// Order-independent digest: sum of per-value hashes. Result order differs
+/// legitimately across strategies (post-projection reorders the index), so
+/// the checksum must not depend on it. Row contents must stay associated,
+/// which we capture by hashing each row's values with their column index
+/// and summing per-row digests.
+uint64_t ChecksumRows(const storage::NsmResult& r) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < r.cardinality(); ++i) {
+    const value_t* row = r.row(i);
+    uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
+    for (size_t a = 0; a < r.width(); ++a) {
+      row_digest = HashInt64(row_digest ^
+                             (static_cast<uint64_t>(static_cast<uint32_t>(row[a])) +
+                              (static_cast<uint64_t>(a) << 32)));
+    }
+    sum += row_digest;
+  }
+  return sum;
+}
+
+uint64_t ChecksumColumns(const storage::DsmResult& r) {
+  uint64_t sum = 0;
+  size_t width = r.left_columns.size() + r.right_columns.size();
+  for (size_t i = 0; i < r.cardinality; ++i) {
+    uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
+    size_t a = 0;
+    for (const auto& col : r.left_columns) {
+      row_digest = HashInt64(row_digest ^
+                             (static_cast<uint64_t>(static_cast<uint32_t>(col[i])) +
+                              (static_cast<uint64_t>(a) << 32)));
+      ++a;
+    }
+    for (const auto& col : r.right_columns) {
+      row_digest = HashInt64(row_digest ^
+                             (static_cast<uint64_t>(static_cast<uint32_t>(col[i])) +
+                              (static_cast<uint64_t>(a) << 32)));
+      ++a;
+    }
+    sum += row_digest;
+  }
+  (void)width;
+  return sum;
+}
+
+/// NSM post-projection strategies must first extract the key attribute from
+/// the wide records (part of their join-phase cost).
+std::vector<value_t> ExtractNsmKeys(const storage::NsmRelation& rel) {
+  std::vector<value_t> keys(rel.cardinality());
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = rel.key(i);
+  return keys;
+}
+
+}  // namespace
+
+QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
+                  const QueryOptions& options,
+                  const hardware::MemoryHierarchy& hw) {
+  QueryRun run;
+  run.strategy = strategy;
+  Timer total;
+
+  switch (strategy) {
+    case JoinStrategy::kDsmPostDecluster: {
+      Timer join_timer;
+      join::JoinIndex index = join::PartitionedHashJoin(
+          w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
+      run.phases.join_seconds = join_timer.ElapsedSeconds();
+
+      DsmPostOptions popts;
+      if (options.plan_sides) {
+        Plan plan = PlanDsmPost(w.dsm_left.cardinality(),
+                                w.dsm_right.cardinality(), index.size(),
+                                options.pi_left, options.pi_right, hw);
+        popts = plan.options;
+        run.detail = plan.code;
+      } else {
+        popts.left = options.left;
+        popts.right = options.right;
+        run.detail = std::string(SideStrategyCode(popts.left)) + "/" +
+                     SideStrategyCode(popts.right);
+      }
+      storage::DsmResult result =
+          DsmPostProject(index, w.dsm_left, w.dsm_right, options.pi_left,
+                         options.pi_right, hw, popts, &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality;
+      run.checksum = ChecksumColumns(result);
+      return run;
+    }
+    case JoinStrategy::kDsmPrePhash: {
+      storage::NsmResult result =
+          DsmPreProject(w.dsm_left, w.dsm_right, options.pi_left,
+                        options.pi_right, hw, ~radix_bits_t{0}, &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality();
+      run.checksum = ChecksumRows(result);
+      return run;
+    }
+    case JoinStrategy::kNsmPreHash: {
+      storage::NsmResult result = NsmPreProjectHash(
+          w.nsm_left, w.nsm_right, options.pi_left, options.pi_right,
+          &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality();
+      run.checksum = ChecksumRows(result);
+      return run;
+    }
+    case JoinStrategy::kNsmPrePhash: {
+      storage::NsmResult result = NsmPreProjectPartitionedHash(
+          w.nsm_left, w.nsm_right, options.pi_left, options.pi_right, hw,
+          ~radix_bits_t{0}, &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality();
+      run.checksum = ChecksumRows(result);
+      return run;
+    }
+    case JoinStrategy::kNsmPostDecluster: {
+      Timer join_timer;
+      std::vector<value_t> lkeys = ExtractNsmKeys(w.nsm_left);
+      std::vector<value_t> rkeys = ExtractNsmKeys(w.nsm_right);
+      join::JoinIndex index = join::PartitionedHashJoin(lkeys, rkeys, hw);
+      run.phases.join_seconds = join_timer.ElapsedSeconds();
+      storage::NsmResult result = NsmPostProjectDecluster(
+          index, w.nsm_left, w.nsm_right, options.pi_left, options.pi_right,
+          hw, &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality();
+      run.checksum = ChecksumRows(result);
+      return run;
+    }
+    case JoinStrategy::kNsmPostJive: {
+      Timer join_timer;
+      std::vector<value_t> lkeys = ExtractNsmKeys(w.nsm_left);
+      std::vector<value_t> rkeys = ExtractNsmKeys(w.nsm_right);
+      join::JoinIndex index = join::PartitionedHashJoin(lkeys, rkeys, hw);
+      run.phases.join_seconds = join_timer.ElapsedSeconds();
+      storage::NsmResult result =
+          NsmPostProjectJive(index, w.nsm_left, w.nsm_right, options.pi_left,
+                             options.pi_right, /*cluster_bits=*/6,
+                             &run.phases);
+      run.seconds = total.ElapsedSeconds();
+      run.result_cardinality = result.cardinality();
+      run.checksum = ChecksumRows(result);
+      return run;
+    }
+  }
+  RADIX_CHECK(false);
+  return run;
+}
+
+}  // namespace radix::project

@@ -1,0 +1,45 @@
+#ifndef RADIX_PROJECT_EXECUTOR_H_
+#define RADIX_PROJECT_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/strategy.h"
+#include "workload/generator.h"
+
+namespace radix::project {
+
+/// End-to-end run of the paper's project-join query under one overall
+/// strategy; the unit of comparison in Fig. 10. The checksum is an
+/// order-independent digest of all result values, used to assert that every
+/// strategy computed the same relation (result *order* legitimately
+/// differs between strategies).
+struct QueryRun {
+  JoinStrategy strategy;
+  size_t result_cardinality = 0;
+  double seconds = 0;
+  PhaseBreakdown phases;
+  uint64_t checksum = 0;
+  std::string detail;  ///< e.g. the DSM-post plan code "c/d"
+};
+
+struct QueryOptions {
+  size_t pi_left = 1;
+  size_t pi_right = 1;
+  /// Use the planner for DSM-post side strategies (default); otherwise
+  /// explicit codes.
+  bool plan_sides = true;
+  SideStrategy left = SideStrategy::kClustered;
+  SideStrategy right = SideStrategy::kDecluster;
+};
+
+/// Execute the query on a generated workload with the given strategy.
+QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
+                  const QueryOptions& options,
+                  const hardware::MemoryHierarchy& hw);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_EXECUTOR_H_

@@ -1,0 +1,140 @@
+#include "project/nsm_post.h"
+
+#include <cstring>
+
+#include "cluster/partition_plan.h"
+#include "cluster/radix_sort.h"
+#include "common/timer.h"
+#include "decluster/radix_decluster.h"
+#include "decluster/window.h"
+#include "join/jive_join.h"
+#include "storage/column.h"
+
+namespace radix::project {
+
+storage::NsmResult NsmPostProjectDecluster(
+    join::JoinIndex& index, const storage::NsmRelation& left,
+    const storage::NsmRelation& right, size_t pi_left, size_t pi_right,
+    const hardware::MemoryHierarchy& hw, PhaseBreakdown* phases) {
+  RADIX_CHECK(pi_left + 1 <= left.num_attrs());
+  RADIX_CHECK(pi_right + 1 <= right.num_attrs());
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+  size_t n = index.size();
+  size_t width = pi_left + pi_right;
+  storage::NsmResult result(n, width);
+  if (n == 0) return result;
+
+  // Cluster the join index on left oids so the record-wide left fetches
+  // stay within cache-sized regions of the wide NSM table.
+  timer.Reset();
+  cluster::ClusterSpec lspec = cluster::PartialClusterSpec(
+      n, left.cardinality(), left.record_bytes(), hw);
+  {
+    storage::Column<cluster::OidPair> scratch(n);
+    simcache::NoTracer tracer;
+    auto radix = [](const cluster::OidPair& p) -> uint64_t { return p.left; };
+    cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
+                                   lspec, tracer);
+  }
+  ph->cluster_seconds += timer.ElapsedSeconds();
+
+  // Left projections: NSM record extraction at (clustered) left oids.
+  timer.Reset();
+  for (size_t i = 0; i < n; ++i) {
+    const value_t* rec = left.record(index[i].left);
+    value_t* row = result.row(i);
+    for (size_t a = 0; a < pi_left; ++a) row[a] = rec[1 + a];
+  }
+  ph->projection_seconds += timer.ElapsedSeconds();
+
+  // Right side: cluster (right oid, result position) on right oid.
+  timer.Reset();
+  struct IdPos {
+    oid_t id;
+    oid_t pos;
+  };
+  std::vector<IdPos> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {index[i].right, static_cast<oid_t>(i)};
+  }
+  size_t row_bytes = pi_right * sizeof(value_t);
+  cluster::ClusterSpec rspec = cluster::PartialClusterSpec(
+      n, right.cardinality(), right.record_bytes(), hw);
+  std::vector<IdPos> scratch(n);
+  simcache::NoTracer tracer;
+  auto radix = [](const IdPos& p) -> uint64_t { return p.id; };
+  cluster::ClusterBorders borders = cluster::RadixClusterMultiPass(
+      pairs.data(), scratch.data(), n, radix, rspec, tracer);
+  ph->cluster_seconds += timer.ElapsedSeconds();
+
+  // Fetch right attributes in clustered order into a row intermediate.
+  timer.Reset();
+  AlignedBuffer clust_rows(std::max<size_t>(1, n * row_bytes));
+  std::vector<oid_t> result_pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    const value_t* rec = right.record(pairs[i].id);
+    value_t* dst = clust_rows.As<value_t>() + i * pi_right;
+    for (size_t a = 0; a < pi_right; ++a) dst[a] = rec[1 + a];
+    result_pos[i] = pairs[i].pos;
+  }
+  ph->projection_seconds += timer.ElapsedSeconds();
+
+  // Radix-Decluster the row slices into their final result rows. The
+  // result rows are `width` values wide; the right slice starts at column
+  // pi_left. Decluster into a dense temp then scatter? No: decluster rows
+  // directly into a dense pi_right-wide buffer in result order, then one
+  // sequential interleave pass into the result rows.
+  timer.Reset();
+  if (pi_right > 0) {
+    AlignedBuffer dense(std::max<size_t>(1, n * row_bytes));
+    size_t window = decluster::WindowPolicy::ChooseWindowElems(
+        hw, row_bytes, borders.num_clusters(), n);
+    decluster::RadixDeclusterRows(clust_rows.data(), row_bytes, result_pos,
+                                  decluster::MakeCursors(borders), window,
+                                  dense.data());
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(result.row(i) + pi_left,
+                  dense.As<value_t>() + i * pi_right, row_bytes);
+    }
+  }
+  ph->decluster_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+storage::NsmResult NsmPostProjectJive(join::JoinIndex& index,
+                                      const storage::NsmRelation& left,
+                                      const storage::NsmRelation& right,
+                                      size_t pi_left, size_t pi_right,
+                                      radix_bits_t cluster_bits,
+                                      PhaseBreakdown* phases) {
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+  size_t n = index.size();
+  storage::NsmResult result(n, pi_left + pi_right);
+  if (n == 0) return result;
+
+  // Jive-Join requires the index sorted on left oid (it was designed for
+  // precomputed, sorted join indices).
+  timer.Reset();
+  cluster::RadixSortJoinIndex(index.span(),
+                              static_cast<oid_t>(left.cardinality()),
+                              /*by_left=*/true);
+  ph->cluster_seconds += timer.ElapsedSeconds();
+
+  join::JiveJoinOptions options;
+  options.cluster_bits = cluster_bits;
+  timer.Reset();
+  join::JiveIntermediate inter = join::LeftJiveJoinNsm(
+      index.span(), left, pi_left, &result,
+      static_cast<oid_t>(right.cardinality()), options);
+  ph->projection_seconds += timer.ElapsedSeconds();
+  timer.Reset();
+  join::RightJiveJoinNsm(inter, right, pi_right, pi_left, &result);
+  ph->decluster_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace radix::project

@@ -1,0 +1,39 @@
+#ifndef RADIX_PROJECT_NSM_POST_H_
+#define RADIX_PROJECT_NSM_POST_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
+#include "project/strategy.h"
+#include "storage/nsm.h"
+
+namespace radix::project {
+
+/// NSM post-projection variants of paper §4.2: first compute the join
+/// index from the key attributes only, then fetch the projected attributes
+/// from the wide NSM base tables.
+///
+/// "NSM-post-decluster": cluster the index by left oid, copy left records'
+/// attributes (record-wide fetch), re-cluster by right oid, copy right
+/// attributes into a clustered intermediate, Radix-Decluster the row slices
+/// back to result order. Scalability degrades as O(C^2/T^2) with the
+/// result-row width T — the reason Radix-Decluster favours DSM.
+storage::NsmResult NsmPostProjectDecluster(
+    join::JoinIndex& index, const storage::NsmRelation& left,
+    const storage::NsmRelation& right, size_t pi_left, size_t pi_right,
+    const hardware::MemoryHierarchy& hw, PhaseBreakdown* phases = nullptr);
+
+/// "NSM-post-jive": Jive-Join over the NSM base tables (index sorted by
+/// left oid inside).
+storage::NsmResult NsmPostProjectJive(join::JoinIndex& index,
+                                      const storage::NsmRelation& left,
+                                      const storage::NsmRelation& right,
+                                      size_t pi_left, size_t pi_right,
+                                      radix_bits_t cluster_bits = 6,
+                                      PhaseBreakdown* phases = nullptr);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_NSM_POST_H_

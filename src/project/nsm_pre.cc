@@ -1,0 +1,50 @@
+#include "project/nsm_pre.h"
+
+#include "cluster/partition_plan.h"
+#include "common/timer.h"
+#include "join/nsm_join.h"
+
+namespace radix::project {
+
+storage::NsmResult NsmPreProjectHash(const storage::NsmRelation& left,
+                                     const storage::NsmRelation& right,
+                                     size_t pi_left, size_t pi_right,
+                                     PhaseBreakdown* phases) {
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+  timer.Reset();
+  auto li = join::NsmPreProjection::Scan(left, pi_left);
+  auto ri = join::NsmPreProjection::Scan(right, pi_right);
+  ph->projection_seconds += timer.ElapsedSeconds();
+  timer.Reset();
+  storage::NsmResult result = join::NsmPreProjection::HashJoinRows(li, ri);
+  ph->join_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+storage::NsmResult NsmPreProjectPartitionedHash(
+    const storage::NsmRelation& left, const storage::NsmRelation& right,
+    size_t pi_left, size_t pi_right, const hardware::MemoryHierarchy& hw,
+    radix_bits_t bits, PhaseBreakdown* phases) {
+  PhaseBreakdown local;
+  PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  Timer timer;
+  timer.Reset();
+  auto li = join::NsmPreProjection::Scan(left, pi_left);
+  auto ri = join::NsmPreProjection::Scan(right, pi_right);
+  ph->projection_seconds += timer.ElapsedSeconds();
+
+  size_t tuple_bytes = (1 + std::max(pi_left, pi_right)) * sizeof(value_t);
+  if (bits == ~radix_bits_t{0}) {
+    bits = cluster::PartitionedJoinBits(right.cardinality(), tuple_bytes, hw);
+  }
+  uint32_t passes = cluster::PassesFor(bits, hw);
+  timer.Reset();
+  storage::NsmResult result = join::NsmPreProjection::PartitionedHashJoinRows(
+      li, ri, hw, bits, passes);
+  ph->join_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace radix::project

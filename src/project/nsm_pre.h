@@ -1,0 +1,29 @@
+#ifndef RADIX_PROJECT_NSM_PRE_H_
+#define RADIX_PROJECT_NSM_PRE_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/strategy.h"
+#include "storage/nsm.h"
+
+namespace radix::project {
+
+/// NSM pre-projection, the commonly applied RDBMS strategy (paper Fig. 1
+/// left): table scans extract key + projected attributes, the projected
+/// values travel through the join pipeline. Two join flavours, matching
+/// Fig. 10a's "NSM-pre-hash" and "NSM-pre-phash" curves.
+storage::NsmResult NsmPreProjectHash(const storage::NsmRelation& left,
+                                     const storage::NsmRelation& right,
+                                     size_t pi_left, size_t pi_right,
+                                     PhaseBreakdown* phases = nullptr);
+
+storage::NsmResult NsmPreProjectPartitionedHash(
+    const storage::NsmRelation& left, const storage::NsmRelation& right,
+    size_t pi_left, size_t pi_right, const hardware::MemoryHierarchy& hw,
+    radix_bits_t bits = ~radix_bits_t{0}, PhaseBreakdown* phases = nullptr);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_NSM_PRE_H_

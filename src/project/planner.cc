@@ -1,0 +1,74 @@
+#include "project/planner.h"
+
+#include "cluster/partition_plan.h"
+#include "costmodel/models.h"
+#include "decluster/window.h"
+
+namespace radix::project {
+
+bool ColumnFitsCache(size_t tuples, const hardware::MemoryHierarchy& hw) {
+  return tuples * sizeof(value_t) <= hw.target_cache().capacity_bytes;
+}
+
+Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
+                 size_t index_cardinality, size_t pi_left, size_t pi_right,
+                 const hardware::MemoryHierarchy& hw) {
+  Plan plan;
+  bool left_fits = ColumnFitsCache(left_cardinality, hw);
+  bool right_fits = ColumnFitsCache(right_cardinality, hw);
+  plan.easy = left_fits && right_fits;
+
+  if (left_fits) {
+    plan.options.left = SideStrategy::kUnsorted;
+  } else if (pi_left > 16) {
+    // Fig. 8: with many projection columns the one-off full sort amortizes
+    // over the per-column positional joins and beats partial clustering.
+    plan.options.left = SideStrategy::kSorted;
+  } else {
+    plan.options.left = SideStrategy::kClustered;
+  }
+  plan.options.right =
+      right_fits ? SideStrategy::kUnsorted : SideStrategy::kDecluster;
+
+  plan.code = std::string(SideStrategyCode(plan.options.left)) + "/" +
+              SideStrategyCode(plan.options.right);
+  return plan;
+}
+
+radix_bits_t ChooseDeclusterBitsByModel(size_t index_cardinality,
+                                        size_t column_cardinality, size_t pi,
+                                        const hardware::MemoryHierarchy& hw) {
+  costmodel::CpuCosts cpu = costmodel::CpuCosts::Default();
+  radix_bits_t max_bits = SignificantBits(
+      column_cardinality == 0 ? 1 : column_cardinality);
+  radix_bits_t best_bits = 0;
+  double best_cost = -1;
+  double columns = static_cast<double>(pi == 0 ? 1 : pi);
+  for (radix_bits_t b = 0; b <= max_bits; ++b) {
+    uint32_t passes = cluster::PassesFor(b, hw);
+    double cluster_s =
+        b == 0 ? 0.0
+               : costmodel::RadixClusterCost(hw, cpu, index_cardinality, 8, b,
+                                             passes)
+                     .seconds;
+    double posjoin_s = costmodel::ClusteredPositionalJoinCost(
+                           hw, cpu, index_cardinality, column_cardinality,
+                           sizeof(value_t), b, false)
+                           .seconds;
+    size_t window = decluster::WindowPolicy::ChooseWindowElems(
+        hw, sizeof(value_t), size_t{1} << b, index_cardinality);
+    double decluster_s =
+        b == 0 ? 0.0  // unsorted: no decluster needed, but posjoin is random
+               : costmodel::RadixDeclusterCost(hw, cpu, index_cardinality,
+                                               sizeof(value_t), b, window)
+                     .seconds;
+    double total = cluster_s + columns * (posjoin_s + decluster_s);
+    if (best_cost < 0 || total < best_cost) {
+      best_cost = total;
+      best_bits = b;
+    }
+  }
+  return best_bits;
+}
+
+}  // namespace radix::project

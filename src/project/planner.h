@@ -1,0 +1,49 @@
+#ifndef RADIX_PROJECT_PLANNER_H_
+#define RADIX_PROJECT_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/dsm_post.h"
+#include "project/strategy.h"
+
+namespace radix::project {
+
+/// Cost-model-driven choice of the DSM post-projection per-side strategies
+/// and radix parameters, encoding the decision rules the paper derives:
+///  * "easy" joins (the smaller relation's columns fit the cache) use
+///    unsorted positional joins, u/u (paper §3);
+///  * "hard" joins reorder the left side — partial cluster (c) for low π,
+///    full sort (s) once π grows past ~16 (Fig. 8);
+///  * the right side uses d (Radix-Decluster) once its column exceeds the
+///    cache, else u (Fig. 10c's progression u/u → c/u → c/d → s/d).
+struct Plan {
+  DsmPostOptions options;
+  bool easy = false;  ///< smaller column fits the cache
+  std::string code;   ///< e.g. "c/d", the Fig. 10c point label
+};
+
+Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
+                 size_t index_cardinality, size_t pi_left, size_t pi_right,
+                 const hardware::MemoryHierarchy& hw);
+
+/// The paper's "easy vs hard" boundary: a column of `tuples` 4-byte values
+/// fits the target cache.
+bool ColumnFitsCache(size_t tuples, const hardware::MemoryHierarchy& hw);
+
+/// Cost-model-driven choice of the partial-cluster radix bits for a
+/// decluster-side projection: minimizes
+///   cluster(B) + pi * (positional_join(B) + decluster(B))
+/// over B. Encodes the Fig. 7b discussion: the geometric formula's B is
+/// usually optimal, but with very few projection columns the one-off
+/// Radix-Cluster dominates and fewer bits win ("It sometimes is better to
+/// use even fewer Radix-Bits", §4.1).
+radix_bits_t ChooseDeclusterBitsByModel(size_t index_cardinality,
+                                        size_t column_cardinality, size_t pi,
+                                        const hardware::MemoryHierarchy& hw);
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_PLANNER_H_

@@ -1,0 +1,37 @@
+#include "project/strategy.h"
+
+namespace radix::project {
+
+const char* SideStrategyCode(SideStrategy s) {
+  switch (s) {
+    case SideStrategy::kUnsorted:
+      return "u";
+    case SideStrategy::kSorted:
+      return "s";
+    case SideStrategy::kClustered:
+      return "c";
+    case SideStrategy::kDecluster:
+      return "d";
+  }
+  return "?";
+}
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kDsmPostDecluster:
+      return "DSM-post-decluster";
+    case JoinStrategy::kDsmPrePhash:
+      return "DSM-pre-phash";
+    case JoinStrategy::kNsmPreHash:
+      return "NSM-pre-hash";
+    case JoinStrategy::kNsmPrePhash:
+      return "NSM-pre-phash";
+    case JoinStrategy::kNsmPostDecluster:
+      return "NSM-post-decluster";
+    case JoinStrategy::kNsmPostJive:
+      return "NSM-post-jive";
+  }
+  return "?";
+}
+
+}  // namespace radix::project

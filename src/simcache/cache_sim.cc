@@ -1,0 +1,55 @@
+#include "simcache/cache_sim.h"
+
+#include "common/bits.h"
+
+namespace radix::simcache {
+
+CacheSim::CacheSim(uint64_t capacity_bytes, uint32_t line_bytes,
+                   uint32_t associativity)
+    : capacity_bytes_(capacity_bytes), line_bytes_(line_bytes) {
+  RADIX_CHECK(IsPowerOfTwo(line_bytes));
+  RADIX_CHECK(capacity_bytes % line_bytes == 0);
+  line_shift_ = Log2Floor(line_bytes);
+  uint64_t lines = capacity_bytes / line_bytes;
+  ways_ = associativity == 0 ? static_cast<uint32_t>(lines) : associativity;
+  if (ways_ > lines) ways_ = static_cast<uint32_t>(lines);
+  num_sets_ = lines / ways_;
+  RADIX_CHECK(IsPowerOfTwo(num_sets_));
+  set_mask_ = num_sets_ - 1;
+  slots_.assign(num_sets_ * ways_, Way{});
+}
+
+bool CacheSim::Access(uint64_t address) {
+  ++accesses_;
+  ++tick_;
+  uint64_t line = address >> line_shift_;
+  uint64_t set = line & set_mask_;
+  uint64_t tag = line >> 0;  // full line number as tag (set bits redundant but harmless)
+  Way* base = &slots_[set * ways_];
+
+  Way* victim = base;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      return false;  // hit
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  return true;
+}
+
+void CacheSim::Reset() {
+  for (Way& w : slots_) w = Way{};
+  tick_ = accesses_ = misses_ = 0;
+}
+
+}  // namespace radix::simcache

@@ -1,0 +1,55 @@
+#ifndef RADIX_SIMCACHE_CACHE_SIM_H_
+#define RADIX_SIMCACHE_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace radix::simcache {
+
+/// Software model of one set-associative, LRU, write-allocate cache level.
+///
+/// The paper validates its cost model against hardware event counters
+/// (L1/L2/TLB misses, Fig. 7a). We have no portable counters, so algorithms
+/// replay their exact memory reference streams through this model instead;
+/// the resulting miss counts are deterministic and hardware-independent.
+class CacheSim {
+ public:
+  /// `associativity` 0 means fully associative.
+  CacheSim(uint64_t capacity_bytes, uint32_t line_bytes,
+           uint32_t associativity);
+
+  /// Touch one address; returns true on miss. Caller is responsible for
+  /// splitting multi-line accesses (MemTracer does this).
+  bool Access(uint64_t address);
+
+  void Reset();
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Way {
+    uint64_t tag = ~uint64_t{0};
+    uint64_t last_use = 0;  // LRU timestamp
+    bool valid = false;
+  };
+
+  uint64_t capacity_bytes_;
+  uint32_t line_bytes_;
+  uint32_t line_shift_;
+  uint32_t ways_;
+  uint64_t num_sets_;
+  uint64_t set_mask_;
+  std::vector<Way> slots_;  // num_sets_ * ways_
+  uint64_t tick_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace radix::simcache
+
+#endif  // RADIX_SIMCACHE_CACHE_SIM_H_

@@ -1,0 +1,3 @@
+#include "simcache/tlb_sim.h"
+
+// Header-only; compiled once for self-containedness.

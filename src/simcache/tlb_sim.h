@@ -1,0 +1,33 @@
+#ifndef RADIX_SIMCACHE_TLB_SIM_H_
+#define RADIX_SIMCACHE_TLB_SIM_H_
+
+#include <cstdint>
+
+#include "simcache/cache_sim.h"
+
+namespace radix::simcache {
+
+/// TLB model: a cache whose lines are memory pages and whose capacity is
+/// entries * page size. The paper's P4 TLB (64 entries, 50-cycle miss) is
+/// the source of the partitioning fan-out limit that motivates multi-pass
+/// Radix-Cluster, so modeling it matters for reproducing Figs. 7a and 9a.
+class TlbSim {
+ public:
+  TlbSim(uint32_t entries, uint32_t page_bytes, uint32_t associativity)
+      : cache_(uint64_t{entries} * page_bytes, page_bytes, associativity) {}
+
+  /// Touch the page containing `address`; returns true on TLB miss.
+  bool Access(uint64_t address) { return cache_.Access(address); }
+
+  void Reset() { cache_.Reset(); }
+  uint64_t accesses() const { return cache_.accesses(); }
+  uint64_t misses() const { return cache_.misses(); }
+  uint32_t page_bytes() const { return cache_.line_bytes(); }
+
+ private:
+  CacheSim cache_;
+};
+
+}  // namespace radix::simcache
+
+#endif  // RADIX_SIMCACHE_TLB_SIM_H_

@@ -1,0 +1,7 @@
+#include "storage/bat.h"
+
+// Bat<T> is header-only; this TU checks the header is self-contained.
+namespace radix::storage {
+template class Bat<value_t>;
+template class Bat<oid_t>;
+}  // namespace radix::storage

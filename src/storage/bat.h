@@ -1,0 +1,76 @@
+#ifndef RADIX_STORAGE_BAT_H_
+#define RADIX_STORAGE_BAT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace radix::storage {
+
+/// A MonetDB-style Binary Association Table: [head, tail] where the head is
+/// either a *void* column (a virtual, zero-storage, densely ascending oid
+/// sequence starting at `seqbase`) or a materialized oid column. All tables
+/// in the DSM engine are BATs; `mark()` (below) re-heads a BAT with a fresh
+/// void sequence, which is how the paper builds the JOIN_LARGER /
+/// JOIN_SMALLER / CLUST_RESULT views (Figs. 3 and 4).
+template <typename T>
+class Bat {
+ public:
+  Bat() = default;
+
+  /// BAT with a void head [seqbase, seqbase+n) and an empty tail of size n.
+  static Bat MakeVoid(size_t n, oid_t seqbase = 0) {
+    Bat b;
+    b.tail_.Resize(n);
+    b.void_head_ = true;
+    b.seqbase_ = seqbase;
+    return b;
+  }
+
+  /// BAT with a materialized head.
+  static Bat MakeMaterialized(size_t n) {
+    Bat b;
+    b.head_.Resize(n);
+    b.tail_.Resize(n);
+    b.void_head_ = false;
+    return b;
+  }
+
+  size_t size() const { return tail_.size(); }
+  bool void_head() const { return void_head_; }
+  oid_t seqbase() const { return seqbase_; }
+
+  /// Head oid of row i (computed for void heads).
+  oid_t head(size_t i) const {
+    return void_head_ ? seqbase_ + static_cast<oid_t>(i) : head_[i];
+  }
+
+  Column<oid_t>& head_column() { return head_; }
+  const Column<oid_t>& head_column() const { return head_; }
+  Column<T>& tail() { return tail_; }
+  const Column<T>& tail() const { return tail_; }
+
+  /// MonetDB's mark() operator: returns a view of this BAT's tail re-headed
+  /// with a fresh densely ascending void column starting at `seqbase`.
+  /// We materialize the view by moving/aliasing the tail: the tail storage
+  /// is shared conceptually; here we transfer ownership since the engine
+  /// uses mark() only on freshly produced intermediates.
+  Bat Mark(oid_t seqbase = 0) && {
+    Bat b;
+    b.tail_ = std::move(tail_);
+    b.void_head_ = true;
+    b.seqbase_ = seqbase;
+    return b;
+  }
+
+ private:
+  Column<oid_t> head_;  // empty when void_head_
+  Column<T> tail_;
+  bool void_head_ = true;
+  oid_t seqbase_ = 0;
+};
+
+}  // namespace radix::storage
+
+#endif  // RADIX_STORAGE_BAT_H_

@@ -1,0 +1,76 @@
+#ifndef RADIX_STORAGE_COLUMN_H_
+#define RADIX_STORAGE_COLUMN_H_
+
+#include <cstring>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace radix::storage {
+
+/// A typed, dense, cache-line-aligned array: the physical representation of
+/// one DSM column ("most DSM systems do away with the extra storage for the
+/// oids, such that the DSM data layout boils down to a single array for each
+/// column", paper §1.1). An oid is simply the position; Positional-Join is
+/// array lookup.
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+  explicit Column(size_t n) { Resize(n); }
+
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(Column);
+
+  /// (Re)allocate to n elements; contents are not preserved.
+  void Resize(size_t n) {
+    buffer_.Resize(n * sizeof(T));
+    size_ = n;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t size_bytes() const { return size_ * sizeof(T); }
+
+  T* data() { return buffer_.As<T>(); }
+  const T* data() const { return buffer_.As<T>(); }
+
+  T& operator[](size_t i) {
+    RADIX_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    RADIX_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  std::span<T> span() { return {data(), size_}; }
+  std::span<const T> span() const { return {data(), size_}; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  /// Deep copy (explicit, since implicit copies of large columns are a bug).
+  Column Clone() const {
+    Column c(size_);
+    std::memcpy(c.data(), data(), size_bytes());
+    return c;
+  }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t size_ = 0;
+};
+
+/// Width in bytes of one column entry ("R-bar" in the cost model).
+template <typename T>
+inline constexpr size_t kWidth = sizeof(T);
+
+}  // namespace radix::storage
+
+#endif  // RADIX_STORAGE_COLUMN_H_

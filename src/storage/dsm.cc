@@ -1,0 +1,13 @@
+#include "storage/dsm.h"
+
+namespace radix::storage {
+
+DsmRelation::DsmRelation(std::string name, size_t cardinality,
+                         size_t num_attrs)
+    : name_(std::move(name)), cardinality_(cardinality) {
+  RADIX_CHECK(num_attrs >= 1);
+  columns_.resize(num_attrs);
+  for (auto& col : columns_) col.Resize(cardinality);
+}
+
+}  // namespace radix::storage

@@ -1,0 +1,57 @@
+#ifndef RADIX_STORAGE_DSM_H_
+#define RADIX_STORAGE_DSM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/column.h"
+
+namespace radix::storage {
+
+/// A vertically fragmented (DSM, [CK85]) relation: one dense array per
+/// attribute, addressed by position (implicit / "void" oid). Attribute 0 by
+/// convention is the join key for the paper's query
+///   SELECT larger.a1..aY, smaller.b1..bZ
+///   FROM larger, smaller WHERE larger.key = smaller.key.
+class DsmRelation {
+ public:
+  DsmRelation() = default;
+  DsmRelation(std::string name, size_t cardinality, size_t num_attrs);
+
+  DsmRelation(DsmRelation&&) noexcept = default;
+  DsmRelation& operator=(DsmRelation&&) noexcept = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(DsmRelation);
+
+  const std::string& name() const { return name_; }
+  size_t cardinality() const { return cardinality_; }
+  size_t num_attrs() const { return columns_.size(); }
+
+  Column<value_t>& attr(size_t i) { return columns_[i]; }
+  const Column<value_t>& attr(size_t i) const { return columns_[i]; }
+  Column<value_t>& key() { return columns_[0]; }
+  const Column<value_t>& key() const { return columns_[0]; }
+
+  /// Bytes touched by a π-column projection (key excluded): in DSM, unused
+  /// columns stay untouched — the cache-friendliness argument of §1.1.
+  size_t projection_bytes(size_t pi) const {
+    return pi * cardinality_ * sizeof(value_t);
+  }
+
+ private:
+  std::string name_;
+  size_t cardinality_ = 0;
+  std::vector<Column<value_t>> columns_;
+};
+
+/// Result of a DSM post-projection query: columns in join-result order.
+struct DsmResult {
+  std::vector<Column<value_t>> left_columns;
+  std::vector<Column<value_t>> right_columns;
+  size_t cardinality = 0;
+};
+
+}  // namespace radix::storage
+
+#endif  // RADIX_STORAGE_DSM_H_

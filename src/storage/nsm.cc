@@ -1,0 +1,14 @@
+#include "storage/nsm.h"
+
+namespace radix::storage {
+
+NsmRelation::NsmRelation(std::string name, size_t cardinality,
+                         size_t num_attrs)
+    : name_(std::move(name)),
+      cardinality_(cardinality),
+      num_attrs_(num_attrs) {
+  RADIX_CHECK(num_attrs >= 1);
+  buffer_.Resize(cardinality * num_attrs * sizeof(value_t));
+}
+
+}  // namespace radix::storage

@@ -1,0 +1,65 @@
+#ifndef RADIX_STORAGE_VARCHAR_H_
+#define RADIX_STORAGE_VARCHAR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace radix::storage {
+
+/// A variable-size (string) DSM column, laid out the MonetDB way the paper
+/// describes (§3, footnote): the positional array holds integer offsets
+/// into a separate heap buffer, so a Positional-Join on a varchar column
+/// is still an array lookup plus one heap dereference.
+///
+/// Offsets have n+1 entries; value i occupies heap [offsets[i],
+/// offsets[i+1]).
+class VarcharColumn {
+ public:
+  VarcharColumn() { offsets_.push_back(0); }
+
+  size_t size() const { return offsets_.size() - 1; }
+  size_t heap_bytes() const { return heap_.size(); }
+
+  void Reserve(size_t values, size_t heap_bytes) {
+    offsets_.reserve(values + 1);
+    heap_.reserve(heap_bytes);
+  }
+
+  void Append(std::string_view value) {
+    heap_.insert(heap_.end(), value.begin(), value.end());
+    offsets_.push_back(static_cast<uint64_t>(heap_.size()));
+  }
+
+  std::string_view at(size_t i) const {
+    RADIX_DCHECK(i < size());
+    return {reinterpret_cast<const char*>(heap_.data()) + offsets_[i],
+            static_cast<size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  uint32_t length(size_t i) const {
+    return static_cast<uint32_t>(offsets_[i + 1] - offsets_[i]);
+  }
+
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const uint8_t> heap() const { return heap_; }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<uint8_t> heap_;
+};
+
+/// Positional-Join for varchar columns: out gathers values[ids[i]] into a
+/// fresh column. The offset-array access pattern is the same as a
+/// fixed-width positional join; the heap adds a second, correlated stream.
+VarcharColumn PositionalJoinVarchar(std::span<const oid_t> ids,
+                                    const VarcharColumn& values);
+
+}  // namespace radix::storage
+
+#endif  // RADIX_STORAGE_VARCHAR_H_

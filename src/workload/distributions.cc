@@ -1,0 +1,50 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace radix::workload {
+
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Shuffle(perm.data(), n, rng);
+  return perm;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  RADIX_CHECK(n >= 1);
+  RADIX_CHECK(s >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  // Rejection-inversion sampling; expected <2 iterations for any s.
+  for (;;) {
+    double u = h_x1_ + rng.NextDouble() * (h_n_ - h_x1_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_) return k - 1;
+    if (u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace radix::workload

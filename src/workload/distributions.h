@@ -1,0 +1,50 @@
+#ifndef RADIX_WORKLOAD_DISTRIBUTIONS_H_
+#define RADIX_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace radix::workload {
+
+/// Fisher-Yates shuffle of an array.
+template <typename T>
+void Shuffle(T* data, size_t n, Rng& rng) {
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.Below(i);
+    std::swap(data[i - 1], data[j]);
+  }
+}
+
+/// A random permutation of [0, n).
+std::vector<uint32_t> RandomPermutation(size_t n, Rng& rng);
+
+/// Draw from a Zipf(s) distribution over [0, n) using rejection-inversion
+/// (Hörmann & Derflinger). Used by the skew ablation: Radix-Cluster hashes
+/// join keys precisely to combat skew (paper §2.2), and this lets us test
+/// that clusters stay balanced under skewed keys.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace radix::workload
+
+#endif  // RADIX_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,148 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "workload/distributions.h"
+
+namespace radix::workload {
+
+value_t PayloadValue(value_t key, size_t attr) {
+  // Cheap mixing keeps payloads distinct across attributes while remaining
+  // recomputable by verifiers.
+  uint64_t h = HashInt64(static_cast<uint64_t>(static_cast<uint32_t>(key)) |
+                         (static_cast<uint64_t>(attr) << 32));
+  return static_cast<value_t>(h & 0x7fffffff);
+}
+
+namespace {
+
+/// Generate the two key arrays per the hit-rate scheme documented in the
+/// header. Returns the expected join result size.
+size_t MakeKeys(const JoinWorkloadSpec& spec, std::vector<value_t>* left,
+                std::vector<value_t>* right, Rng& rng) {
+  size_t n = spec.cardinality;
+  left->resize(n);
+  right->resize(n);
+  double h = spec.hit_rate;
+  RADIX_CHECK(h > 0);
+
+  if (h >= 0.999 && h <= 1.001) {
+    for (size_t i = 0; i < n; ++i) (*right)[i] = static_cast<value_t>(i);
+    for (size_t i = 0; i < n; ++i) (*left)[i] = static_cast<value_t>(i);
+    Shuffle(right->data(), n, rng);
+    Shuffle(left->data(), n, rng);
+    return n;
+  }
+  if (h > 1.0) {
+    // Domain of size n/h; right repeats each key h times, left draws
+    // uniformly from the domain: each left tuple matches h right tuples.
+    size_t domain = std::max<size_t>(1, static_cast<size_t>(std::llround(n / h)));
+    for (size_t i = 0; i < n; ++i) {
+      (*right)[i] = static_cast<value_t>(i % domain);
+    }
+    Shuffle(right->data(), n, rng);
+    // Exact expected size: each right key k occurs n/domain (+1 for the
+    // first n%domain keys) times; sum the occurrence count of every drawn
+    // left key.
+    size_t base_count = n / domain;
+    size_t remainder = n % domain;
+    size_t matches = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t k = rng.Below(domain);
+      (*left)[i] = static_cast<value_t>(k);
+      matches += base_count + (k < remainder ? 1 : 0);
+    }
+    return matches;
+  }
+  // h < 1: right keys distinct [0, n); an h-fraction of left keys drawn
+  // from the matching domain (distinct), the rest from a disjoint range.
+  for (size_t i = 0; i < n; ++i) (*right)[i] = static_cast<value_t>(i);
+  Shuffle(right->data(), n, rng);
+  size_t hits = static_cast<size_t>(std::llround(h * static_cast<double>(n)));
+  std::vector<uint32_t> perm = RandomPermutation(n, rng);
+  for (size_t i = 0; i < hits; ++i) (*left)[i] = static_cast<value_t>(perm[i]);
+  for (size_t i = hits; i < n; ++i) {
+    (*left)[i] = static_cast<value_t>(n + rng.Below(n));
+  }
+  Shuffle(left->data(), n, rng);
+  return hits;
+}
+
+}  // namespace
+
+JoinWorkload MakeJoinWorkload(const JoinWorkloadSpec& spec) {
+  RADIX_CHECK(spec.num_attrs >= 1);
+  Rng rng(spec.seed);
+  std::vector<value_t> left_keys, right_keys;
+  size_t expected = MakeKeys(spec, &left_keys, &right_keys, rng);
+
+  JoinWorkload w;
+  size_t n = spec.cardinality;
+  size_t omega = spec.num_attrs;
+  w.expected_result_size = expected;
+
+  w.dsm_left = storage::DsmRelation("larger", n, omega);
+  w.dsm_right = storage::DsmRelation("smaller", n, omega);
+  if (spec.build_nsm) {
+    w.nsm_left = storage::NsmRelation("larger", n, omega);
+    w.nsm_right = storage::NsmRelation("smaller", n, omega);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    w.dsm_left.key()[i] = left_keys[i];
+    w.dsm_right.key()[i] = right_keys[i];
+    if (spec.build_nsm) {
+      w.nsm_left.record(i)[0] = left_keys[i];
+      w.nsm_right.record(i)[0] = right_keys[i];
+    }
+  }
+  for (size_t a = 1; a < omega; ++a) {
+    auto& lcol = w.dsm_left.attr(a);
+    auto& rcol = w.dsm_right.attr(a);
+    for (size_t i = 0; i < n; ++i) {
+      value_t lv = PayloadValue(left_keys[i], a);
+      value_t rv = PayloadValue(right_keys[i], a + 1000);  // distinct per side
+      lcol[i] = lv;
+      rcol[i] = rv;
+      if (spec.build_nsm) {
+        w.nsm_left.record(i)[a] = lv;
+        w.nsm_right.record(i)[a] = rv;
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<oid_t> MakeSparseOids(size_t n, double selectivity, Rng& rng) {
+  RADIX_CHECK(selectivity > 0 && selectivity <= 1.0);
+  size_t base = static_cast<size_t>(std::llround(n / selectivity));
+  std::vector<oid_t> oids(n);
+  if (selectivity >= 0.999) {
+    for (size_t i = 0; i < n; ++i) oids[i] = static_cast<oid_t>(i);
+  } else {
+    // Every (1/s)-th position with per-slot jitter: distinct, spread evenly
+    // over the base table as a uniform selection would be.
+    double stride = static_cast<double>(base) / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t lo = static_cast<size_t>(i * stride);
+      size_t hi = static_cast<size_t>((i + 1) * stride);
+      if (hi <= lo) hi = lo + 1;
+      oids[i] = static_cast<oid_t>(lo + rng.Below(hi - lo));
+    }
+  }
+  Shuffle(oids.data(), n, rng);
+  return oids;
+}
+
+storage::Column<value_t> MakeBaseColumn(size_t cardinality, size_t attr) {
+  storage::Column<value_t> col(cardinality);
+  for (size_t i = 0; i < cardinality; ++i) {
+    col[i] = PayloadValue(static_cast<value_t>(i), attr);
+  }
+  return col;
+}
+
+}  // namespace radix::workload

@@ -1,0 +1,75 @@
+#ifndef RADIX_WORKLOAD_GENERATOR_H_
+#define RADIX_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "storage/dsm.h"
+#include "storage/nsm.h"
+
+namespace radix::workload {
+
+/// Parameters of the paper's experimental query (§1.1, §4):
+///   SELECT larger.a1..aY, smaller.b1..bZ
+///   FROM larger, smaller WHERE larger.key = smaller.key
+/// with equal-size relations of N tuples, ω all-integer attributes,
+/// join hit rate h in {3, 1, 0.3} and π projected columns per side.
+struct JoinWorkloadSpec {
+  size_t cardinality = 1u << 20;  ///< N (both relations)
+  size_t num_attrs = 4;           ///< ω, including the key
+  double hit_rate = 1.0;          ///< h: expected result size = h * N
+  uint64_t seed = 42;
+
+  /// Selectivity s of a selection feeding the join (paper §4, Fig. 11 and
+  /// the error bars in Fig. 10): the join input's column values are spread
+  /// over a base table of cardinality N / s, making projections sparse.
+  /// 1.0 means the input is a full base table (dense oids).
+  double selectivity = 1.0;
+
+  /// Skip materializing the row-major NSM copies. DSM-only experiments
+  /// (e.g. Fig. 10c at 16M tuples) need only the columns — "for DSM systems
+  /// only π matters, not ω" (paper §4.1) — and the NSM copies would double
+  /// or quadruple the memory footprint.
+  bool build_nsm = true;
+};
+
+/// A generated pair of join inputs, in both storage models, built from the
+/// same logical tuples so every strategy computes the identical result.
+struct JoinWorkload {
+  storage::DsmRelation dsm_left;   ///< "larger" in the paper's query
+  storage::DsmRelation dsm_right;  ///< "smaller"
+  storage::NsmRelation nsm_left;
+  storage::NsmRelation nsm_right;
+  size_t expected_result_size = 0;
+};
+
+/// Keys are constructed so that
+///  * h == 1 : left keys are a random permutation of right keys
+///             (every tuple matches exactly once);
+///  * h  > 1 : right holds each key of a domain of size N/h exactly h
+///             times; left holds N tuples over the same domain
+///             (each left tuple matches h right tuples);
+///  * h  < 1 : a random h-fraction of left keys match distinct right keys;
+///             the rest miss.
+/// Payload attribute a of tuple t is a deterministic function of (a, key),
+/// so result correctness can be verified from key values alone.
+JoinWorkload MakeJoinWorkload(const JoinWorkloadSpec& spec);
+
+/// Deterministic payload value for attribute `attr` of the tuple with the
+/// given key; used by generators and by result verification in tests.
+value_t PayloadValue(value_t key, size_t attr);
+
+/// Build a sparse positional-join input (Fig. 11): `n` distinct oids into a
+/// base column of cardinality n / selectivity, in random order. With
+/// selectivity 1.0 this is a random permutation of [0, n).
+std::vector<oid_t> MakeSparseOids(size_t n, double selectivity, Rng& rng);
+
+/// A base column where base[oid] = PayloadValue(oid, attr); fetch target
+/// for positional-join experiments.
+storage::Column<value_t> MakeBaseColumn(size_t cardinality, size_t attr = 1);
+
+}  // namespace radix::workload
+
+#endif  // RADIX_WORKLOAD_GENERATOR_H_

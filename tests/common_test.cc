@@ -1,0 +1,155 @@
+// Tests for the common substrate: bits, hash, rng, status, buffers, timer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/bits.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace radix {
+namespace {
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(4), 2u);
+  EXPECT_EQ(Log2Floor(1023), 9u);
+  EXPECT_EQ(Log2Floor(1024), 10u);
+  EXPECT_EQ(Log2Floor(uint64_t{1} << 63), 63u);
+}
+
+TEST(BitsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(4), 2u);
+  EXPECT_EQ(Log2Ceil(5), 3u);
+  EXPECT_EQ(Log2Ceil(1u << 20), 20u);
+  EXPECT_EQ(Log2Ceil((1u << 20) + 1), 21u);
+}
+
+TEST(BitsTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitsTest, RadixBitsExtractsRequestedSlice) {
+  // 0b1011'0110, bits [2,5) = 0b101 = 5.
+  EXPECT_EQ(RadixBits(0b10110110, 2, 3), 0b101u);
+  EXPECT_EQ(RadixBits(0b10110110, 0, 4), 0b0110u);
+  EXPECT_EQ(RadixBits(0xffffffffULL, 0, 8), 0xffu);
+  EXPECT_EQ(RadixBits(0x12345678ULL, 32, 8), 0u);
+}
+
+TEST(BitsTest, SignificantBitsCoversDenseDomain) {
+  // log2-ceil semantics: n distinct oids [0, n) need ceil(log2(n)) bits.
+  EXPECT_EQ(SignificantBits(1), 0u);
+  EXPECT_EQ(SignificantBits(2), 1u);
+  EXPECT_EQ(SignificantBits(10'000'000), 24u);  // paper §3.1 example
+}
+
+TEST(HashTest, FinalizerIsDeterministicAndMixes) {
+  EXPECT_EQ(HashInt64(42), HashInt64(42));
+  EXPECT_NE(HashInt64(42), HashInt64(43));
+  // Low bits must differ for adjacent keys (the whole point for radix use).
+  std::set<uint64_t> low_bits;
+  for (uint32_t k = 0; k < 64; ++k) low_bits.insert(HashInt32(k) & 0xff);
+  EXPECT_GT(low_bits.size(), 48u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(1), 0u);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 8 * 0.9);
+    EXPECT_LT(c, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::InvalidArgument("bad bits");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad bits");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> v(42);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  Result<int> e(Status::NotFound("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Status::Code::kNotFound);
+}
+
+TEST(AlignedBufferTest, AlignmentAndSize) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 64, 0u);
+  buf.Resize(4096, 4096);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 4096, 0u);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  uint8_t* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedNanos(), 0u);
+}
+
+TEST(PhaseTimerTest, Accumulates) {
+  PhaseTimer pt;
+  pt.Start();
+  pt.Stop();
+  pt.Start();
+  pt.Stop();
+  EXPECT_GE(pt.TotalSeconds(), 0.0);
+  pt.Clear();
+  EXPECT_EQ(pt.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace radix

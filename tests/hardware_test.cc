@@ -1,0 +1,66 @@
+// Tests for memory-hierarchy descriptors and the runtime calibrator.
+
+#include <gtest/gtest.h>
+
+#include "hardware/calibrator.h"
+#include "hardware/memory_hierarchy.h"
+
+namespace radix::hardware {
+namespace {
+
+TEST(MemoryHierarchyTest, Pentium4MatchesPaperSection4) {
+  MemoryHierarchy hw = MemoryHierarchy::Pentium4();
+  ASSERT_EQ(hw.caches.size(), 2u);
+  EXPECT_EQ(hw.l1().capacity_bytes, 16u * 1024);
+  EXPECT_EQ(hw.l1().line_bytes, 32u);
+  EXPECT_EQ(hw.target_cache().capacity_bytes, 512u * 1024);
+  EXPECT_EQ(hw.target_cache().line_bytes, 128u);
+  EXPECT_DOUBLE_EQ(hw.target_cache().miss_latency_ns, 178.0);  // quoted RAM latency
+  EXPECT_EQ(hw.tlb.entries, 64u);
+  EXPECT_DOUBLE_EQ(hw.ram_seq_bandwidth_gbs, 3.2);  // STREAM figure in §1.1
+}
+
+TEST(MemoryHierarchyTest, SequentialVsRandomGapIsLarge) {
+  // §1.1: sequential access ~10x faster than "optimal" random access
+  // (3.2GB/s vs 360MB/s). Check the descriptor reproduces that ratio.
+  MemoryHierarchy hw = MemoryHierarchy::Pentium4();
+  double random_mbs = hw.target_cache().line_bytes /
+                      (hw.target_cache().miss_latency_ns * 1e-9) / 1e6;
+  EXPECT_NEAR(random_mbs, 719.0, 1.0);  // 128B / 178ns
+  // With the paper's 64B-per-line accounting: 64/178ns = 360MB/s.
+  EXPECT_NEAR(64 / (178e-9) / 1e6, 360, 1.0);
+  EXPECT_GT(hw.ram_seq_bandwidth_gbs * 1000 / 360, 8.0);
+}
+
+TEST(MemoryHierarchyTest, DetectReturnsUsableGeometry) {
+  MemoryHierarchy hw = MemoryHierarchy::Detect();
+  ASSERT_GE(hw.caches.size(), 2u);
+  EXPECT_GT(hw.l1().capacity_bytes, 0u);
+  EXPECT_GT(hw.l1().line_bytes, 0u);
+  EXPECT_GT(hw.target_cache().capacity_bytes, hw.l1().capacity_bytes / 2);
+  EXPECT_GT(hw.tlb.page_bytes, 0u);
+  EXPECT_FALSE(hw.ToString().empty());
+}
+
+TEST(CalibratorTest, ChaseLatencyGrowsWithWorkingSet) {
+  Calibrator::Options opts;
+  opts.accesses_per_point = 1 << 18;  // keep the test fast
+  opts.max_working_set_bytes = 16 << 20;
+  Calibrator cal(opts);
+  double small = cal.MeasureChaseLatency(8 * 1024);
+  double large = cal.MeasureChaseLatency(16 << 20);
+  // Out-of-cache chases must be substantially slower than in-L1 chases.
+  EXPECT_GT(large, small * 3) << "small=" << small << " large=" << large;
+}
+
+TEST(CalibratorTest, SequentialBandwidthIsPositive) {
+  Calibrator::Options opts;
+  opts.max_working_set_bytes = 8 << 20;
+  Calibrator cal(opts);
+  double gbs = cal.MeasureSequentialBandwidthGbs();
+  EXPECT_GT(gbs, 0.5);
+  EXPECT_LT(gbs, 1000.0);
+}
+
+}  // namespace
+}  // namespace radix::hardware

@@ -1,0 +1,163 @@
+// Tests for Left/Right Jive-Join on both storage models.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/radix_sort.h"
+#include "common/rng.h"
+#include "join/jive_join.h"
+#include "workload/generator.h"
+
+namespace radix::join {
+namespace {
+
+/// Build a sorted-by-left join index with random right oids, plus base
+/// columns whose projected value is a function of the oid.
+struct JiveFixture {
+  std::vector<OidPair> index;
+  std::vector<value_t> left_col;
+  std::vector<value_t> right_col;
+  size_t n_left;
+  size_t n_right;
+
+  JiveFixture(size_t n_index, size_t n_left_in, size_t n_right_in,
+              uint64_t seed)
+      : n_left(n_left_in), n_right(n_right_in) {
+    Rng rng(seed);
+    index.resize(n_index);
+    for (size_t i = 0; i < n_index; ++i) {
+      index[i] = {static_cast<oid_t>(rng.Below(n_left)),
+                  static_cast<oid_t>(rng.Below(n_right))};
+    }
+    cluster::RadixSortJoinIndex(std::span<OidPair>(index),
+                                static_cast<oid_t>(n_left), true);
+    left_col.resize(n_left);
+    right_col.resize(n_right);
+    for (size_t i = 0; i < n_left; ++i) {
+      left_col[i] = static_cast<value_t>(i * 3 + 1);
+    }
+    for (size_t i = 0; i < n_right; ++i) {
+      right_col[i] = static_cast<value_t>(i * 5 + 2);
+    }
+  }
+};
+
+class JiveJoinSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, radix_bits_t>> {};
+
+TEST_P(JiveJoinSweep, DsmBothSidesLandInResultOrder) {
+  auto [n, bits] = GetParam();
+  JiveFixture f(n, n, n * 2 / 3 + 1, n + bits);
+  std::vector<value_t> left_out(n), right_out(n);
+  JiveJoinOptions options;
+  options.cluster_bits = bits;
+  JiveIntermediate inter = LeftJiveJoinDsm(
+      f.index, {std::span<const value_t>(f.left_col)},
+      {std::span<value_t>(left_out)}, static_cast<oid_t>(f.n_right), options);
+  RightJiveJoinDsm(inter, {std::span<const value_t>(f.right_col)},
+                   {std::span<value_t>(right_out)});
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(left_out[i], f.left_col[f.index[i].left]) << "row " << i;
+    ASSERT_EQ(right_out[i], f.right_col[f.index[i].right]) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JiveJoinSweep,
+    ::testing::Combine(::testing::Values(10, 1000, 50'000),
+                       ::testing::Values(0, 2, 6, 10)));
+
+TEST(JiveJoinTest, MultipleProjectionColumns) {
+  size_t n = 5000;
+  JiveFixture f(n, n, n, 42);
+  std::vector<value_t> left2(f.n_left), right2(f.n_right);
+  for (size_t i = 0; i < f.n_left; ++i) left2[i] = static_cast<value_t>(i);
+  for (size_t i = 0; i < f.n_right; ++i) right2[i] = static_cast<value_t>(~i);
+  std::vector<value_t> lo1(n), lo2(n), ro1(n), ro2(n);
+  JiveJoinOptions options;
+  JiveIntermediate inter = LeftJiveJoinDsm(
+      f.index, {f.left_col, left2}, {std::span<value_t>(lo1), std::span<value_t>(lo2)},
+      static_cast<oid_t>(f.n_right), options);
+  RightJiveJoinDsm(inter, {f.right_col, right2},
+                   {std::span<value_t>(ro1), std::span<value_t>(ro2)});
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(lo1[i], f.left_col[f.index[i].left]);
+    ASSERT_EQ(lo2[i], left2[f.index[i].left]);
+    ASSERT_EQ(ro1[i], f.right_col[f.index[i].right]);
+    ASSERT_EQ(ro2[i], right2[f.index[i].right]);
+  }
+}
+
+TEST(JiveJoinTest, EntriesWithinClustersKeepResultOrder) {
+  // Phase 1's scatter is stable: entries within a cluster must arrive in
+  // ascending result position (the "order of the oids before re-sorting"
+  // that phase 2 restores).
+  size_t n = 20000;
+  JiveFixture f(n, n, n, 7);
+  std::vector<value_t> left_out(n);
+  JiveJoinOptions options;
+  options.cluster_bits = 4;
+  JiveIntermediate inter =
+      LeftJiveJoinDsm(f.index, {std::span<const value_t>(f.left_col)},
+                      {std::span<value_t>(left_out)},
+                      static_cast<oid_t>(f.n_right), options);
+  for (size_t c = 0; c + 1 < inter.cluster_offsets.size(); ++c) {
+    for (uint64_t i = inter.cluster_offsets[c] + 1;
+         i < inter.cluster_offsets[c + 1]; ++i) {
+      ASSERT_LT(inter.entries[i - 1].result_pos, inter.entries[i].result_pos);
+    }
+  }
+  // And each cluster holds a disjoint right-oid range.
+  for (size_t c = 0; c + 1 < inter.cluster_offsets.size(); ++c) {
+    for (uint64_t i = inter.cluster_offsets[c];
+         i < inter.cluster_offsets[c + 1]; ++i) {
+      ASSERT_EQ(inter.entries[i].right_oid >> inter.shift, c);
+    }
+  }
+}
+
+TEST(JiveJoinTest, NsmVariantFillsResultRows) {
+  size_t n = 1 << 12;
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 4;
+  auto w = workload::MakeJoinWorkload(spec);
+  // Join index: i-th left row matched with a random right row.
+  Rng rng(3);
+  std::vector<OidPair> index(n);
+  for (size_t i = 0; i < n; ++i) {
+    index[i] = {static_cast<oid_t>(i), static_cast<oid_t>(rng.Below(n))};
+  }
+  cluster::RadixSortJoinIndex(std::span<OidPair>(index),
+                              static_cast<oid_t>(n), true);
+  size_t pi = 2;
+  storage::NsmResult result(n, 2 * pi);
+  JiveJoinOptions options;
+  options.cluster_bits = 5;
+  JiveIntermediate inter = LeftJiveJoinNsm(index, w.nsm_left, pi, &result,
+                                           static_cast<oid_t>(n), options);
+  RightJiveJoinNsm(inter, w.nsm_right, pi, pi, &result);
+  for (size_t i = 0; i < n; ++i) {
+    const value_t* row = result.row(i);
+    for (size_t a = 0; a < pi; ++a) {
+      ASSERT_EQ(row[a], w.nsm_left.attr(index[i].left, 1 + a));
+      ASSERT_EQ(row[pi + a], w.nsm_right.attr(index[i].right, 1 + a));
+    }
+  }
+}
+
+TEST(JiveJoinTest, EmptyIndex) {
+  std::vector<OidPair> index;
+  std::vector<value_t> col(10, 1);
+  JiveJoinOptions options;
+  JiveIntermediate inter =
+      LeftJiveJoinDsm(index, {std::span<const value_t>(col)},
+                      {std::span<value_t>()}, 10, options);
+  EXPECT_TRUE(inter.entries.empty());
+  RightJiveJoinDsm(inter, {std::span<const value_t>(col)},
+                   {std::span<value_t>()});
+}
+
+}  // namespace
+}  // namespace radix::join

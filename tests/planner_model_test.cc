@@ -1,0 +1,65 @@
+// Tests for the cost-model-driven radix-bits chooser, checking the
+// decision rules the paper derives in §3.1/§4.1.
+
+#include <gtest/gtest.h>
+
+#include "cluster/partition_plan.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/planner.h"
+
+namespace radix::project {
+namespace {
+
+hardware::MemoryHierarchy P4() {
+  return hardware::MemoryHierarchy::Pentium4();
+}
+
+TEST(ChooseBitsTest, SmallColumnsNeedNoClustering) {
+  // Columns that fit the cache: unsorted (B = 0) must win for any pi.
+  auto hw = P4();
+  for (size_t pi : {1u, 4u, 64u}) {
+    EXPECT_EQ(ChooseDeclusterBitsByModel(1 << 14, 1 << 14, pi, hw), 0u)
+        << "pi=" << pi;
+  }
+}
+
+TEST(ChooseBitsTest, LargeColumnsGetClustered) {
+  // 8M-tuple columns (32MB >> 512KB): clustering must be chosen, with
+  // enough bits that the mean fetch region fits the cache.
+  auto hw = P4();
+  radix_bits_t b = ChooseDeclusterBitsByModel(8 << 20, 8 << 20, 4, hw);
+  EXPECT_GT(b, 0u);
+  double region_bytes = (8.0 * (1 << 20)) * sizeof(value_t) / (1u << b);
+  EXPECT_LE(region_bytes, 2.0 * hw.target_cache().capacity_bytes);
+}
+
+TEST(ChooseBitsTest, MoreProjectionColumnsJustifyMoreBits) {
+  // §4.1: the one-off Radix-Cluster amortizes over pi positional joins, so
+  // the chosen B must not shrink as pi grows.
+  auto hw = P4();
+  radix_bits_t prev = 0;
+  for (size_t pi : {1u, 2u, 4u, 16u, 64u}) {
+    radix_bits_t b = ChooseDeclusterBitsByModel(8 << 20, 8 << 20, pi, hw);
+    EXPECT_GE(b, prev) << "pi=" << pi;
+    prev = b;
+  }
+}
+
+TEST(ChooseBitsTest, NearGeometricFormulaAtModeratePi) {
+  // At pi = 4 the model's choice should be within a couple of bits of the
+  // geometric formula from §3.1 — they express the same constraint.
+  auto hw = P4();
+  size_t n = 8 << 20;
+  radix_bits_t formula = cluster::PartialClusterBits(n, sizeof(value_t), hw);
+  radix_bits_t model = ChooseDeclusterBitsByModel(n, n, 4, hw);
+  EXPECT_NEAR(static_cast<double>(model), static_cast<double>(formula), 3.0);
+}
+
+TEST(ChooseBitsTest, BoundedBySignificantBits) {
+  auto hw = P4();
+  radix_bits_t b = ChooseDeclusterBitsByModel(1000, 1000, 64, hw);
+  EXPECT_LE(b, SignificantBits(1000));
+}
+
+}  // namespace
+}  // namespace radix::project

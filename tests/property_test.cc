@@ -1,0 +1,178 @@
+// Cross-module property tests: randomized invariants that tie cluster,
+// sort, decluster and projections together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cluster/radix_cluster.h"
+#include "cluster/radix_count.h"
+#include "cluster/radix_sort.h"
+#include "common/rng.h"
+#include "decluster/radix_decluster.h"
+#include "hardware/memory_hierarchy.h"
+#include "join/positional_join.h"
+#include "project/dsm_post.h"
+#include "workload/distributions.h"
+#include "workload/generator.h"
+
+namespace radix {
+namespace {
+
+using cluster::ClusterBorders;
+using cluster::ClusterSpec;
+
+TEST(ClusterProperty, PartialClusterPlusInClusterSortEqualsFullSort) {
+  // Partial cluster on the top B bits, then sorting each cluster
+  // independently, must equal a full sort — this is exactly why "stopping
+  // early" (ignore bits) is sound (§3.1).
+  Rng rng(1);
+  for (int round = 0; round < 10; ++round) {
+    size_t n = 1000 + rng.Below(20000);
+    std::vector<oid_t> data(n);
+    std::iota(data.begin(), data.end(), 0u);
+    workload::Shuffle(data.data(), n, rng);
+    std::vector<oid_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+
+    radix_bits_t sig = SignificantBits(n);
+    radix_bits_t bits = 1 + static_cast<radix_bits_t>(rng.Below(sig));
+    ClusterSpec spec{.total_bits = bits,
+                     .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+                     .passes = 1 + static_cast<uint32_t>(rng.Below(3))};
+    ClusterBorders borders = cluster::RadixCluster(
+        std::span<oid_t>(data), [](oid_t v) { return uint64_t{v}; }, spec);
+    for (size_t k = 0; k < borders.num_clusters(); ++k) {
+      std::sort(data.begin() + borders.start(k), data.begin() + borders.end(k));
+    }
+    ASSERT_EQ(data, expected) << "round " << round << " bits " << bits;
+  }
+}
+
+TEST(ClusterProperty, BordersFromCountMatchBordersFromCluster) {
+  Rng rng(2);
+  for (int round = 0; round < 10; ++round) {
+    size_t n = 500 + rng.Below(5000);
+    std::vector<oid_t> data(n);
+    for (auto& v : data) v = static_cast<oid_t>(rng.Below(n));
+    radix_bits_t sig = SignificantBits(n);
+    radix_bits_t bits = 1 + static_cast<radix_bits_t>(rng.Below(6));
+    if (bits > sig) bits = sig;
+    ClusterSpec spec{.total_bits = bits,
+                     .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+                     .passes = 1};
+    ClusterBorders from_cluster = cluster::RadixCluster(
+        std::span<oid_t>(data), [](oid_t v) { return uint64_t{v}; }, spec);
+    ClusterBorders from_count =
+        cluster::RadixCount(data, spec.total_bits, spec.ignore_bits);
+    ASSERT_EQ(from_cluster.offsets, from_count.offsets);
+  }
+}
+
+TEST(DeclusterProperty, ClusterThenDeclusterIsIdentityOnAnyPayload) {
+  // For arbitrary payload columns (not just f(position)): fetching via the
+  // clustered ids then declustering equals a plain gather by original ids.
+  Rng rng(3);
+  for (int round = 0; round < 8; ++round) {
+    size_t n = 1000 + rng.Below(30000);
+    size_t column_n = n + rng.Below(n);
+    // Random ids into the column (duplicates allowed, like a join index).
+    std::vector<oid_t> ids(n);
+    for (auto& id : ids) id = static_cast<oid_t>(rng.Below(column_n));
+    std::vector<value_t> column(column_n);
+    for (auto& v : column) v = static_cast<value_t>(rng.Next());
+
+    // Expected: direct gather.
+    std::vector<value_t> expected(n);
+    join::PositionalJoin<value_t>(ids, column, std::span<value_t>(expected));
+
+    // Cluster (id, position) on id, gather clustered, decluster back.
+    struct IdPos {
+      oid_t id, pos;
+    };
+    std::vector<IdPos> pairs(n);
+    for (size_t i = 0; i < n; ++i) pairs[i] = {ids[i], static_cast<oid_t>(i)};
+    radix_bits_t sig = SignificantBits(column_n);
+    radix_bits_t bits = 1 + static_cast<radix_bits_t>(rng.Below(8));
+    if (bits > sig) bits = sig;
+    ClusterSpec spec{.total_bits = bits,
+                     .ignore_bits = static_cast<radix_bits_t>(sig - bits),
+                     .passes = 1};
+    std::vector<IdPos> scratch(n);
+    simcache::NoTracer nt;
+    auto radix_of = [](const IdPos& p) -> uint64_t { return p.id; };
+    ClusterBorders borders = cluster::RadixClusterMultiPass(
+        pairs.data(), scratch.data(), n, radix_of, spec, nt);
+
+    std::vector<value_t> clustered_vals(n);
+    std::vector<oid_t> result_pos(n);
+    for (size_t i = 0; i < n; ++i) {
+      clustered_vals[i] = column[pairs[i].id];
+      result_pos[i] = pairs[i].pos;
+    }
+    std::vector<value_t> result(n);
+    size_t window = 1 + rng.Below(8192);
+    decluster::RadixDecluster<value_t>(clustered_vals, result_pos,
+                                       decluster::MakeCursors(borders), window,
+                                       std::span<value_t>(result));
+    ASSERT_EQ(result, expected) << "round " << round;
+  }
+}
+
+TEST(ProjectSideProperty, AllStrategiesProduceSameMultiset) {
+  // u, s, c reorder rows; d preserves order. All must produce the same
+  // multiset of fetched values for the same ids.
+  Rng rng(4);
+  size_t n = 20000;
+  size_t column_n = 30000;
+  std::vector<oid_t> base_ids(n);
+  for (auto& id : base_ids) id = static_cast<oid_t>(rng.Below(column_n));
+  std::vector<value_t> column(column_n);
+  for (auto& v : column) v = static_cast<value_t>(rng.Next());
+
+  auto hw = hardware::MemoryHierarchy::Pentium4();
+  auto run = [&](project::SideStrategy strategy) {
+    std::vector<oid_t> ids = base_ids;
+    std::vector<value_t> out(n);
+    project::PhaseBreakdown phases;
+    project::ProjectSide(ids, strategy, {std::span<const value_t>(column)},
+                         {std::span<value_t>(out)}, column_n, hw,
+                         project::DsmPostOptions::kAuto, 0, &phases);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto u = run(project::SideStrategy::kUnsorted);
+  EXPECT_EQ(run(project::SideStrategy::kSorted), u);
+  EXPECT_EQ(run(project::SideStrategy::kClustered), u);
+  EXPECT_EQ(run(project::SideStrategy::kDecluster), u);
+}
+
+TEST(SortProperty, RadixSortMatchesStdSortOnPairs) {
+  Rng rng(5);
+  for (int round = 0; round < 6; ++round) {
+    size_t n = 100 + rng.Below(50000);
+    oid_t domain = static_cast<oid_t>(1 + rng.Below(1u << 20));
+    std::vector<cluster::OidPair> pairs(n);
+    for (auto& p : pairs) {
+      p = {static_cast<oid_t>(rng.Below(domain)),
+           static_cast<oid_t>(rng.Below(domain))};
+    }
+    auto expected = pairs;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const cluster::OidPair& a, const cluster::OidPair& b) {
+                       return a.left < b.left;
+                     });
+    cluster::RadixSortJoinIndex(std::span<cluster::OidPair>(pairs), domain,
+                                /*by_left=*/true);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(pairs[i].left, expected[i].left);
+      // Stability: right oids in the same order for equal left keys.
+      ASSERT_EQ(pairs[i].right, expected[i].right);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radix

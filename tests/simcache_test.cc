@@ -1,0 +1,148 @@
+// Tests for the cache/TLB simulator: LRU behaviour, associativity,
+// sequential vs random miss counts, and the tracer plumbing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hardware/memory_hierarchy.h"
+#include "simcache/cache_sim.h"
+#include "simcache/mem_tracer.h"
+#include "simcache/tlb_sim.h"
+
+namespace radix::simcache {
+namespace {
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim cache(1024, 64, 0);
+  EXPECT_TRUE(cache.Access(0));    // cold
+  EXPECT_FALSE(cache.Access(0));   // hit
+  EXPECT_FALSE(cache.Access(63));  // same line
+  EXPECT_TRUE(cache.Access(64));   // next line
+  EXPECT_EQ(cache.accesses(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheSimTest, FullyAssociativeLruEvictsOldest) {
+  // 4 lines of 64B, fully associative.
+  CacheSim cache(256, 64, 0);
+  for (uint64_t a = 0; a < 4; ++a) EXPECT_TRUE(cache.Access(a * 64));
+  // Touch line 0 to make line 1 the LRU victim.
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(4 * 64));   // evicts line 1
+  EXPECT_FALSE(cache.Access(0));       // still resident
+  EXPECT_TRUE(cache.Access(1 * 64));   // line 1 was evicted
+}
+
+TEST(CacheSimTest, DirectMappedConflicts) {
+  // 4 sets, 1 way: addresses 0 and 4*64 map to the same set and thrash.
+  CacheSim cache(256, 64, 1);
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(4 * 64));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(4 * 64));
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(CacheSimTest, SequentialScanMissesOncePerLine) {
+  CacheSim cache(512 * 1024, 64, 8);
+  size_t bytes = 1 << 20;
+  for (uint64_t a = 0; a < bytes; a += 4) cache.Access(a);
+  EXPECT_EQ(cache.misses(), bytes / 64);
+}
+
+TEST(CacheSimTest, WorkingSetWithinCapacityStaysResident) {
+  CacheSim cache(64 * 1024, 64, 8);
+  // 32KB working set scanned 10 times: only compulsory misses.
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t a = 0; a < 32 * 1024; a += 64) cache.Access(a);
+  }
+  EXPECT_EQ(cache.misses(), 32u * 1024 / 64);
+}
+
+TEST(CacheSimTest, WorkingSetBeyondCapacityThrashes) {
+  CacheSim cache(64 * 1024, 64, 8);
+  // 256KB scanned repeatedly with LRU ⇒ every access misses after warmup.
+  size_t lines = 256 * 1024 / 64;
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t a = 0; a < 256 * 1024; a += 64) cache.Access(a);
+  }
+  EXPECT_EQ(cache.misses(), 4 * lines);
+}
+
+TEST(CacheSimTest, ResetClearsState) {
+  CacheSim cache(1024, 64, 2);
+  cache.Access(0);
+  cache.Reset();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_TRUE(cache.Access(0));
+}
+
+TEST(TlbSimTest, PageGranularity) {
+  TlbSim tlb(4, 4096, 0);
+  EXPECT_TRUE(tlb.Access(0));
+  EXPECT_FALSE(tlb.Access(4095));   // same page
+  EXPECT_TRUE(tlb.Access(4096));    // next page
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(TlbSimTest, CapacityInPages) {
+  TlbSim tlb(4, 4096, 0);
+  for (uint64_t p = 0; p < 4; ++p) tlb.Access(p * 4096);
+  EXPECT_FALSE(tlb.Access(0));      // resident
+  tlb.Access(4 * 4096);             // evicts LRU (page 1)
+  EXPECT_TRUE(tlb.Access(1 * 4096));
+}
+
+TEST(MemTracerTest, CountsHierarchically) {
+  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Pentium4();
+  MemTracer tracer(hw);
+  // Sequential 1MB scan: L1 misses every 32B, L2 misses every 128B (P4
+  // line sizes), TLB every 4KB. The heap buffer may straddle one extra
+  // line/page at each granularity: allow +1.
+  std::vector<uint8_t> buf(1 << 20);
+  for (size_t i = 0; i < buf.size(); i += 4) {
+    tracer.Touch(buf.data() + i, 4);
+  }
+  MemCounters c = tracer.counters();
+  EXPECT_NEAR(static_cast<double>(c.l1_misses),
+              static_cast<double>(buf.size() / 32), 1.0);
+  EXPECT_NEAR(static_cast<double>(c.l2_misses),
+              static_cast<double>(buf.size() / 128), 1.0);
+  EXPECT_NEAR(static_cast<double>(c.tlb_misses),
+              static_cast<double>(buf.size() / 4096), 1.0);
+}
+
+TEST(MemTracerTest, MultiByteTouchSplitsLines) {
+  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Pentium4();
+  MemTracer tracer(hw);
+  alignas(64) uint8_t buf[256];
+  tracer.Touch(buf, 256);  // 8 L1 lines of 32B
+  EXPECT_EQ(tracer.counters().l1_misses, 8u);
+}
+
+TEST(MemTracerTest, RandomAccessBeyondL2Thrashes) {
+  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Pentium4();
+  MemTracer tracer(hw);
+  size_t bytes = 8 << 20;  // 16x the 512KB L2
+  std::vector<uint8_t> buf(bytes);
+  Rng rng(1);
+  size_t accesses = 100000;
+  for (size_t i = 0; i < accesses; ++i) {
+    tracer.Touch(buf.data() + rng.Below(bytes), 1);
+  }
+  MemCounters c = tracer.counters();
+  // Nearly every random access to a region >> C must miss L2.
+  EXPECT_GT(c.l2_misses, accesses * 8 / 10);
+}
+
+TEST(MemTracerTest, NoTracerCompilesToNoop) {
+  NoTracer t;
+  t.Touch(nullptr, 0);  // must be callable and do nothing
+  static_assert(!NoTracer::kEnabled);
+  static_assert(MemTracer::kEnabled);
+}
+
+}  // namespace
+}  // namespace radix::simcache

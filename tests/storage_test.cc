@@ -1,0 +1,128 @@
+// Tests for the storage layer: columns, BATs (void heads, mark), DSM and
+// NSM relations.
+
+#include <gtest/gtest.h>
+
+#include "storage/bat.h"
+#include "storage/column.h"
+#include "storage/dsm.h"
+#include "storage/nsm.h"
+
+namespace radix::storage {
+namespace {
+
+TEST(ColumnTest, ResizeAndAccess) {
+  Column<value_t> col(10);
+  EXPECT_EQ(col.size(), 10u);
+  EXPECT_EQ(col.size_bytes(), 40u);
+  for (size_t i = 0; i < 10; ++i) col[i] = static_cast<value_t>(i * i);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(col[i], static_cast<value_t>(i * i));
+}
+
+TEST(ColumnTest, DataIsCacheLineAligned) {
+  Column<value_t> col(1000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(col.data()) % 64, 0u);
+}
+
+TEST(ColumnTest, CloneIsDeep) {
+  Column<value_t> col(4);
+  for (size_t i = 0; i < 4; ++i) col[i] = static_cast<value_t>(i);
+  Column<value_t> copy = col.Clone();
+  copy[0] = 99;
+  EXPECT_EQ(col[0], 0);
+  EXPECT_EQ(copy[0], 99);
+}
+
+TEST(ColumnTest, SpanAndIteration) {
+  Column<value_t> col(5);
+  for (size_t i = 0; i < 5; ++i) col[i] = 1;
+  value_t sum = 0;
+  for (value_t v : col) sum += v;
+  EXPECT_EQ(sum, 5);
+  EXPECT_EQ(col.span().size(), 5u);
+}
+
+TEST(BatTest, VoidHeadIsImplicitSequence) {
+  // Void columns represent densely ascending oids with zero storage
+  // (paper §1.1 "virtual-oids").
+  auto bat = Bat<value_t>::MakeVoid(5, /*seqbase=*/100);
+  EXPECT_TRUE(bat.void_head());
+  EXPECT_EQ(bat.head(0), 100u);
+  EXPECT_EQ(bat.head(4), 104u);
+  EXPECT_EQ(bat.head_column().size(), 0u);  // no physical storage
+}
+
+TEST(BatTest, MaterializedHead) {
+  auto bat = Bat<value_t>::MakeMaterialized(3);
+  bat.head_column()[0] = 7;
+  bat.head_column()[1] = 3;
+  bat.head_column()[2] = 9;
+  EXPECT_FALSE(bat.void_head());
+  EXPECT_EQ(bat.head(1), 3u);
+}
+
+TEST(BatTest, MarkReheadsWithFreshVoid) {
+  auto bat = Bat<value_t>::MakeMaterialized(3);
+  bat.tail()[0] = 11;
+  bat.tail()[1] = 22;
+  bat.tail()[2] = 33;
+  auto marked = std::move(bat).Mark(0);
+  EXPECT_TRUE(marked.void_head());
+  EXPECT_EQ(marked.head(2), 2u);
+  EXPECT_EQ(marked.tail()[2], 33);
+}
+
+TEST(DsmRelationTest, ColumnsAreIndependentArrays) {
+  DsmRelation rel("t", 100, 3);
+  EXPECT_EQ(rel.cardinality(), 100u);
+  EXPECT_EQ(rel.num_attrs(), 3u);
+  rel.key()[0] = 42;
+  rel.attr(1)[0] = 1;
+  rel.attr(2)[0] = 2;
+  EXPECT_EQ(rel.attr(0)[0], 42);
+  EXPECT_NE(rel.attr(1).data(), rel.attr(2).data());
+}
+
+TEST(DsmRelationTest, ProjectionBytesIgnoresUnusedColumns) {
+  DsmRelation rel("t", 1000, 64);
+  // DSM touches only the projected columns (paper §1.1).
+  EXPECT_EQ(rel.projection_bytes(4), 4 * 1000 * sizeof(value_t));
+}
+
+TEST(NsmRelationTest, RecordsAreContiguous) {
+  NsmRelation rel("t", 10, 4);
+  EXPECT_EQ(rel.record_bytes(), 16u);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t a = 0; a < 4; ++a) {
+      rel.set_attr(i, a, static_cast<value_t>(i * 10 + a));
+    }
+  }
+  EXPECT_EQ(rel.key(3), 30);
+  EXPECT_EQ(rel.attr(3, 2), 32);
+  // Contiguity: record(i+1) starts right after record(i).
+  EXPECT_EQ(rel.record(1), rel.record(0) + 4);
+}
+
+TEST(NsmRelationTest, ProjectRecordExtractsSelectedAttrs) {
+  NsmRelation rel("t", 2, 8);
+  for (size_t a = 0; a < 8; ++a) rel.set_attr(1, a, static_cast<value_t>(a));
+  uint16_t attrs[3] = {1, 4, 7};
+  value_t out[3];
+  rel.ProjectRecord(1, attrs, 3, out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 4);
+  EXPECT_EQ(out[2], 7);
+}
+
+TEST(NsmResultTest, RowMajorLayout) {
+  NsmResult r(3, 2);
+  r.row(1)[0] = 5;
+  r.row(1)[1] = 6;
+  EXPECT_EQ(r.cardinality(), 3u);
+  EXPECT_EQ(r.width(), 2u);
+  EXPECT_EQ(r.row(1)[1], 6);
+  EXPECT_EQ(r.row(0) + 2, r.row(1));
+}
+
+}  // namespace
+}  // namespace radix::storage

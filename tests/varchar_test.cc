@@ -1,0 +1,142 @@
+// Tests for variable-size (varchar) columns: the offsets-into-heap layout,
+// positional joins, and the three-phase flat varchar decluster.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cluster/radix_cluster.h"
+#include "common/rng.h"
+#include "decluster/paged_decluster.h"
+#include "storage/varchar.h"
+#include "workload/distributions.h"
+
+namespace radix::storage {
+namespace {
+
+TEST(VarcharColumnTest, AppendAndRead) {
+  VarcharColumn col;
+  col.Append("alpha");
+  col.Append("");
+  col.Append("omega!");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.at(0), "alpha");
+  EXPECT_EQ(col.at(1), "");
+  EXPECT_EQ(col.at(2), "omega!");
+  EXPECT_EQ(col.length(1), 0u);
+  EXPECT_EQ(col.heap_bytes(), 11u);
+}
+
+TEST(VarcharColumnTest, OffsetsAreMonotone) {
+  VarcharColumn col;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    col.Append(std::string(rng.Below(20), 'x'));
+  }
+  auto offsets = col.offsets();
+  ASSERT_EQ(offsets.size(), 101u);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i - 1], offsets[i]);
+  }
+  EXPECT_EQ(offsets.back(), col.heap_bytes());
+}
+
+TEST(VarcharPositionalJoinTest, GathersByOid) {
+  VarcharColumn values;
+  for (int i = 0; i < 50; ++i) values.Append("v" + std::to_string(i));
+  std::vector<oid_t> ids = {49, 0, 7, 7, 23};
+  VarcharColumn out = PositionalJoinVarchar(ids, values);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.at(0), "v49");
+  EXPECT_EQ(out.at(1), "v0");
+  EXPECT_EQ(out.at(2), "v7");
+  EXPECT_EQ(out.at(3), "v7");
+  EXPECT_EQ(out.at(4), "v23");
+}
+
+TEST(VarcharPositionalJoinTest, EmptyIds) {
+  VarcharColumn values;
+  values.Append("x");
+  VarcharColumn out = PositionalJoinVarchar({}, values);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+/// Clustered (result positions, clustered varchar values) fixture, as the
+/// DSM post-projection pipeline produces after fetching a varchar column
+/// in clustered order.
+struct Fixture {
+  std::vector<oid_t> ids;
+  VarcharColumn clustered_values;
+  cluster::ClusterBorders borders;
+  std::vector<std::string> expected;  // result order
+};
+
+Fixture MakeFixture(size_t n, radix_bits_t bits, uint64_t seed) {
+  struct KeyPos {
+    oid_t key, pos;
+  };
+  Rng rng(seed);
+  std::vector<KeyPos> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<oid_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
+  radix_bits_t sig = SignificantBits(n);
+  radix_bits_t b = std::min(bits, sig);
+  cluster::ClusterSpec spec{.total_bits = b,
+                            .ignore_bits = static_cast<radix_bits_t>(sig - b),
+                            .passes = 1};
+  std::vector<KeyPos> scratch(n);
+  simcache::NoTracer nt;
+  auto radix_of = [](const KeyPos& p) -> uint64_t { return p.key; };
+  Fixture f;
+  f.borders = cluster::RadixClusterMultiPass(pairs.data(), scratch.data(), n,
+                                             radix_of, spec, nt);
+  f.ids.resize(n);
+  f.expected.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    f.ids[i] = pairs[i].pos;
+    std::string s =
+        "s" + std::to_string(pairs[i].pos) +
+        std::string(pairs[i].pos % 13, '#');
+    f.clustered_values.Append(s);
+    f.expected[pairs[i].pos] = s;
+  }
+  return f;
+}
+
+class VarcharDeclusterSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, radix_bits_t, size_t>> {};
+
+TEST_P(VarcharDeclusterSweep, RestoresResultOrder) {
+  auto [n, bits, window] = GetParam();
+  Fixture f = MakeFixture(n, bits, n + bits);
+  VarcharColumn out = decluster::RadixDeclusterVarchar(
+      f.clustered_values, f.ids, f.borders, window);
+  ASSERT_EQ(out.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out.at(i), f.expected[i]) << "result position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VarcharDeclusterSweep,
+    ::testing::Values(std::tuple<size_t, radix_bits_t, size_t>{100, 2, 16},
+                      std::tuple<size_t, radix_bits_t, size_t>{1000, 4, 64},
+                      std::tuple<size_t, radix_bits_t, size_t>{5000, 6, 512},
+                      std::tuple<size_t, radix_bits_t, size_t>{5000, 6, 1u << 20},
+                      std::tuple<size_t, radix_bits_t, size_t>{65536, 8, 4096}));
+
+TEST(VarcharDeclusterTest, AllEmptyStrings) {
+  Fixture f = MakeFixture(64, 3, 9);
+  VarcharColumn empties;
+  for (size_t i = 0; i < 64; ++i) empties.Append("");
+  VarcharColumn out =
+      decluster::RadixDeclusterVarchar(empties, f.ids, f.borders, 16);
+  ASSERT_EQ(out.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(out.at(i), "");
+}
+
+}  // namespace
+}  // namespace radix::storage

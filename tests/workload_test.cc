@@ -1,0 +1,166 @@
+// Tests for workload generation: hit rates, selectivity, payload
+// determinism, and distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/distributions.h"
+#include "workload/generator.h"
+
+namespace radix::workload {
+namespace {
+
+size_t CountMatches(const storage::DsmRelation& left,
+                    const storage::DsmRelation& right) {
+  std::map<value_t, size_t> right_counts;
+  for (size_t i = 0; i < right.cardinality(); ++i) {
+    ++right_counts[right.key()[i]];
+  }
+  size_t matches = 0;
+  for (size_t i = 0; i < left.cardinality(); ++i) {
+    auto it = right_counts.find(left.key()[i]);
+    if (it != right_counts.end()) matches += it->second;
+  }
+  return matches;
+}
+
+class HitRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HitRateSweep, ResultCardinalityTracksHitRate) {
+  double h = GetParam();
+  JoinWorkloadSpec spec;
+  spec.cardinality = 1 << 14;
+  spec.hit_rate = h;
+  auto w = MakeJoinWorkload(spec);
+  size_t matches = CountMatches(w.dsm_left, w.dsm_right);
+  double achieved =
+      static_cast<double>(matches) / static_cast<double>(spec.cardinality);
+  EXPECT_NEAR(achieved, h, h * 0.1) << "hit rate off target";
+  EXPECT_EQ(matches, w.expected_result_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRates, HitRateSweep,
+                         ::testing::Values(0.3, 1.0, 3.0));
+
+TEST(GeneratorTest, DsmAndNsmHoldSameTuples) {
+  JoinWorkloadSpec spec;
+  spec.cardinality = 2000;
+  spec.num_attrs = 4;
+  auto w = MakeJoinWorkload(spec);
+  for (size_t i = 0; i < spec.cardinality; ++i) {
+    for (size_t a = 0; a < spec.num_attrs; ++a) {
+      ASSERT_EQ(w.dsm_left.attr(a)[i], w.nsm_left.attr(i, a));
+      ASSERT_EQ(w.dsm_right.attr(a)[i], w.nsm_right.attr(i, a));
+    }
+  }
+}
+
+TEST(GeneratorTest, PayloadsAreFunctionsOfKey) {
+  JoinWorkloadSpec spec;
+  spec.cardinality = 1000;
+  spec.num_attrs = 3;
+  auto w = MakeJoinWorkload(spec);
+  for (size_t i = 0; i < spec.cardinality; ++i) {
+    value_t key = w.dsm_left.key()[i];
+    EXPECT_EQ(w.dsm_left.attr(1)[i], PayloadValue(key, 1));
+    EXPECT_EQ(w.dsm_left.attr(2)[i], PayloadValue(key, 2));
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossCalls) {
+  JoinWorkloadSpec spec;
+  spec.cardinality = 500;
+  spec.seed = 7;
+  auto a = MakeJoinWorkload(spec);
+  auto b = MakeJoinWorkload(spec);
+  for (size_t i = 0; i < spec.cardinality; ++i) {
+    ASSERT_EQ(a.dsm_left.key()[i], b.dsm_left.key()[i]);
+  }
+}
+
+TEST(GeneratorTest, HitRateOneIsPermutation) {
+  JoinWorkloadSpec spec;
+  spec.cardinality = 4096;
+  spec.hit_rate = 1.0;
+  auto w = MakeJoinWorkload(spec);
+  std::set<value_t> left_keys, right_keys;
+  for (size_t i = 0; i < spec.cardinality; ++i) {
+    left_keys.insert(w.dsm_left.key()[i]);
+    right_keys.insert(w.dsm_right.key()[i]);
+  }
+  EXPECT_EQ(left_keys.size(), spec.cardinality);
+  EXPECT_EQ(left_keys, right_keys);
+}
+
+TEST(SparseOidsTest, FullSelectivityIsPermutation) {
+  Rng rng(1);
+  auto oids = MakeSparseOids(1000, 1.0, rng);
+  std::set<oid_t> distinct(oids.begin(), oids.end());
+  EXPECT_EQ(distinct.size(), 1000u);
+  EXPECT_EQ(*distinct.rbegin(), 999u);
+}
+
+class SelectivitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectivitySweep, OidsSpreadOverBaseTable) {
+  double s = GetParam();
+  Rng rng(2);
+  size_t n = 10000;
+  auto oids = MakeSparseOids(n, s, rng);
+  size_t base = static_cast<size_t>(n / s);
+  std::set<oid_t> distinct(oids.begin(), oids.end());
+  EXPECT_EQ(distinct.size(), n) << "selection oids must be distinct";
+  oid_t max = *std::max_element(oids.begin(), oids.end());
+  EXPECT_LT(max, base);
+  EXPECT_GT(max, base * 9 / 10) << "oids should span the base table";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSelectivities, SelectivitySweep,
+                         ::testing::Values(1.0, 0.1, 0.01));
+
+TEST(BaseColumnTest, ValuesMatchPayloadFunction) {
+  auto col = MakeBaseColumn(100, 1);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(col[i], PayloadValue(static_cast<value_t>(i), 1));
+  }
+}
+
+TEST(DistributionsTest, PermutationIsComplete) {
+  Rng rng(3);
+  auto perm = RandomPermutation(257, rng);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(ZipfTest, StaysInRangeAndSkews) {
+  Rng rng(4);
+  ZipfGenerator zipf(1000, 1.0);
+  std::vector<size_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // Rank-0 must dominate; ratio rank0/rank99 ~ 100 for s=1.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Monotone-ish head.
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  Rng rng(5);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<size_t> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(*lo + 1), 1.6);
+}
+
+}  // namespace
+}  // namespace radix::workload
