@@ -57,7 +57,7 @@ uint32_t PassesFor(radix_bits_t total_bits,
   return (total_bits + per_pass - 1) / per_pass;
 }
 
-ClusterSpec PartialClusterSpec(size_t index_tuples, size_t column_tuples,
+ClusterSpec PartialClusterSpec(size_t /*index_tuples*/, size_t column_tuples,
                                size_t column_width,
                                const hardware::MemoryHierarchy& hw) {
   ClusterSpec spec;

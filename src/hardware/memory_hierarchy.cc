@@ -87,7 +87,11 @@ MemoryHierarchy MemoryHierarchy::Detect() {
     if (type == "Instruction") continue;
     CacheLevel level;
     uint64_t level_no = ReadSysfsUint(base + "/level");
-    level.name = "L" + std::to_string(level_no);
+    // Build via a local + move: assigning char literals into the existing
+    // string trips GCC 12's -Wrestrict false positive (GCC bug 105651).
+    std::string name("L");
+    name += std::to_string(level_no);
+    level.name = std::move(name);
     level.capacity_bytes = ReadSysfsSize(base + "/size");
     level.line_bytes = ReadSysfsUint(base + "/coherency_line_size");
     level.associativity =

@@ -168,7 +168,8 @@ std::vector<uint64_t> NsmPreProjection::ClusterRows(Intermediate& inter,
 
 storage::NsmResult NsmPreProjection::PartitionedHashJoinRows(
     Intermediate& left, Intermediate& right,
-    const hardware::MemoryHierarchy& hw, radix_bits_t bits, uint32_t passes) {
+    const hardware::MemoryHierarchy& /*hw*/, radix_bits_t bits,
+    uint32_t passes) {
   std::vector<uint64_t> lo = ClusterRows(left, bits, passes);
   std::vector<uint64_t> ro = ClusterRows(right, bits, passes);
   RADIX_CHECK(lo.size() == ro.size());

@@ -109,7 +109,10 @@ TEST(PagedDeclusterTest, VariableSizeValuesThreePhase) {
   std::vector<std::string> expected(n);
   for (size_t i = 0; i < n; ++i) {
     oid_t target = c.ids[i];
-    std::string s = "v" + std::to_string(target);
+    // Construct + append (not `"v" + std::to_string(...)`): the rvalue
+    // operator+ trips GCC 12's -Wrestrict false positive (GCC bug 105651).
+    std::string s("v");
+    s += std::to_string(target);
     s.append(target % 23, 'x');  // lengths vary 0..22 extra chars
     values.Append(s);
     expected[target] = s;
@@ -146,7 +149,9 @@ TEST(PagedDeclusterTest, DirectoryMatchesPageSlots) {
   ClusteredIds c = MakeIds(n, 2, 5);
   decluster::VarValues values;
   for (size_t i = 0; i < n; ++i) {
-    values.Append("s" + std::to_string(c.ids[i]));
+    std::string s("s");  // see -Wrestrict note above
+    s += std::to_string(c.ids[i]);
+    values.Append(s);
   }
   BufferManager bm(512);
   auto result = decluster::PagedDeclusterVar(values, c.ids, c.borders, 64, &bm);

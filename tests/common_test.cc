@@ -135,7 +135,7 @@ TEST(AlignedBufferTest, MoveTransfersOwnership) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedNanos(), 0u);
 }

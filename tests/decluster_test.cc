@@ -53,7 +53,7 @@ ClusteredInput MakeInput(size_t n, radix_bits_t bits, uint64_t seed) {
   return in;
 }
 
-void ExpectDeclustered(const ClusteredInput& in,
+void ExpectDeclustered(const ClusteredInput& /*in*/,
                        const std::vector<value_t>& result) {
   for (size_t i = 0; i < result.size(); ++i) {
     ASSERT_EQ(result[i], static_cast<value_t>(i * 7 + 3))

@@ -45,7 +45,13 @@ TEST(VarcharColumnTest, OffsetsAreMonotone) {
 
 TEST(VarcharPositionalJoinTest, GathersByOid) {
   VarcharColumn values;
-  for (int i = 0; i < 50; ++i) values.Append("v" + std::to_string(i));
+  // Construct + append (not `"v" + std::to_string(...)`): the rvalue
+  // operator+ trips GCC 12's -Wrestrict false positive (GCC bug 105651).
+  for (int i = 0; i < 50; ++i) {
+    std::string s("v");
+    s += std::to_string(i);
+    values.Append(s);
+  }
   std::vector<oid_t> ids = {49, 0, 7, 7, 23};
   VarcharColumn out = PositionalJoinVarchar(ids, values);
   ASSERT_EQ(out.size(), 5u);
@@ -97,9 +103,9 @@ Fixture MakeFixture(size_t n, radix_bits_t bits, uint64_t seed) {
   f.expected.resize(n);
   for (size_t i = 0; i < n; ++i) {
     f.ids[i] = pairs[i].pos;
-    std::string s =
-        "s" + std::to_string(pairs[i].pos) +
-        std::string(pairs[i].pos % 13, '#');
+    std::string s("s");  // see -Wrestrict note above
+    s += std::to_string(pairs[i].pos);
+    s.append(pairs[i].pos % 13, '#');
     f.clustered_values.Append(s);
     f.expected[pairs[i].pos] = s;
   }
