@@ -2,7 +2,9 @@
 //  1. the w >= 32 tuples-per-cluster-per-sweep rule (sweep w directly);
 //  2. multi-pass vs single-pass Radix-Cluster at high fan-out;
 //  3. hashed vs identity clustering under Zipf key skew;
-//  4. paged (Section 5, three-phase) vs flat Radix-Decluster overhead.
+//  4. paged (Section 5, three-phase) vs flat Radix-Decluster overhead;
+//  5. serial vs parallel Radix-Cluster / Radix-Decluster (the threads=1
+//     row IS the serial kernel; output is byte-identical by contract).
 
 #include <benchmark/benchmark.h>
 
@@ -11,11 +13,15 @@
 
 #include "bench_common.h"
 #include "bufferpool/buffer_manager.h"
+#include "cluster/partition_plan.h"
 #include "cluster/radix_cluster.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "decluster/paged_decluster.h"
 #include "decluster/radix_decluster.h"
+#include "decluster/window.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -181,6 +187,82 @@ void BM_PagedDeclusterVarStrings(benchmark::State& state) {
   state.counters["variant"] = 2;
 }
 BENCHMARK(BM_PagedDeclusterVarStrings)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --------------------------------------- 5. serial vs parallel kernels
+// Paper-scale cardinality (8M tuples, the Fig. 7–9 setting). The serial
+// column is Arg(0)=1: a size-1 pool runs the exact serial code path, so
+// speedup_vs_serial reads directly off this table.
+void BM_ParallelCluster(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 1'000'000);
+  size_t threads = static_cast<size_t>(state.range(0));
+  radix_bits_t bits = 14;
+  uint32_t passes = cluster::PassesFor(bits, radix::bench::BenchHw());
+  std::vector<cluster::KeyOid> data(n);
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {static_cast<value_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
+  std::vector<cluster::KeyOid> scratch(n);
+  ThreadPool pool(threads);
+  auto radix_of = [](const cluster::KeyOid& t) { return KeyHash{}(t.key); };
+  cluster::ClusterSpec spec{.total_bits = bits, .ignore_bits = 0,
+                            .passes = passes};
+  double seconds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cluster::KeyOid> work = data;
+    state.ResumeTiming();
+    Timer timer;
+    auto borders = cluster::RadixClusterMultiPassParallel(
+        work.data(), scratch.data(), n, radix_of, spec, pool);
+    seconds += timer.ElapsedSeconds();
+    benchmark::DoNotOptimize(borders.offsets.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["B"] = bits;
+  state.counters["passes"] = passes;
+  state.counters["cluster_ms"] =
+      seconds * 1e3 / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ParallelCluster)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ParallelDecluster(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 1'000'000);
+  size_t threads = static_cast<size_t>(state.range(0));
+  constexpr radix_bits_t kBits = 10;
+  static ClusteredIds c = MakeClustered(n, kBits, 11);
+  size_t window = decluster::WindowPolicy::ChooseWindowElems(
+      radix::bench::BenchHw(), sizeof(value_t), c.borders.num_clusters(), n);
+  ThreadPool pool(threads);
+  std::vector<value_t> result(n);
+  auto cursors = decluster::MakeCursors(c.borders);
+  for (auto _ : state) {
+    decluster::RadixDeclusterParallel<value_t>(c.values, c.ids, cursors,
+                                               window,
+                                               std::span<value_t>(result),
+                                               pool);
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["B"] = kBits;
+  state.counters["window_KB"] =
+      static_cast<double>(window * sizeof(value_t)) / 1024;
+}
+BENCHMARK(BM_ParallelDecluster)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

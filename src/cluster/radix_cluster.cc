@@ -1,8 +1,27 @@
 #include "cluster/radix_cluster.h"
 
+#include <string>
+
 // Kernels are templates (header); this TU pins common instantiations so
 // most callers link against them instead of re-instantiating.
 namespace radix::cluster {
+
+Status ValidateClusterSpec(const ClusterSpec& spec, uint32_t value_bits) {
+  if (spec.passes == 0) {
+    return Status::InvalidArgument(
+        "ClusterSpec.passes == 0: zero passes would return unclustered data "
+        "labeled as clustered (B=" +
+        std::to_string(spec.total_bits) + ")");
+  }
+  if (spec.total_bits + spec.ignore_bits > value_bits) {
+    return Status::InvalidArgument(
+        "ClusterSpec clusters on bits [" + std::to_string(spec.ignore_bits) +
+        ", " + std::to_string(spec.ignore_bits + spec.total_bits) +
+        ") beyond the " + std::to_string(value_bits) +
+        "-bit radix value width");
+  }
+  return Status::OK();
+}
 
 namespace {
 struct IdentityRadix {
@@ -14,5 +33,9 @@ template ClusterBorders RadixClusterMultiPass<OidPair, IdentityRadix,
                                               simcache::NoTracer>(
     OidPair*, OidPair*, size_t, IdentityRadix, const ClusterSpec&,
     simcache::NoTracer&);
+
+template ClusterBorders RadixClusterMultiPassParallel<OidPair, IdentityRadix>(
+    OidPair*, OidPair*, size_t, IdentityRadix, const ClusterSpec&,
+    ThreadPool&);
 
 }  // namespace radix::cluster

@@ -8,6 +8,8 @@
 
 #include "common/bits.h"
 #include "common/macros.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "simcache/mem_tracer.h"
 #include "storage/column.h"
@@ -51,7 +53,26 @@ struct ClusterSpec {
     }
     return bits;
   }
+
+  /// Number of passes that actually cluster (Bp > 0); the rest are no-ops.
+  /// The final result lives in the scratch buffer (and must be copied back)
+  /// exactly when this is odd — the cost the model charges as
+  /// s_trav ⊕ s_trav in RadixClusterCost.
+  uint32_t EffectivePasses() const {
+    return passes == 0 ? 0 : (total_bits < passes ? total_bits : passes);
+  }
 };
+
+/// Recoverable validation for a ClusterSpec against the radix value width
+/// (radix functions return uint64_t, so the default width is 64). Rejects
+/// the degenerate configurations the kernels would otherwise mislabel:
+///   * passes == 0 with total_bits > 0 would return UNclustered data with
+///     borders claiming 2^B clusters;
+///   * total_bits + ignore_bits beyond the value width would cluster on
+///     bits that do not exist (everything lands in cluster 0).
+/// The kernels RADIX_CHECK this; API boundaries that want a Status instead
+/// of an abort call it directly.
+Status ValidateClusterSpec(const ClusterSpec& spec, uint32_t value_bits = 64);
 
 /// One histogram+scatter pass over [in, in+n) into `out`, clustering on
 /// `pass_bits` bits of radix(v) starting at bit `shift`. `borders_out`, if
@@ -98,6 +119,7 @@ template <typename T, typename RadixFn, typename Tracer>
 ClusterBorders RadixClusterMultiPass(T* data, T* scratch, size_t n,
                                      RadixFn radix_of, const ClusterSpec& spec,
                                      Tracer& tracer) {
+  RADIX_CHECK(ValidateClusterSpec(spec).ok());
   ClusterBorders borders;
   borders.offsets = {0, n};
   if (spec.total_bits == 0) return borders;
@@ -130,10 +152,19 @@ ClusterBorders RadixClusterMultiPass(T* data, T* scratch, size_t n,
     std::swap(src, dst);
   }
   if (src != data) {
-    std::memcpy(data, src, n * sizeof(T));
+    // Odd number of effective passes: the result sits in `scratch`, copy it
+    // back. Trace the read/write interleaved per element — touching whole
+    // buffers after the fact would misattribute the misses (the write
+    // stream evicting the read stream). RadixClusterCost charges this as
+    // the s_trav ⊕ s_trav copy-back term.
     if constexpr (Tracer::kEnabled) {
-      tracer.Touch(src, n * sizeof(T));
-      tracer.Touch(data, n * sizeof(T));
+      for (size_t i = 0; i < n; ++i) {
+        tracer.Touch(&src[i], sizeof(T));
+        tracer.Touch(&data[i], sizeof(T));
+        data[i] = src[i];
+      }
+    } else {
+      std::memcpy(data, src, n * sizeof(T));
     }
   }
   return borders;
@@ -147,6 +178,134 @@ ClusterBorders RadixCluster(std::span<T> data, RadixFn radix_of,
   simcache::NoTracer tracer;
   return RadixClusterMultiPass(data.data(), scratch.data(), data.size(),
                                radix_of, spec, tracer);
+}
+
+/// Parallel single pass: the classic per-thread-histogram scheme. Each
+/// thread histograms a contiguous input slice, a bucket-major/thread-minor
+/// prefix sum turns the histograms into disjoint write cursors, and each
+/// thread scatters its own slice. Because slice order == scan order and
+/// bucket b's region receives the thread slices in that same order, the
+/// output (and the borders) are byte-identical to the serial stable pass.
+///
+/// Untraced by design: MemTracer is a single sequential access stream and
+/// stays meaningful only on the serial path (pool size 1 falls back to it).
+template <typename T, typename RadixFn>
+void RadixClusterPassParallel(const T* in, T* out, size_t n, RadixFn radix_of,
+                              uint32_t shift, radix_bits_t pass_bits,
+                              std::vector<uint64_t>* borders_out,
+                              ThreadPool& pool) {
+  size_t nthreads = pool.num_threads();
+  if (nthreads <= 1 || n < 4 * nthreads) {
+    simcache::NoTracer tracer;
+    RadixClusterPass(in, out, n, radix_of, shift, pass_bits, borders_out,
+                     tracer);
+    return;
+  }
+  const size_t buckets = size_t{1} << pass_bits;
+  std::vector<size_t> slice(nthreads + 1);
+  for (size_t t = 0; t <= nthreads; ++t) slice[t] = n * t / nthreads;
+
+  std::vector<std::vector<uint64_t>> hist(nthreads);
+  pool.ParallelFor(nthreads, [&](size_t t) {
+    std::vector<uint64_t>& h = hist[t];
+    h.assign(buckets, 0);
+    for (size_t i = slice[t]; i < slice[t + 1]; ++i) {
+      ++h[RadixBits(radix_of(in[i]), shift, pass_bits)];
+    }
+  });
+
+  // Global prefix sum over (bucket, thread); hist[t][b] becomes thread t's
+  // starting write cursor for bucket b.
+  std::vector<uint64_t> cursor(buckets + 1, 0);
+  uint64_t run = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    cursor[b] = run;
+    for (size_t t = 0; t < nthreads; ++t) {
+      uint64_t count = hist[t][b];
+      hist[t][b] = run;
+      run += count;
+    }
+  }
+  cursor[buckets] = run;
+  if (borders_out != nullptr) *borders_out = cursor;
+
+  pool.ParallelFor(nthreads, [&](size_t t) {
+    std::vector<uint64_t>& insert = hist[t];
+    for (size_t i = slice[t]; i < slice[t + 1]; ++i) {
+      size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
+      out[insert[b]++] = in[i];
+    }
+  });
+}
+
+/// Parallel multi-pass driver, byte-identical to RadixClusterMultiPass run
+/// with NoTracer. The first pass (one input cluster) uses the per-thread-
+/// histogram pass over the whole array; every later pass fans the previous
+/// pass's clusters out as independent work items on the pool's queue —
+/// the partition plan bounds per-pass fan-out, so each item refines a
+/// disjoint input range into a disjoint output slice and no further
+/// synchronisation is needed.
+template <typename T, typename RadixFn>
+ClusterBorders RadixClusterMultiPassParallel(T* data, T* scratch, size_t n,
+                                             RadixFn radix_of,
+                                             const ClusterSpec& spec,
+                                             ThreadPool& pool) {
+  RADIX_CHECK(ValidateClusterSpec(spec).ok());
+  if (pool.num_threads() <= 1) {
+    simcache::NoTracer tracer;
+    return RadixClusterMultiPass(data, scratch, n, radix_of, spec, tracer);
+  }
+  ClusterBorders borders;
+  borders.offsets = {0, n};
+  if (spec.total_bits == 0) return borders;
+
+  std::vector<radix_bits_t> pass_bits = spec.PassBits();
+  uint32_t bits_done = 0;
+  T* src = data;
+  T* dst = scratch;
+
+  for (uint32_t p = 0; p < spec.passes; ++p) {
+    radix_bits_t bp = pass_bits[p];
+    if (bp == 0) continue;
+    bits_done += bp;
+    uint32_t shift = spec.ignore_bits + spec.total_bits - bits_done;
+
+    size_t nclusters = borders.num_clusters();
+    if (nclusters == 1) {
+      std::vector<uint64_t> sub;
+      RadixClusterPassParallel(src, dst, n, radix_of, shift, bp, &sub, pool);
+      borders.offsets = std::move(sub);
+    } else {
+      ClusterBorders prev = std::move(borders);
+      std::vector<std::vector<uint64_t>> subs(nclusters);
+      pool.ParallelFor(nclusters, [&](size_t c) {
+        simcache::NoTracer tracer;
+        uint64_t begin = prev.start(c);
+        RadixClusterPass(src + begin, dst + begin, prev.size(c), radix_of,
+                         shift, bp, &subs[c], tracer);
+      });
+      std::vector<uint64_t> merged;
+      merged.reserve((nclusters << bp) + 1);
+      merged.push_back(0);
+      for (size_t c = 0; c < nclusters; ++c) {
+        for (size_t b = 1; b < subs[c].size(); ++b) {
+          merged.push_back(prev.start(c) + subs[c][b]);
+        }
+      }
+      borders.offsets = std::move(merged);
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) {
+    // Copy-back in disjoint slices (cf. the serial driver's memcpy).
+    size_t nthreads = pool.num_threads();
+    pool.ParallelFor(nthreads, [&](size_t t) {
+      size_t begin = n * t / nthreads;
+      size_t end = n * (t + 1) / nthreads;
+      std::memcpy(data + begin, src + begin, (end - begin) * sizeof(T));
+    });
+  }
+  return borders;
 }
 
 /// A [left-oid, right-oid] pair: one entry of a join index [Val87].

@@ -1,0 +1,72 @@
+#ifndef RADIX_COMMON_THREAD_POOL_H_
+#define RADIX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace radix {
+
+/// Fixed-size worker pool with a FIFO task queue, built for the parallel
+/// radix kernels: the unit of work is a cluster (or a window range of the
+/// result), and threads pull work items off a shared queue so skewed
+/// cluster sizes self-balance.
+///
+/// A pool of size 1 spawns no threads at all: every task and ParallelFor
+/// body runs inline on the calling thread, in submission/index order. This
+/// makes `num_threads == 1` exactly the serial code path (same instruction
+/// stream, tracer-safe), which is what lets the property tests assert the
+/// parallel kernels bit-identical against it.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is the remaining
+  /// participant in ParallelFor). num_threads == 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  RADIX_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Enqueue one task. Tasks may run on any worker (or on the calling
+  /// thread for a size-1 pool, in which case Submit runs it inline).
+  void Submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void Wait();
+
+  /// Run body(i) for every i in [0, n). Work items are claimed dynamically
+  /// off a shared counter (a work queue over indices), so uneven item costs
+  /// — e.g. skewed cluster sizes — balance across threads. The calling
+  /// thread participates. Blocks until all n items are done.
+  ///
+  /// Not reentrant: do not call ParallelFor (or Submit+Wait) from inside a
+  /// body running on this pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Default parallelism for callers that pass num_threads == 0: the
+  /// hardware concurrency, or 1 when it cannot be determined.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signalled when tasks arrive / stop
+  std::condition_variable idle_cv_;   ///< signalled when a task completes
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_THREAD_POOL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/radix_cluster.h"
+
 namespace radix::costmodel {
 
 namespace {
@@ -23,13 +25,14 @@ CostEstimate RadixClusterCost(const hardware::MemoryHierarchy& hw,
                               const CpuCosts& cpu, size_t tuples,
                               size_t width, radix_bits_t total_bits,
                               uint32_t passes) {
-  passes = std::max<uint32_t>(1, passes);
+  // Mirror the kernel's pass structure through ClusterSpec itself so the
+  // model cannot drift from RadixClusterMultiPass's bit distribution.
+  cluster::ClusterSpec spec{.total_bits = total_bits, .ignore_bits = 0,
+                            .passes = std::max<uint32_t>(1, passes)};
   Region data = Region::Of(tuples, width);
   MissVector total;
-  radix_bits_t base = total_bits / passes;
-  radix_bits_t extra = total_bits % passes;
-  for (uint32_t p = 0; p < passes; ++p) {
-    radix_bits_t bp = base + (p < extra ? 1 : 0);
+  for (radix_bits_t bp : spec.PassBits()) {
+    if (bp == 0) continue;  // the kernel skips zero-bit passes
     double fanout = Pow2(bp);
     // Per pass: histogram scan (s_trav input) ⊕ scatter
     // (s_trav input ⊙ nest over output clusters).
@@ -44,8 +47,14 @@ CostEstimate RadixClusterCost(const hardware::MemoryHierarchy& hw,
     total += STrav({&hw, 1.0}, data);        // histogram pass
     total += Concurrent(hw, concurrent);     // scatter pass
   }
+  if (spec.EffectivePasses() % 2 == 1) {
+    // Odd number of executed passes leaves the result in the scratch
+    // buffer; the kernel copies it back: s_trav(read) ⊕ s_trav(write).
+    total += STrav({&hw, 1.0}, data);
+    total += STrav({&hw, 1.0}, data);
+  }
   double cpu_s = cpu.cluster_ns_per_tuple * 1e-9 *
-                 static_cast<double>(tuples) * 2.0 * passes;
+                 static_cast<double>(tuples) * 2.0 * spec.EffectivePasses();
   return Finish(hw, total, cpu_s);
 }
 

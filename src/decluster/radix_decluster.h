@@ -1,12 +1,14 @@
 #ifndef RADIX_DECLUSTER_RADIX_DECLUSTER_H_
 #define RADIX_DECLUSTER_RADIX_DECLUSTER_H_
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <vector>
 
 #include "cluster/radix_cluster.h"
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "simcache/mem_tracer.h"
 
@@ -23,38 +25,29 @@ struct ClusterCursor {
 /// which the merge loop would otherwise delete on first touch).
 std::vector<ClusterCursor> MakeCursors(const cluster::ClusterBorders& borders);
 
-/// Radix-Decluster (paper §3.2, pseudo-code in Fig. 6) — the paper's main
-/// contribution.
-///
-/// Inputs: `values[i]` must end up at `result[ids[i]]`, where `ids` is a
-/// permutation of [0, n) that has been radix-CLUSTERED on its upper bits
-/// (so within each cluster ids are ascending, and across the whole array
-/// they form a dense sequence — properties (1) and (2) of §3.2).
-///
-/// The merge restricts the random insertion pattern to a window of
-/// `window_elems` result slots: each sweep visits every live cluster and
-/// consumes its prefix of ids below the window limit (sequential reads of
-/// values/ids), scattering into the window (cacheable random writes);
-/// exhausted clusters are deleted by swapping in the last cluster. After a
-/// sweep the window is full (density), so the limit advances.
-///
-/// CPU cost O(n + #windows * #clusters); memory cost sequential except for
-/// the in-cache window — the best of merge-sort and direct insertion.
-template <typename T, typename Tracer = simcache::NoTracer>
-void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
-                    std::vector<ClusterCursor> clusters, size_t window_elems,
-                    std::span<T> result, Tracer* tracer = nullptr) {
-  RADIX_CHECK(values.size() == ids.size());
-  RADIX_CHECK(result.size() == ids.size());
-  RADIX_CHECK(window_elems > 0);
+/// Debug-build verification of the §3.2 preconditions the window merge
+/// relies on: within every cluster the ids ascend strictly, and across all
+/// clusters they form a dense permutation of [0, result_size). A miswired
+/// caller (ids not actually radix-clustered, cursors not covering the
+/// array, duplicate result positions) would otherwise produce silently
+/// wrong results; this turns it into a RADIX_CHECK failure. O(n), so it is
+/// compiled out of NDEBUG builds.
+void AssertDeclusterPreconditions(std::span<const oid_t> ids,
+                                  const std::vector<ClusterCursor>& clusters,
+                                  size_t result_size);
 
-  const T* v = values.data();
-  const oid_t* id = ids.data();
-  T* out = result.data();
-  size_t nclusters = clusters.size();
-  ClusterCursor* cl = clusters.data();
+namespace detail {
 
-  for (uint64_t window_limit = window_elems; nclusters > 0;
+/// The window-merge core (paper Fig. 6), shared by the serial kernel and by
+/// each range of the parallel kernel: drain `clusters` (all of whose ids
+/// must be < the last window limit reached) into `out`, advancing the
+/// window from `first_limit` in steps of `window_elems`. Exhausted clusters
+/// are deleted by swapping in the last cluster.
+template <typename T, typename Tracer>
+void DeclusterMergeRange(const T* v, const oid_t* id, ClusterCursor* cl,
+                         size_t nclusters, size_t window_elems,
+                         uint64_t first_limit, T* out, Tracer* tracer) {
+  for (uint64_t window_limit = first_limit; nclusters > 0;
        window_limit += window_elems) {
     for (size_t i = 0; i < nclusters; ++i) {
       // Repeated sequential scan over the (small, cacheable) cursor array.
@@ -80,6 +73,42 @@ void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
   }
 }
 
+}  // namespace detail
+
+/// Radix-Decluster (paper §3.2, pseudo-code in Fig. 6) — the paper's main
+/// contribution.
+///
+/// Inputs: `values[i]` must end up at `result[ids[i]]`, where `ids` is a
+/// permutation of [0, n) that has been radix-CLUSTERED on its upper bits
+/// (so within each cluster ids are ascending, and across the whole array
+/// they form a dense sequence — properties (1) and (2) of §3.2). Debug
+/// builds verify both properties (AssertDeclusterPreconditions).
+///
+/// The merge restricts the random insertion pattern to a window of
+/// `window_elems` result slots: each sweep visits every live cluster and
+/// consumes its prefix of ids below the window limit (sequential reads of
+/// values/ids), scattering into the window (cacheable random writes);
+/// exhausted clusters are deleted by swapping in the last cluster. After a
+/// sweep the window is full (density), so the limit advances.
+///
+/// CPU cost O(n + #windows * #clusters); memory cost sequential except for
+/// the in-cache window — the best of merge-sort and direct insertion.
+template <typename T, typename Tracer = simcache::NoTracer>
+void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
+                    std::vector<ClusterCursor> clusters, size_t window_elems,
+                    std::span<T> result, Tracer* tracer = nullptr) {
+  RADIX_CHECK(values.size() == ids.size());
+  RADIX_CHECK(result.size() == ids.size());
+  RADIX_CHECK(window_elems > 0);
+#ifndef NDEBUG
+  AssertDeclusterPreconditions(ids, clusters, result.size());
+#endif
+  detail::DeclusterMergeRange(values.data(), ids.data(), clusters.data(),
+                              clusters.size(), window_elems,
+                              /*first_limit=*/window_elems, result.data(),
+                              tracer);
+}
+
 /// Convenience overload: cursors from borders, result allocated by caller.
 template <typename T, typename Tracer = simcache::NoTracer>
 void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
@@ -88,6 +117,68 @@ void RadixDecluster(std::span<const T> values, std::span<const oid_t> ids,
                     Tracer* tracer = nullptr) {
   RadixDecluster(values, ids, MakeCursors(borders), window_elems, result,
                  tracer);
+}
+
+/// Parallel Radix-Decluster: partitions the *result* into disjoint ranges
+/// of whole insertion windows and runs the Fig. 6 merge independently per
+/// range. Each work item owns private ClusterCursor copies pre-seeked to
+/// its range (a binary search per cluster — ids ascend within a cluster,
+/// §3.2 property (2)), so threads read shared values/ids but write disjoint
+/// result slices. Every result slot is written exactly once with the same
+/// value as serially, so the output is byte-identical to RadixDecluster;
+/// a size-1 pool takes the serial path outright.
+template <typename T>
+void RadixDeclusterParallel(std::span<const T> values,
+                            std::span<const oid_t> ids,
+                            const std::vector<ClusterCursor>& clusters,
+                            size_t window_elems, std::span<T> result,
+                            ThreadPool& pool) {
+  RADIX_CHECK(values.size() == ids.size());
+  RADIX_CHECK(result.size() == ids.size());
+  RADIX_CHECK(window_elems > 0);
+  size_t n = result.size();
+  size_t windows = (n + window_elems - 1) / window_elems;
+  if (pool.num_threads() <= 1 || windows <= 1) {
+    RadixDecluster<T>(values, ids, clusters, window_elems, result);
+    return;
+  }
+#ifndef NDEBUG
+  AssertDeclusterPreconditions(ids, clusters, n);
+#endif
+  // More ranges than threads lets the work queue smooth out skew in how
+  // many tuples land in each range's windows.
+  size_t num_ranges = std::min(windows, pool.num_threads() * 4);
+  const oid_t* id = ids.data();
+  pool.ParallelFor(num_ranges, [&](size_t r) {
+    uint64_t range_begin = (windows * r / num_ranges) * window_elems;
+    uint64_t range_end =
+        std::min<uint64_t>(n, (windows * (r + 1) / num_ranges) * window_elems);
+    // Private cursors clipped to [range_begin, range_end): within each
+    // cluster the ids ascend, so the clip points are binary searches.
+    std::vector<ClusterCursor> local;
+    local.reserve(clusters.size());
+    for (const ClusterCursor& c : clusters) {
+      const oid_t* lo = id + c.start;
+      const oid_t* hi = id + c.end;
+      const oid_t* first =
+          range_begin == 0 ? lo
+                           : std::lower_bound(lo, hi,
+                                              static_cast<oid_t>(range_begin));
+      const oid_t* last =
+          range_end >= n ? hi
+                         : std::lower_bound(first, hi,
+                                            static_cast<oid_t>(range_end));
+      if (first != last) {
+        local.push_back({static_cast<uint64_t>(first - id),
+                         static_cast<uint64_t>(last - id)});
+      }
+    }
+    simcache::NoTracer* tracer = nullptr;
+    detail::DeclusterMergeRange(values.data(), id, local.data(), local.size(),
+                                window_elems,
+                                /*first_limit=*/range_begin + window_elems,
+                                result.data(), tracer);
+  });
 }
 
 /// Byte-oriented Radix-Decluster for fixed-width rows of `row_bytes` each
@@ -101,6 +192,9 @@ void RadixDeclusterRows(const uint8_t* values, size_t row_bytes,
                         size_t window_elems, uint8_t* result,
                         Tracer* tracer = nullptr) {
   RADIX_CHECK(window_elems > 0);
+#ifndef NDEBUG
+  AssertDeclusterPreconditions(ids, clusters, ids.size());
+#endif
   const oid_t* id = ids.data();
   size_t nclusters = clusters.size();
   ClusterCursor* cl = clusters.data();

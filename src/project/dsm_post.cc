@@ -1,6 +1,9 @@
 #include "project/dsm_post.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
 
 #include "cluster/partition_plan.h"
 #include "cluster/radix_count.h"
@@ -21,17 +24,22 @@ using cluster::ClusterSpec;
 /// Reorder `ids` by a (partial or full) radix cluster on the oid values,
 /// returning the borders. Keeps a parallel permutation `perm` in sync so
 /// callers can track where each result row went (needed by the decluster
-/// side). `perm` may be empty to skip that bookkeeping.
+/// side). `perm` may be empty to skip that bookkeeping. A non-null `pool`
+/// runs the parallel multi-pass kernel (byte-identical output).
 ClusterBorders ClusterIds(std::vector<oid_t>& ids, std::vector<oid_t>& perm,
-                          const ClusterSpec& spec) {
+                          const ClusterSpec& spec, ThreadPool* pool) {
   struct IdPos {
     oid_t id;
     oid_t pos;
   };
   if (perm.empty()) {
     storage::Column<oid_t> scratch(ids.size());
-    simcache::NoTracer tracer;
     auto radix = [](oid_t v) -> uint64_t { return v; };
+    if (pool != nullptr) {
+      return cluster::RadixClusterMultiPassParallel(
+          ids.data(), scratch.data(), ids.size(), radix, spec, *pool);
+    }
+    simcache::NoTracer tracer;
     return cluster::RadixClusterMultiPass(ids.data(), scratch.data(),
                                           ids.size(), radix, spec, tracer);
   }
@@ -40,15 +48,30 @@ ClusterBorders ClusterIds(std::vector<oid_t>& ids, std::vector<oid_t>& perm,
     pairs[i] = {ids[i], perm[i]};
   }
   std::vector<IdPos> scratch(ids.size());
-  simcache::NoTracer tracer;
   auto radix = [](const IdPos& p) -> uint64_t { return p.id; };
-  ClusterBorders borders = cluster::RadixClusterMultiPass(
-      pairs.data(), scratch.data(), pairs.size(), radix, spec, tracer);
+  ClusterBorders borders;
+  if (pool != nullptr) {
+    borders = cluster::RadixClusterMultiPassParallel(
+        pairs.data(), scratch.data(), pairs.size(), radix, spec, *pool);
+  } else {
+    simcache::NoTracer tracer;
+    borders = cluster::RadixClusterMultiPass(pairs.data(), scratch.data(),
+                                             pairs.size(), radix, spec,
+                                             tracer);
+  }
   for (size_t i = 0; i < ids.size(); ++i) {
     ids[i] = pairs[i].id;
     perm[i] = pairs[i].pos;
   }
   return borders;
+}
+
+/// Lazily-created pool for a num_threads knob: nullptr (serial kernels)
+/// unless the caller asked for > 1 thread; 0 = all hardware threads.
+std::unique_ptr<ThreadPool> MakePool(size_t num_threads) {
+  if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
 }
 
 ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
@@ -72,14 +95,15 @@ ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
   return spec;
 }
 
-}  // namespace
-
-void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
-                 const std::vector<std::span<const value_t>>& columns,
-                 const std::vector<std::span<value_t>>& out,
-                 size_t column_cardinality,
-                 const hardware::MemoryHierarchy& hw, radix_bits_t bits,
-                 size_t window_elems, PhaseBreakdown* phases) {
+/// ProjectSide against a caller-owned pool (nullptr = serial kernels), so
+/// one pool serves both sides of a projection instead of being respawned.
+void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
+                         const std::vector<std::span<const value_t>>& columns,
+                         const std::vector<std::span<value_t>>& out,
+                         size_t column_cardinality,
+                         const hardware::MemoryHierarchy& hw,
+                         radix_bits_t bits, size_t window_elems,
+                         PhaseBreakdown* phases, ThreadPool* pool) {
   RADIX_CHECK(columns.size() == out.size());
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
@@ -102,7 +126,7 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
           SpecFor(strategy, ids.size(), column_cardinality, hw, bits);
       timer.Reset();
       std::vector<oid_t> no_perm;
-      ClusterIds(ids, no_perm, spec);
+      ClusterIds(ids, no_perm, spec, pool);
       ph->cluster_seconds += timer.ElapsedSeconds();
       timer.Reset();
       for (size_t a = 0; a < columns.size(); ++a) {
@@ -122,7 +146,7 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
       for (size_t i = 0; i < ids.size(); ++i) {
         result_pos[i] = static_cast<oid_t>(i);
       }
-      ClusterBorders borders = ClusterIds(ids, result_pos, spec);
+      ClusterBorders borders = ClusterIds(ids, result_pos, spec, pool);
       ph->cluster_seconds += timer.ElapsedSeconds();
 
       size_t window = window_elems;
@@ -136,14 +160,38 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
         join::PositionalJoin<value_t>(ids, columns[a], clust_values.span());
         ph->projection_seconds += timer.ElapsedSeconds();
         timer.Reset();
-        decluster::RadixDecluster<value_t>(
-            clust_values.span(), result_pos,
-            decluster::MakeCursors(borders), window, out[a]);
+        std::vector<decluster::ClusterCursor> cursors =
+            decluster::MakeCursors(borders);
+        if (pool != nullptr) {
+          decluster::RadixDeclusterParallel<value_t>(
+              clust_values.span(), result_pos, cursors, window, out[a],
+              *pool);
+        } else {
+          decluster::RadixDecluster<value_t>(clust_values.span(), result_pos,
+                                             std::move(cursors), window,
+                                             out[a]);
+        }
         ph->decluster_seconds += timer.ElapsedSeconds();
       }
       return;
     }
   }
+}
+
+}  // namespace
+
+void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
+                 const std::vector<std::span<const value_t>>& columns,
+                 const std::vector<std::span<value_t>>& out,
+                 size_t column_cardinality,
+                 const hardware::MemoryHierarchy& hw, radix_bits_t bits,
+                 size_t window_elems, PhaseBreakdown* phases,
+                 size_t num_threads) {
+  // kUnsorted never touches the radix kernels — skip the pool entirely.
+  std::unique_ptr<ThreadPool> pool =
+      strategy == SideStrategy::kUnsorted ? nullptr : MakePool(num_threads);
+  ProjectSideWithPool(ids, strategy, columns, out, column_cardinality, hw,
+                      bits, window_elems, phases, pool.get());
 }
 
 storage::DsmResult DsmPostProject(join::JoinIndex& index,
@@ -168,6 +216,7 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   // along: cluster/sort the [l,r] pairs, then split into two id columns.
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
+  std::unique_ptr<ThreadPool> pool = MakePool(options.num_threads);
   Timer timer;
   timer.Reset();
   if (options.left == SideStrategy::kSorted) {
@@ -180,10 +229,15 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
         SpecFor(SideStrategy::kClustered, n, left.cardinality(), hw,
                 options.left_bits);
     storage::Column<cluster::OidPair> scratch(n);
-    simcache::NoTracer tracer;
     auto radix = [](const cluster::OidPair& p) -> uint64_t { return p.left; };
-    cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
-                                   spec, tracer);
+    if (pool != nullptr) {
+      cluster::RadixClusterMultiPassParallel(index.data(), scratch.data(), n,
+                                             radix, spec, *pool);
+    } else {
+      simcache::NoTracer tracer;
+      cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
+                                     spec, tracer);
+    }
   }
   ph->cluster_seconds += timer.ElapsedSeconds();
 
@@ -212,9 +266,11 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
     // partial-cluster "is only applicable to the first projection table").
     right_strategy = SideStrategy::kDecluster;
   }
-  ProjectSide(right_ids, right_strategy, right_cols, right_out,
-              right.cardinality(), hw, options.right_bits,
-              options.window_elems, ph);
+  // Reuse this function's pool for the right side rather than spawning a
+  // second one.
+  ProjectSideWithPool(right_ids, right_strategy, right_cols, right_out,
+                      right.cardinality(), hw, options.right_bits,
+                      options.window_elems, ph, pool.get());
   return result;
 }
 

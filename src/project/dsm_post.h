@@ -26,6 +26,11 @@ struct DsmPostOptions {
   radix_bits_t right_bits = kAuto;
   /// Insertion window in elements; 0 = WindowPolicy default.
   size_t window_elems = 0;
+  /// Worker threads for the Radix-Cluster / Radix-Decluster kernels.
+  /// 1 (default) runs the exact serial kernels — required for MemTracer
+  /// runs; > 1 uses the parallel kernels (byte-identical output); 0 means
+  /// ThreadPool::DefaultThreads().
+  size_t num_threads = 1;
 };
 
 /// Execute the projection phase. `index` is consumed (may be reordered in
@@ -48,7 +53,8 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
                  const std::vector<std::span<value_t>>& out,
                  size_t column_cardinality,
                  const hardware::MemoryHierarchy& hw, radix_bits_t bits,
-                 size_t window_elems, PhaseBreakdown* phases);
+                 size_t window_elems, PhaseBreakdown* phases,
+                 size_t num_threads = 1);
 
 }  // namespace radix::project
 

@@ -87,12 +87,14 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
       if (options.plan_sides) {
         Plan plan = PlanDsmPost(w.dsm_left.cardinality(),
                                 w.dsm_right.cardinality(), index.size(),
-                                options.pi_left, options.pi_right, hw);
+                                options.pi_left, options.pi_right, hw,
+                                options.num_threads);
         popts = plan.options;
         run.detail = plan.code;
       } else {
         popts.left = options.left;
         popts.right = options.right;
+        popts.num_threads = options.num_threads;
         run.detail = std::string(SideStrategyCode(popts.left)) + "/" +
                      SideStrategyCode(popts.right);
       }

@@ -33,6 +33,13 @@ struct QueryOptions {
   bool plan_sides = true;
   SideStrategy left = SideStrategy::kClustered;
   SideStrategy right = SideStrategy::kDecluster;
+  /// Worker threads for the Radix-Cluster / Radix-Decluster kernels of the
+  /// DSM post-projection strategy (kDsmPostDecluster) — the only strategy
+  /// with parallel kernels so far; the NSM and pre-projection strategies
+  /// ignore this and run serial. 1 (default) = the exact serial kernels;
+  /// > 1 = parallel kernels with byte-identical output; 0 = all hardware
+  /// threads.
+  size_t num_threads = 1;
 };
 
 /// Execute the query on a generated workload with the given strategy.

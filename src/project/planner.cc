@@ -12,8 +12,10 @@ bool ColumnFitsCache(size_t tuples, const hardware::MemoryHierarchy& hw) {
 
 Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
                  size_t /*index_cardinality*/, size_t pi_left,
-                 size_t /*pi_right*/, const hardware::MemoryHierarchy& hw) {
+                 size_t /*pi_right*/, const hardware::MemoryHierarchy& hw,
+                 size_t num_threads) {
   Plan plan;
+  plan.options.num_threads = num_threads;
   bool left_fits = ColumnFitsCache(left_cardinality, hw);
   bool right_fits = ColumnFitsCache(right_cardinality, hw);
   plan.easy = left_fits && right_fits;

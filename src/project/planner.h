@@ -25,9 +25,12 @@ struct Plan {
   std::string code;   ///< e.g. "c/d", the Fig. 10c point label
 };
 
+/// `num_threads` is carried into the planned DsmPostOptions verbatim (the
+/// strategy choice itself is thread-count independent: parallelism scales
+/// every candidate's memory phases alike). 1 = serial kernels.
 Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
                  size_t index_cardinality, size_t pi_left, size_t pi_right,
-                 const hardware::MemoryHierarchy& hw);
+                 const hardware::MemoryHierarchy& hw, size_t num_threads = 1);
 
 /// The paper's "easy vs hard" boundary: a column of `tuples` 4-byte values
 /// fits the target cache.

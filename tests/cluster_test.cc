@@ -267,6 +267,60 @@ TEST(PartitionPlanTest, PartitionedJoinClustersFitCache) {
   EXPECT_LE(cluster_bytes * 3, hw.target_cache().capacity_bytes * 1.01);
 }
 
+TEST(ClusterSpecTest, ValidateRejectsDegenerateSpecs) {
+  // Regression: passes == 0 with total_bits > 0 used to silently return
+  // unclustered data labeled as clustered.
+  ClusterSpec zero_passes{.total_bits = 4, .ignore_bits = 0, .passes = 0};
+  Status st = ValidateClusterSpec(zero_passes);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+
+  // Bits beyond the 64-bit radix value width: everything would land in
+  // cluster 0.
+  ClusterSpec too_wide{.total_bits = 16, .ignore_bits = 56, .passes = 1};
+  EXPECT_FALSE(ValidateClusterSpec(too_wide).ok());
+  // The same spec is fine against a hypothetical wider value.
+  EXPECT_TRUE(ValidateClusterSpec(too_wide, /*value_bits=*/72).ok());
+
+  ClusterSpec ok{.total_bits = 12, .ignore_bits = 52, .passes = 3};
+  EXPECT_TRUE(ValidateClusterSpec(ok).ok());
+  // passes == 0 is invalid even when total_bits == 0 (a no-op spec still
+  // must be well-formed).
+  ClusterSpec zero_zero{.total_bits = 0, .ignore_bits = 0, .passes = 0};
+  EXPECT_FALSE(ValidateClusterSpec(zero_zero).ok());
+}
+
+TEST(ClusterSpecDeathTest, KernelChecksSpec) {
+  auto data = ShuffledOids(64, 21);
+  std::vector<oid_t> scratch(64);
+  simcache::NoTracer tracer;
+  auto radix = [](oid_t v) { return uint64_t{v}; };
+  ClusterSpec zero_passes{.total_bits = 4, .ignore_bits = 0, .passes = 0};
+  EXPECT_DEATH(RadixClusterMultiPass(data.data(), scratch.data(), data.size(),
+                                     radix, zero_passes, tracer),
+               "RADIX_CHECK failed");
+  ClusterSpec too_wide{.total_bits = 33, .ignore_bits = 32, .passes = 1};
+  EXPECT_DEATH(RadixClusterMultiPass(data.data(), scratch.data(), data.size(),
+                                     radix, too_wide, tracer),
+               "RADIX_CHECK failed");
+}
+
+TEST(ClusterSpecTest, EffectivePassesCountsNonZeroBitPasses) {
+  EXPECT_EQ((ClusterSpec{.total_bits = 0, .ignore_bits = 0, .passes = 3})
+                .EffectivePasses(),
+            0u);
+  EXPECT_EQ((ClusterSpec{.total_bits = 6, .ignore_bits = 0, .passes = 1})
+                .EffectivePasses(),
+            1u);
+  // B < P: only B passes get a bit each.
+  EXPECT_EQ((ClusterSpec{.total_bits = 2, .ignore_bits = 0, .passes = 5})
+                .EffectivePasses(),
+            2u);
+  EXPECT_EQ((ClusterSpec{.total_bits = 12, .ignore_bits = 0, .passes = 3})
+                .EffectivePasses(),
+            3u);
+}
+
 TEST(ClusterSpecTest, PassBitsSumToTotal) {
   for (uint32_t passes = 1; passes <= 5; ++passes) {
     for (radix_bits_t bits = 0; bits <= 24; ++bits) {

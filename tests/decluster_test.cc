@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
 #include "cluster/radix_count.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "decluster/radix_decluster.h"
 #include "decluster/window.h"
 #include "hardware/memory_hierarchy.h"
@@ -22,9 +24,14 @@ namespace {
 using cluster::ClusterBorders;
 using cluster::ClusterSpec;
 
-/// Build a clustered (values, ids) pair of size n with the given bits:
-/// ids is a random permutation of [0, n) radix-clustered on its upper
-/// bits; values[i] = f(ids[i]) so the expected result is value-by-position.
+/// Build a clustered (values, ids) pair of size n with the given bits, in
+/// the paper's Fig. 4 distribution: a join index is radix-clustered on the
+/// *other* side's oids (a shuffled permutation here) carrying the result
+/// positions along. The positions — what Radix-Decluster consumes as ids —
+/// are spread over the whole result range but ascend within each cluster
+/// and form a dense permutation (§3.2 properties (1)+(2), which debug
+/// builds now verify). values[i] = f(ids[i]) so the expected result is
+/// value-by-position.
 struct ClusteredInput {
   std::vector<value_t> values;
   std::vector<oid_t> ids;
@@ -32,23 +39,34 @@ struct ClusteredInput {
 };
 
 ClusteredInput MakeInput(size_t n, radix_bits_t bits, uint64_t seed) {
-  ClusteredInput in;
-  in.ids.resize(n);
-  std::iota(in.ids.begin(), in.ids.end(), 0u);
+  struct KeyPos {
+    oid_t key, pos;
+  };
+  std::vector<oid_t> keys(n);
+  std::iota(keys.begin(), keys.end(), 0u);
   Rng rng(seed);
-  workload::Shuffle(in.ids.data(), n, rng);
+  workload::Shuffle(keys.data(), n, rng);
+  std::vector<KeyPos> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {keys[i], static_cast<oid_t>(i)};
+  }
 
   radix_bits_t sig = SignificantBits(n == 0 ? 1 : n);
   radix_bits_t b = std::min<radix_bits_t>(bits, sig);
   ClusterSpec spec{.total_bits = b,
                    .ignore_bits = static_cast<radix_bits_t>(sig - b),
                    .passes = 1};
-  in.borders = cluster::RadixCluster(
-      std::span<oid_t>(in.ids), [](oid_t v) { return uint64_t{v}; }, spec);
-
+  std::vector<KeyPos> scratch(n);
+  simcache::NoTracer nt;
+  auto radix_of = [](const KeyPos& p) -> uint64_t { return p.key; };
+  ClusteredInput in;
+  in.borders = cluster::RadixClusterMultiPass(pairs.data(), scratch.data(), n,
+                                              radix_of, spec, nt);
+  in.ids.resize(n);
   in.values.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    in.values[i] = static_cast<value_t>(in.ids[i] * 7 + 3);
+    in.ids[i] = pairs[i].pos;
+    in.values[i] = static_cast<value_t>(pairs[i].pos * 7 + 3);
   }
   return in;
 }
@@ -70,7 +88,8 @@ TEST(RadixDeclusterTest, ScattersExactlyOnePerPosition) {
 }
 
 TEST(RadixDeclusterTest, SingleCluster) {
-  // One cluster == ids fully sorted; any window size must work.
+  // One cluster == ids fully sorted (§3.2 property (2) applied to a single
+  // cluster); any window size must work.
   ClusteredInput in = MakeInput(5000, 0, 2);
   std::vector<value_t> result(in.ids.size(), -1);
   RadixDecluster<value_t>(in.values, in.ids, in.borders, 64,
@@ -141,6 +160,72 @@ INSTANTIATE_TEST_SUITE_P(
                       DeclusterParam{1 << 18, 10, 1 << 14},
                       DeclusterParam{1 << 18, 3, 1 << 15},
                       DeclusterParam{99, 2, 7}));
+
+TEST_P(RadixDeclusterSweep, ParallelMatchesSerialExactly) {
+  const auto& p = GetParam();
+  ClusteredInput in = MakeInput(p.n, p.bits, 2000 + p.n + p.bits);
+  std::vector<value_t> serial(in.ids.size(), -1);
+  RadixDecluster<value_t>(in.values, in.ids, in.borders, p.window,
+                          std::span<value_t>(serial));
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<value_t> parallel(in.ids.size(), -2);
+    RadixDeclusterParallel<value_t>(in.values, in.ids,
+                                    MakeCursors(in.borders), p.window,
+                                    std::span<value_t>(parallel), pool);
+    ASSERT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+#ifndef NDEBUG
+// Debug builds verify the §3.2 preconditions; a miswired caller must die
+// with a check failure instead of producing silently wrong results.
+TEST(DeclusterPreconditionDeathTest, CatchesNonAscendingIdsWithinCluster) {
+  std::vector<value_t> values = {10, 20, 30, 40};
+  std::vector<oid_t> ids = {0, 2, 1, 3};  // 2 > 1: not ascending
+  cluster::ClusterBorders borders;
+  borders.offsets = {0, 4};
+  std::vector<value_t> result(4, -1);
+  EXPECT_DEATH(RadixDecluster<value_t>(values, ids, borders, 2,
+                                       std::span<value_t>(result)),
+               "RADIX_CHECK failed");
+}
+
+TEST(DeclusterPreconditionDeathTest, CatchesDuplicateResultPositions) {
+  std::vector<value_t> values = {10, 20, 30, 40};
+  // Ascending per cluster but id 1 appears in both clusters: not a
+  // permutation, result slot 3 would never be written.
+  std::vector<oid_t> ids = {0, 1, 1, 2};
+  cluster::ClusterBorders borders;
+  borders.offsets = {0, 2, 4};
+  std::vector<value_t> result(4, -1);
+  EXPECT_DEATH(RadixDecluster<value_t>(values, ids, borders, 2,
+                                       std::span<value_t>(result)),
+               "RADIX_CHECK failed");
+}
+
+TEST(DeclusterPreconditionDeathTest, CatchesIdsBeyondResult) {
+  std::vector<value_t> values = {10, 20};
+  std::vector<oid_t> ids = {0, 7};  // 7 outside [0, 2)
+  cluster::ClusterBorders borders;
+  borders.offsets = {0, 2};
+  std::vector<value_t> result(2, -1);
+  EXPECT_DEATH(RadixDecluster<value_t>(values, ids, borders, 2,
+                                       std::span<value_t>(result)),
+               "RADIX_CHECK failed");
+}
+
+TEST(DeclusterPreconditionDeathTest, CatchesCursorsNotCoveringIds) {
+  std::vector<value_t> values = {10, 20, 30, 40};
+  std::vector<oid_t> ids = {0, 1, 2, 3};
+  // Cursors cover only the first half: slots 2 and 3 would stay stale.
+  std::vector<ClusterCursor> cursors = {{0, 2}};
+  std::vector<value_t> result(4, -1);
+  EXPECT_DEATH(RadixDecluster<value_t>(values, ids, std::move(cursors), 2,
+                                       std::span<value_t>(result)),
+               "RADIX_CHECK failed");
+}
+#endif  // NDEBUG
 
 TEST(RadixDeclusterRowsTest, DeclustersFixedWidthRows) {
   constexpr size_t kRowValues = 5;

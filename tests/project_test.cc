@@ -96,6 +96,30 @@ INSTANTIATE_TEST_SUITE_P(
                       SideCombo{SideStrategy::kSorted, SideStrategy::kUnsorted},
                       SideCombo{SideStrategy::kUnsorted, SideStrategy::kDecluster}));
 
+TEST(ExecutorThreadsTest, NumThreadsProducesIdenticalQueryResults) {
+  // The num_threads knob must not change what is computed: the parallel
+  // cluster/decluster kernels are byte-identical to serial, so cardinality,
+  // checksum and the planned strategy code all match the serial run.
+  auto hw = P4();
+  auto w = SmallWorkload(1 << 14, 4, 1.0);
+  for (bool plan : {true, false}) {
+    QueryOptions serial;
+    serial.pi_left = 2;
+    serial.pi_right = 2;
+    serial.plan_sides = plan;
+    QueryRun ref = RunQuery(w, JoinStrategy::kDsmPostDecluster, serial, hw);
+    for (size_t threads : {2u, 4u, 8u}) {
+      QueryOptions par = serial;
+      par.num_threads = threads;
+      QueryRun run = RunQuery(w, JoinStrategy::kDsmPostDecluster, par, hw);
+      EXPECT_EQ(run.result_cardinality, ref.result_cardinality);
+      EXPECT_EQ(run.checksum, ref.checksum)
+          << "plan_sides=" << plan << " threads=" << threads;
+      EXPECT_EQ(run.detail, ref.detail);
+    }
+  }
+}
+
 TEST(DsmPostTest, ProjectionValuesAreCorrectRowByRow) {
   auto hw = P4();
   auto w = SmallWorkload(1 << 12, 4, 1.0);

@@ -4,13 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "cluster/radix_cluster.h"
 #include "cluster/radix_count.h"
 #include "cluster/radix_sort.h"
+#include "common/hash.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "decluster/radix_decluster.h"
 #include "hardware/memory_hierarchy.h"
 #include "join/positional_join.h"
@@ -147,6 +150,88 @@ TEST(ProjectSideProperty, AllStrategiesProduceSameMultiset) {
   EXPECT_EQ(run(project::SideStrategy::kSorted), u);
   EXPECT_EQ(run(project::SideStrategy::kClustered), u);
   EXPECT_EQ(run(project::SideStrategy::kDecluster), u);
+}
+
+TEST(ParallelProperty, ClusterAndDeclusterBitIdenticalToSerial) {
+  // The parallel kernels' whole contract: for every spec shape the paper
+  // exercises — B = 0 no-op, single-pass, multi-pass, Zipf-skewed keys,
+  // sparse inputs where most clusters are empty — and every thread count,
+  // the parallel Radix-Cluster produces byte-identical data + borders, and
+  // the parallel Radix-Decluster over the clustered positions produces a
+  // byte-identical result column.
+  struct Shape {
+    const char* name;
+    size_t n;
+    radix_bits_t bits;
+    uint32_t passes;
+    bool zipf;
+  };
+  const Shape shapes[] = {
+      {"B=0 no-op", 10'000, 0, 1, false},
+      {"single-pass", 20'000, 6, 1, false},
+      {"multi-pass", 30'000, 11, 3, false},
+      {"Zipf-skewed", 30'000, 8, 2, true},
+      {"empty clusters", 300, 10, 2, false},
+  };
+  struct KeyPos {
+    oid_t key;  // join attribute the index is clustered on
+    oid_t pos;  // result position carried through (ascending per cluster)
+  };
+  auto radix_of = [](const KeyPos& p) -> uint64_t { return KeyHash{}(p.key); };
+
+  for (uint64_t seed : {1u, 42u, 12345u}) {
+    for (const Shape& s : shapes) {
+      Rng rng(seed);
+      workload::ZipfGenerator zipf(1 << 16, 0.9);
+      std::vector<KeyPos> base(s.n);
+      for (size_t i = 0; i < s.n; ++i) {
+        oid_t key = s.zipf ? static_cast<oid_t>(zipf.Next(rng))
+                           : static_cast<oid_t>(rng.Below(s.n));
+        base[i] = {key, static_cast<oid_t>(i)};
+      }
+      ClusterSpec spec{.total_bits = s.bits, .ignore_bits = 0,
+                       .passes = s.passes};
+
+      // Serial reference: cluster, then decluster a payload column.
+      std::vector<KeyPos> serial = base;
+      std::vector<KeyPos> scratch(s.n);
+      simcache::NoTracer nt;
+      ClusterBorders serial_borders = cluster::RadixClusterMultiPass(
+          serial.data(), scratch.data(), s.n, radix_of, spec, nt);
+
+      std::vector<value_t> values(s.n);
+      std::vector<oid_t> positions(s.n);
+      for (size_t i = 0; i < s.n; ++i) {
+        values[i] = static_cast<value_t>(serial[i].pos * 13 + 1);
+        positions[i] = serial[i].pos;
+      }
+      size_t window = 64 + seed % 1000;  // deliberately non-round
+      std::vector<value_t> serial_result(s.n, -1);
+      decluster::RadixDecluster<value_t>(
+          values, positions, decluster::MakeCursors(serial_borders), window,
+          std::span<value_t>(serial_result));
+
+      for (size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<KeyPos> parallel = base;
+        ClusterBorders par_borders = cluster::RadixClusterMultiPassParallel(
+            parallel.data(), scratch.data(), s.n, radix_of, spec, pool);
+        ASSERT_EQ(par_borders.offsets, serial_borders.offsets)
+            << s.name << " seed=" << seed << " threads=" << threads;
+        ASSERT_EQ(std::memcmp(parallel.data(), serial.data(),
+                              s.n * sizeof(KeyPos)),
+                  0)
+            << s.name << " seed=" << seed << " threads=" << threads;
+
+        std::vector<value_t> par_result(s.n, -2);
+        decluster::RadixDeclusterParallel<value_t>(
+            values, positions, decluster::MakeCursors(par_borders), window,
+            std::span<value_t>(par_result), pool);
+        ASSERT_EQ(par_result, serial_result)
+            << s.name << " seed=" << seed << " threads=" << threads;
+      }
+    }
+  }
 }
 
 TEST(SortProperty, RadixSortMatchesStdSortOnPairs) {
