@@ -4,7 +4,10 @@
 //  3. hashed vs identity clustering under Zipf key skew;
 //  4. paged (Section 5, three-phase) vs flat Radix-Decluster overhead;
 //  5. serial vs parallel Radix-Cluster / Radix-Decluster (the threads=1
-//     row IS the serial kernel; output is byte-identical by contract).
+//     row IS the serial kernel; output is byte-identical by contract);
+//  6. materializing vs streaming (pipeline/) post-projection at the
+//     paper's 8M-tuple scale: same checksum, chunk-bounded intermediates,
+//     overlapped gather/decluster phases.
 
 #include <benchmark/benchmark.h>
 
@@ -22,7 +25,10 @@
 #include "decluster/paged_decluster.h"
 #include "decluster/radix_decluster.h"
 #include "decluster/window.h"
+#include "pipeline/memory_gauge.h"
+#include "project/executor.h"
 #include "workload/distributions.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -263,6 +269,96 @@ BENCHMARK(BM_ParallelDecluster)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ----------------------------- 6. materializing vs streaming projection
+// The Fig. 10/11 DSM post-projection query at paper scale (8M tuples),
+// executed materializing (RunQuery) vs streamed (RunQueryStreaming with a
+// cache-sized chunk). Checksums must agree; the streaming row additionally
+// reports peak intermediate bytes (MemoryGauge) and the overlapped
+// pipeline's wall share.
+const workload::JoinWorkload& AblationQueryWorkload() {
+  static const workload::JoinWorkload w = [] {
+    workload::JoinWorkloadSpec spec;
+    spec.cardinality = radix::bench::ScaledN(8'000'000, 1'000'000);
+    spec.num_attrs = 4;
+    spec.hit_rate = 1.0;
+    spec.seed = 29;
+    spec.build_nsm = false;  // DSM-only ablation; halve the footprint
+    return workload::MakeJoinWorkload(spec);
+  }();
+  return w;
+}
+
+project::QueryOptions AblationQueryOptions(size_t threads) {
+  project::QueryOptions opts;
+  opts.pi_left = 3;
+  opts.pi_right = 3;
+  opts.plan_sides = false;  // pin c/d so both variants take the full path
+  opts.left = project::SideStrategy::kClustered;
+  opts.right = project::SideStrategy::kDecluster;
+  opts.num_threads = threads;
+  return opts;
+}
+
+void BM_QueryMaterializing(benchmark::State& state) {
+  const workload::JoinWorkload& w = AblationQueryWorkload();
+  project::QueryOptions opts =
+      AblationQueryOptions(static_cast<size_t>(state.range(0)));
+  uint64_t checksum = 0;
+  project::PhaseBreakdown phases;
+  for (auto _ : state) {
+    project::QueryRun run = project::RunQuery(
+        w, project::JoinStrategy::kDsmPostDecluster, opts,
+        radix::bench::BenchHw());
+    checksum = run.checksum;
+    phases = run.phases;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["N"] = static_cast<double>(w.dsm_left.cardinality());
+  state.counters["checksum_lo32"] =
+      static_cast<double>(checksum & 0xffffffffu);
+  state.counters["busy_total_ms"] = phases.busy_total() * 1e3;
+}
+BENCHMARK(BM_QueryMaterializing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_QueryStreaming(benchmark::State& state) {
+  const workload::JoinWorkload& w = AblationQueryWorkload();
+  project::QueryOptions opts =
+      AblationQueryOptions(static_cast<size_t>(state.range(0)));
+  opts.chunk_rows = 0;  // auto: cache-sized chunks
+  pipeline::MemoryGauge& gauge = pipeline::MemoryGauge::Instance();
+  uint64_t checksum = 0;
+  project::PhaseBreakdown phases;
+  size_t peak = 0;
+  for (auto _ : state) {
+    gauge.ResetPeak();
+    size_t before = gauge.current_bytes();
+    project::QueryRun run = project::RunQueryStreaming(
+        w, project::JoinStrategy::kDsmPostDecluster, opts,
+        radix::bench::BenchHw());
+    peak = gauge.peak_bytes() - before;
+    checksum = run.checksum;
+    phases = run.phases;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["N"] = static_cast<double>(w.dsm_left.cardinality());
+  state.counters["checksum_lo32"] =
+      static_cast<double>(checksum & 0xffffffffu);
+  state.counters["peak_intermediate_KB"] = static_cast<double>(peak) / 1024;
+  state.counters["pipeline_wall_ms"] = phases.pipeline_wall_seconds * 1e3;
+  state.counters["busy_total_ms"] = phases.busy_total() * 1e3;
+}
+BENCHMARK(BM_QueryStreaming)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

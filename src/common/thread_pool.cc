@@ -51,6 +51,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  idle_cv_.notify_all();
+  return true;
+}
+
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);

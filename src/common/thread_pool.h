@@ -42,6 +42,12 @@ class ThreadPool {
   /// Block until every task submitted so far has finished.
   void Wait();
 
+  /// Pop and run one queued task on the calling thread, if any; returns
+  /// whether a task ran. Lets a coordinator thread that is otherwise
+  /// blocked waiting on Submit-driven work (e.g. the streaming executor's
+  /// ring) contribute instead of idling, so all num_threads participate.
+  bool TryRunOneTask();
+
   /// Run body(i) for every i in [0, n). Work items are claimed dynamically
   /// off a shared counter (a work queue over indices), so uneven item costs
   /// — e.g. skewed cluster sizes — balance across threads. The calling

@@ -183,6 +183,38 @@ CostEstimate RadixDeclusterCost(const hardware::MemoryHierarchy& hw,
   return Finish(hw, total, cpu_s);
 }
 
+CostEstimate StreamingRadixDeclusterCost(const hardware::MemoryHierarchy& hw,
+                                         const CpuCosts& cpu, size_t tuples,
+                                         size_t width, radix_bits_t bits,
+                                         size_t window_elems,
+                                         size_t chunk_rows) {
+  // Scheduling cost of one chunk through the executor ring (task hand-off
+  // and completion signalling); roughly the thread pool's per-task cost.
+  constexpr double kChunkOverheadSeconds = 3e-6;
+  CostEstimate est =
+      RadixDeclusterCost(hw, cpu, tuples, width, bits, window_elems);
+  if (chunk_rows == 0 || chunk_rows >= tuples) {
+    est.seconds += kChunkOverheadSeconds;
+    return est;
+  }
+  double clusters = Pow2(bits);
+  double chunks = std::ceil(static_cast<double>(tuples) /
+                            static_cast<double>(chunk_rows));
+  double clusters_per_chunk = std::max(1.0, clusters / chunks);
+  // Per-chunk traversals on top of the shared memory cost: every chunk
+  // sweeps its (cache-resident) cursor slice once more for setup and
+  // min-tracking, and pays one ring hand-off. This is what makes
+  // chunk_rows = 1 visibly expensive in the model, exactly as it is in the
+  // executor (one task per cluster).
+  Region borders_slice = {clusters_per_chunk, 2.0 * sizeof(uint64_t)};
+  MissVector extra = RsTrav({&hw, 1.0}, 1.0, borders_slice) * chunks;
+  est.misses += extra;
+  est.seconds += MissesToSeconds(hw, extra, /*cpu_seconds=*/0.0) +
+                 kChunkOverheadSeconds * chunks +
+                 1e-9 * clusters_per_chunk * chunks;  // cursor-slice setup
+  return est;
+}
+
 CostEstimate LeftJiveJoinCost(const hardware::MemoryHierarchy& hw,
                               const CpuCosts& cpu, size_t index_tuples,
                               size_t left_tuples, size_t width,

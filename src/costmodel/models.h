@@ -65,6 +65,21 @@ CostEstimate RadixDeclusterCost(const hardware::MemoryHierarchy& hw,
                                 size_t width, radix_bits_t bits,
                                 size_t window_elems);
 
+/// Streamed (chunked) Radix-Decluster — the pipeline/ execution of the same
+/// merge. The per-tuple traversals are unchanged (every value/id is still
+/// read sequentially once, every result slot written once into a
+/// cache-resident window), so the memory cost equals RadixDeclusterCost;
+/// what chunking adds is charged per chunk: one sweep of the chunk's
+/// cursor slice (the sparse merge's setup + min-tracking pass) and the
+/// task hand-off through the executor ring. With chunk_rows >= N this is
+/// RadixDeclusterCost plus a single task's overhead — one formula predicts
+/// both variants, which is what lets the planner reason about streaming.
+CostEstimate StreamingRadixDeclusterCost(const hardware::MemoryHierarchy& hw,
+                                         const CpuCosts& cpu, size_t tuples,
+                                         size_t width, radix_bits_t bits,
+                                         size_t window_elems,
+                                         size_t chunk_rows);
+
 /// Left Jive-Join: merge of the (sorted) join index with the left input
 /// (both s_trav) fanning out into 2^B clusters (nest) for both outputs.
 CostEstimate LeftJiveJoinCost(const hardware::MemoryHierarchy& hw,

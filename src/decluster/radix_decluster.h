@@ -25,6 +25,13 @@ struct ClusterCursor {
 /// which the merge loop would otherwise delete on first touch).
 std::vector<ClusterCursor> MakeCursors(const cluster::ClusterBorders& borders);
 
+/// Cursors for clusters [cluster_begin, cluster_end) only — one chunk of a
+/// streamed decluster (pipeline/). Empty clusters are dropped as in
+/// MakeCursors.
+std::vector<ClusterCursor> MakeCursorsForRange(
+    const cluster::ClusterBorders& borders, size_t cluster_begin,
+    size_t cluster_end);
+
 /// Debug-build verification of the §3.2 preconditions the window merge
 /// relies on: within every cluster the ids ascend strictly, and across all
 /// clusters they form a dense permutation of [0, result_size). A miswired
@@ -70,6 +77,49 @@ void DeclusterMergeRange(const T* v, const oid_t* id, ClusterCursor* cl,
       }
       if (i >= nclusters) break;
     }
+  }
+}
+
+/// Window merge over a *subset* of the clusters — one chunk of a streamed
+/// decluster. Unlike DeclusterMergeRange, the chunk's ids are not dense in
+/// the result (each window typically holds only a 1/#chunks fraction of
+/// this chunk's tuples), so a fixed-step window advance would sweep the
+/// cursor array once per window even when the window has nothing to drain.
+/// Instead, after each sweep the limit jumps straight to the window holding
+/// the smallest id still unconsumed, keeping the merge O(tuples +
+/// touched_windows * chunk_clusters). Values are chunk-local:
+/// v[pos - v_off] is the payload of global clustered position pos.
+template <typename T>
+void DeclusterMergeSparse(const T* v, uint64_t v_off, const oid_t* id,
+                          ClusterCursor* cl, size_t nclusters,
+                          size_t window_elems, T* out) {
+  if (nclusters == 0) return;
+  uint64_t min_id = id[cl[0].start];
+  for (size_t i = 1; i < nclusters; ++i) {
+    min_id = std::min<uint64_t>(min_id, id[cl[i].start]);
+  }
+  uint64_t window_limit = (min_id / window_elems + 1) * window_elems;
+  while (nclusters > 0) {
+    uint64_t min_next = ~uint64_t{0};
+    for (size_t i = 0; i < nclusters; ++i) {
+      while (true) {
+        uint64_t pos = cl[i].start;
+        if (id[pos] >= window_limit) {
+          min_next = std::min<uint64_t>(min_next, id[pos]);
+          break;
+        }
+        out[id[pos]] = v[pos - v_off];
+        if (++cl[i].start >= cl[i].end) {
+          // Swap-delete exactly as in Fig. 6; keep draining the cluster
+          // swapped into slot i (its already-recorded min_next stays valid).
+          cl[i] = cl[--nclusters];
+          if (i >= nclusters) break;
+        }
+      }
+      if (i >= nclusters) break;
+    }
+    if (nclusters == 0) break;
+    window_limit = (min_next / window_elems + 1) * window_elems;
   }
 }
 
@@ -179,6 +229,48 @@ void RadixDeclusterParallel(std::span<const T> values,
                                 /*first_limit=*/range_begin + window_elems,
                                 result.data(), tracer);
   });
+}
+
+/// Radix-Decluster one chunk of a streamed projection (the sink stage of
+/// pipeline/): `chunk_values` holds the payloads for global clustered
+/// positions [value_offset, value_offset + chunk rows); `ids` is the full
+/// clustered result-position column; `clusters` are the cursors of this
+/// chunk's cluster range only (MakeCursorsForRange). Writes exactly the
+/// result slots this chunk's ids name — cluster-aligned chunks partition
+/// the clustered array, so concurrent calls on distinct chunks touch
+/// disjoint slots of `result`, and the union over all chunks is
+/// byte-identical to one full RadixDecluster.
+/// `validate` lets a caller that merges the same chunk once per projected
+/// column run the (debug-build) precondition sweep only on the first merge
+/// instead of pi times.
+template <typename T>
+void RadixDeclusterChunk(const T* chunk_values, uint64_t value_offset,
+                         std::span<const oid_t> ids,
+                         std::vector<ClusterCursor> clusters,
+                         size_t window_elems, std::span<T> result,
+                         bool validate = true) {
+  RADIX_CHECK(window_elems > 0);
+#ifndef NDEBUG
+  // Chunk-scoped §3.2 preconditions: strict ascent within each cluster and
+  // ids addressing the result. (Density and cross-chunk disjointness are
+  // whole-pipeline properties; the streaming-vs-materializing equality
+  // tests cover them.)
+  if (validate) {
+    for (const ClusterCursor& c : clusters) {
+      RADIX_CHECK(c.start < c.end);
+      RADIX_CHECK(c.start >= value_offset && c.end <= ids.size());
+      for (uint64_t p = c.start; p < c.end; ++p) {
+        RADIX_CHECK(ids[p] < result.size());
+        RADIX_CHECK(p + 1 == c.end || ids[p] < ids[p + 1]);
+      }
+    }
+  }
+#else
+  (void)validate;
+#endif
+  detail::DeclusterMergeSparse(chunk_values, value_offset, ids.data(),
+                               clusters.data(), clusters.size(), window_elems,
+                               result.data());
 }
 
 /// Byte-oriented Radix-Decluster for fixed-width rows of `row_bytes` each

@@ -1,9 +1,12 @@
 #ifndef RADIX_JOIN_POSITIONAL_JOIN_H_
 #define RADIX_JOIN_POSITIONAL_JOIN_H_
 
+#include <algorithm>
 #include <span>
+#include <vector>
 
 #include "cluster/radix_cluster.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "simcache/mem_tracer.h"
 
@@ -54,6 +57,106 @@ void PositionalJoinPairs(std::span<const cluster::OidPair> index,
     }
     o[i] = v[id];
   }
+}
+
+/// Range-restricted Positional-Join: out[i - begin] = values[ids[i]] for
+/// i in [begin, end). `out` is the chunk-local base, so a streamed gather
+/// can land in a chunk buffer; passing `full_out + begin` reproduces the
+/// unrestricted kernel one slice at a time. The building block of both the
+/// chunked pipeline gather and the parallel per-column gather below.
+template <typename T>
+void PositionalJoinRange(std::span<const oid_t> ids, size_t begin, size_t end,
+                         std::span<const T> values, T* out) {
+  RADIX_DCHECK(begin <= end && end <= ids.size());
+  const oid_t* id = ids.data();
+  const T* v = values.data();
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = v[id[i]];
+  }
+}
+
+/// Range-restricted PositionalJoinPairs (same out convention as
+/// PositionalJoinRange).
+template <typename T, bool kLeft>
+void PositionalJoinPairsRange(std::span<const cluster::OidPair> index,
+                              size_t begin, size_t end,
+                              std::span<const T> values, T* out) {
+  RADIX_DCHECK(begin <= end && end <= index.size());
+  const cluster::OidPair* p = index.data();
+  const T* v = values.data();
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = v[kLeft ? p[i].left : p[i].right];
+  }
+}
+
+namespace detail {
+
+/// Slice count for the parallel gathers: ~2 items per thread per column,
+/// but never slices producing less than ~4 KiB of output — tinier items
+/// would be all scheduling overhead.
+template <typename T>
+size_t GatherSlices(size_t n, const ThreadPool& pool) {
+  size_t min_rows = std::max<size_t>(1, 4096 / sizeof(T));
+  return std::clamp<size_t>(n / min_rows, 1, pool.num_threads() * 2);
+}
+
+}  // namespace detail
+
+/// The per-column positional-join gather loop, parallelized over
+/// (column x row-slice) work items (the ROADMAP follow-up from the thread
+/// pool PR). Byte-identical to the serial loop: items write disjoint output
+/// ranges and read shared immutable inputs, so only the write order varies.
+/// A null or size-1 pool runs the exact serial loop.
+template <typename T>
+void PositionalJoinColumns(std::span<const oid_t> ids,
+                           const std::vector<std::span<const T>>& columns,
+                           const std::vector<std::span<T>>& outs,
+                           ThreadPool* pool) {
+  RADIX_CHECK(columns.size() == outs.size());
+  size_t n = ids.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 0 ||
+      columns.empty()) {
+    for (size_t a = 0; a < columns.size(); ++a) {
+      PositionalJoin<T>(ids, columns[a], outs[a]);
+    }
+    return;
+  }
+  size_t slices = detail::GatherSlices<T>(n, *pool);
+  pool->ParallelFor(columns.size() * slices, [&](size_t item) {
+    size_t a = item / slices;
+    size_t s = item % slices;
+    size_t begin = n * s / slices;
+    size_t end = n * (s + 1) / slices;
+    PositionalJoinRange<T>(ids, begin, end, columns[a],
+                           outs[a].data() + begin);
+  });
+}
+
+/// Parallel per-column gather off a join index side; see
+/// PositionalJoinColumns for the contract.
+template <typename T, bool kLeft>
+void PositionalJoinPairsColumns(std::span<const cluster::OidPair> index,
+                                const std::vector<std::span<const T>>& columns,
+                                const std::vector<std::span<T>>& outs,
+                                ThreadPool* pool) {
+  RADIX_CHECK(columns.size() == outs.size());
+  size_t n = index.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 0 ||
+      columns.empty()) {
+    for (size_t a = 0; a < columns.size(); ++a) {
+      PositionalJoinPairs<T, kLeft>(index, columns[a], outs[a]);
+    }
+    return;
+  }
+  size_t slices = detail::GatherSlices<T>(n, *pool);
+  pool->ParallelFor(columns.size() * slices, [&](size_t item) {
+    size_t a = item / slices;
+    size_t s = item % slices;
+    size_t begin = n * s / slices;
+    size_t end = n * (s + 1) / slices;
+    PositionalJoinPairsRange<T, kLeft>(index, begin, end, columns[a],
+                                       outs[a].data() + begin);
+  });
 }
 
 }  // namespace radix::join

@@ -1,0 +1,73 @@
+#ifndef RADIX_PIPELINE_EXECUTOR_H_
+#define RADIX_PIPELINE_EXECUTOR_H_
+
+#include <cstddef>
+
+#include "common/thread_pool.h"
+#include "pipeline/chunk.h"
+
+namespace radix::pipeline {
+
+/// One stage of a streamed pipeline. Stages are invoked concurrently for
+/// *distinct* chunks, so an implementation must only read shared immutable
+/// inputs and write chunk-private state: the chunk's arena buffers, or the
+/// disjoint output range the chunk owns (a row range for order-preserving
+/// gathers, a set of result slots for the decluster merge).
+class ChunkStage {
+ public:
+  virtual ~ChunkStage() = default;
+  virtual void Run(WorkChunk& chunk) = 0;
+};
+
+/// Per-stage busy time summed across all chunk tasks (i.e. thread-seconds);
+/// once stages overlap on a pool, busy sums legitimately exceed the wall
+/// time StreamingExecutor::Run returns.
+struct PipelineStats {
+  double gather_busy_seconds = 0;
+  double sink_busy_seconds = 0;
+  size_t chunks = 0;
+  size_t ring_slots = 0;
+};
+
+struct ExecutorOptions {
+  /// Bound on in-flight chunks. 0 = auto: pool threads + 2 when threaded
+  /// (every worker can stay busy while the coordinator refills), 1 when
+  /// serial. Peak intermediate memory is ring_slots * buffer bytes.
+  size_t ring_slots = 0;
+  /// Arena shape per ring slot: `buffer_columns` buffers of `buffer_rows`
+  /// values. 0 columns for stages that write straight into the output.
+  size_t buffer_columns = 0;
+  size_t buffer_rows = 0;
+  /// nullptr (or a size-1 pool) runs every stage inline on the calling
+  /// thread, in chunk order — the exact reference pipeline.
+  ThreadPool* pool = nullptr;
+};
+
+/// The pull-based chunked executor at the heart of src/pipeline/: pulls
+/// chunk descriptors off a ChunkPlan, parks each in a free slot of a
+/// bounded ring, and schedules its stages on the thread pool. The gather
+/// task of a chunk chains its sink task onto the pool queue, so the sink
+/// (Radix-Decluster window merge) of chunk k runs while the gather of
+/// chunk k+1 proceeds — phases overlap instead of running back-to-back,
+/// and at most ring_slots chunks of intermediates exist at any moment.
+///
+/// Output is byte-identical regardless of pool size or scheduling: chunks
+/// own disjoint output ranges, so write order between chunks is free.
+class StreamingExecutor {
+ public:
+  explicit StreamingExecutor(const ExecutorOptions& options)
+      : options_(options) {}
+
+  /// Drive every chunk of `plan` through `gather`, then `sink` (optional).
+  /// Blocks until all chunks completed; returns the wall seconds of the
+  /// streamed section.
+  double Run(const ChunkPlan& plan, ChunkStage& gather, ChunkStage* sink,
+             PipelineStats* stats = nullptr);
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace radix::pipeline
+
+#endif  // RADIX_PIPELINE_EXECUTOR_H_

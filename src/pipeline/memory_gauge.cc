@@ -1,0 +1,27 @@
+#include "pipeline/memory_gauge.h"
+
+namespace radix::pipeline {
+
+MemoryGauge& MemoryGauge::Instance() {
+  static MemoryGauge gauge;
+  return gauge;
+}
+
+void MemoryGauge::Add(size_t bytes) {
+  size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryGauge::Sub(size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryGauge::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+}  // namespace radix::pipeline

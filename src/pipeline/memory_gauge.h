@@ -1,0 +1,44 @@
+#ifndef RADIX_PIPELINE_MEMORY_GAUGE_H_
+#define RADIX_PIPELINE_MEMORY_GAUGE_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/macros.h"
+
+namespace radix::pipeline {
+
+/// Process-wide instrumentation of the streaming pipeline's intermediate
+/// buffers. Every chunk buffer the executor ring allocates registers its
+/// bytes here, so tests and bench counters can assert the subsystem's
+/// headline invariant: peak in-flight intermediate bytes are
+/// O(ring_slots * chunk_rows * columns), independent of the relation
+/// cardinality N — unlike the materializing projector, whose intermediates
+/// grow with N.
+class MemoryGauge {
+ public:
+  static MemoryGauge& Instance();
+
+  MemoryGauge() = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(MemoryGauge);
+
+  void Add(size_t bytes);
+  void Sub(size_t bytes);
+
+  /// Start a fresh measurement window: peak := current. Buffers registered
+  /// before the reset stay accounted in current_bytes().
+  void ResetPeak();
+
+  size_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace radix::pipeline
+
+#endif  // RADIX_PIPELINE_MEMORY_GAUGE_H_

@@ -16,16 +16,11 @@
 
 namespace radix::project {
 
-namespace {
+namespace detail {
 
 using cluster::ClusterBorders;
 using cluster::ClusterSpec;
 
-/// Reorder `ids` by a (partial or full) radix cluster on the oid values,
-/// returning the borders. Keeps a parallel permutation `perm` in sync so
-/// callers can track where each result row went (needed by the decluster
-/// side). `perm` may be empty to skip that bookkeeping. A non-null `pool`
-/// runs the parallel multi-pass kernel (byte-identical output).
 ClusterBorders ClusterIds(std::vector<oid_t>& ids, std::vector<oid_t>& perm,
                           const ClusterSpec& spec, ThreadPool* pool) {
   struct IdPos {
@@ -66,8 +61,6 @@ ClusterBorders ClusterIds(std::vector<oid_t>& ids, std::vector<oid_t>& perm,
   return borders;
 }
 
-/// Lazily-created pool for a num_threads knob: nullptr (serial kernels)
-/// unless the caller asked for > 1 thread; 0 = all hardware threads.
 std::unique_ptr<ThreadPool> MakePool(size_t num_threads) {
   if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
   if (num_threads <= 1) return nullptr;
@@ -95,6 +88,46 @@ ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
   return spec;
 }
 
+void ReorderIndexLeft(join::JoinIndex& index, size_t left_cardinality,
+                      const hardware::MemoryHierarchy& hw, SideStrategy left,
+                      radix_bits_t left_bits, ThreadPool* pool) {
+  size_t n = index.size();
+  if (left == SideStrategy::kSorted) {
+    cluster::RadixSortJoinIndex(index.span(),
+                                static_cast<oid_t>(left_cardinality),
+                                /*by_left=*/true);
+  } else if (left == SideStrategy::kClustered ||
+             left == SideStrategy::kDecluster) {
+    cluster::ClusterSpec spec =
+        SpecFor(SideStrategy::kClustered, n, left_cardinality, hw, left_bits);
+    storage::Column<cluster::OidPair> scratch(n);
+    auto radix = [](const cluster::OidPair& p) -> uint64_t { return p.left; };
+    if (pool != nullptr) {
+      cluster::RadixClusterMultiPassParallel(index.data(), scratch.data(), n,
+                                             radix, spec, *pool);
+    } else {
+      simcache::NoTracer tracer;
+      cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
+                                     spec, tracer);
+    }
+  }
+}
+
+}  // namespace detail
+
+size_t DefaultChunkRows(const hardware::MemoryHierarchy& hw) {
+  return std::max<size_t>(1,
+                          hw.target_cache().capacity_bytes / sizeof(value_t));
+}
+
+namespace {
+
+using cluster::ClusterBorders;
+using cluster::ClusterSpec;
+using detail::ClusterIds;
+using detail::MakePool;
+using detail::SpecFor;
+
 /// ProjectSide against a caller-owned pool (nullptr = serial kernels), so
 /// one pool serves both sides of a projection instead of being respawned.
 void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
@@ -112,9 +145,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
   switch (strategy) {
     case SideStrategy::kUnsorted: {
       timer.Reset();
-      for (size_t a = 0; a < columns.size(); ++a) {
-        join::PositionalJoin<value_t>(ids, columns[a], out[a]);
-      }
+      join::PositionalJoinColumns<value_t>(ids, columns, out, pool);
       ph->projection_seconds += timer.ElapsedSeconds();
       return;
     }
@@ -129,9 +160,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
       ClusterIds(ids, no_perm, spec, pool);
       ph->cluster_seconds += timer.ElapsedSeconds();
       timer.Reset();
-      for (size_t a = 0; a < columns.size(); ++a) {
-        join::PositionalJoin<value_t>(ids, columns[a], out[a]);
-      }
+      join::PositionalJoinColumns<value_t>(ids, columns, out, pool);
       ph->projection_seconds += timer.ElapsedSeconds();
       return;
     }
@@ -157,7 +186,8 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
       storage::Column<value_t> clust_values(ids.size());
       for (size_t a = 0; a < columns.size(); ++a) {
         timer.Reset();
-        join::PositionalJoin<value_t>(ids, columns[a], clust_values.span());
+        join::PositionalJoinColumns<value_t>(ids, {columns[a]},
+                                             {clust_values.span()}, pool);
         ph->projection_seconds += timer.ElapsedSeconds();
         timer.Reset();
         std::vector<decluster::ClusterCursor> cursors =
@@ -187,9 +217,9 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
                  const hardware::MemoryHierarchy& hw, radix_bits_t bits,
                  size_t window_elems, PhaseBreakdown* phases,
                  size_t num_threads) {
-  // kUnsorted never touches the radix kernels — skip the pool entirely.
-  std::unique_ptr<ThreadPool> pool =
-      strategy == SideStrategy::kUnsorted ? nullptr : MakePool(num_threads);
+  // Every strategy now has a parallel path (kUnsorted parallelizes its
+  // gather loop), so the pool is created whenever threads were requested.
+  std::unique_ptr<ThreadPool> pool = MakePool(num_threads);
   ProjectSideWithPool(ids, strategy, columns, out, column_cardinality, hw,
                       bits, window_elems, phases, pool.get());
 }
@@ -219,35 +249,20 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   std::unique_ptr<ThreadPool> pool = MakePool(options.num_threads);
   Timer timer;
   timer.Reset();
-  if (options.left == SideStrategy::kSorted) {
-    cluster::RadixSortJoinIndex(index.span(),
-                                static_cast<oid_t>(left.cardinality()),
-                                /*by_left=*/true);
-  } else if (options.left == SideStrategy::kClustered ||
-             options.left == SideStrategy::kDecluster) {
-    cluster::ClusterSpec spec =
-        SpecFor(SideStrategy::kClustered, n, left.cardinality(), hw,
-                options.left_bits);
-    storage::Column<cluster::OidPair> scratch(n);
-    auto radix = [](const cluster::OidPair& p) -> uint64_t { return p.left; };
-    if (pool != nullptr) {
-      cluster::RadixClusterMultiPassParallel(index.data(), scratch.data(), n,
-                                             radix, spec, *pool);
-    } else {
-      simcache::NoTracer tracer;
-      cluster::RadixClusterMultiPass(index.data(), scratch.data(), n, radix,
-                                     spec, tracer);
-    }
-  }
+  detail::ReorderIndexLeft(index, left.cardinality(), hw, options.left,
+                           options.left_bits, pool.get());
   ph->cluster_seconds += timer.ElapsedSeconds();
 
   // Left projections: ids now (partially) ordered; plain positional joins.
   timer.Reset();
+  std::vector<std::span<const value_t>> left_cols(pi_left);
+  std::vector<std::span<value_t>> left_out(pi_left);
   for (size_t a = 0; a < pi_left; ++a) {
-    join::PositionalJoinPairs<value_t, /*kLeft=*/true>(
-        index.span(), left.attr(1 + a).span(),
-        result.left_columns[a].span());
+    left_cols[a] = left.attr(1 + a).span();
+    left_out[a] = result.left_columns[a].span();
   }
+  join::PositionalJoinPairsColumns<value_t, /*kLeft=*/true>(
+      index.span(), left_cols, left_out, pool.get());
   ph->projection_seconds += timer.ElapsedSeconds();
 
   // Right projections in the (possibly re-ordered) result order.

@@ -1,8 +1,10 @@
 #ifndef RADIX_PROJECT_DSM_POST_H_
 #define RADIX_PROJECT_DSM_POST_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "hardware/memory_hierarchy.h"
 #include "join/join_index.h"
@@ -55,6 +57,58 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
                  const hardware::MemoryHierarchy& hw, radix_bits_t bits,
                  size_t window_elems, PhaseBreakdown* phases,
                  size_t num_threads = 1);
+
+/// Streamed DSM post-projection (the pipeline/ subsystem): identical
+/// contract and byte-identical result columns to DsmPostProject, but the
+/// per-column gather and the Radix-Decluster window merge exchange
+/// cluster-aligned chunks of `chunk_rows` rows through a bounded ring on
+/// the thread pool, so the gather of chunk k+1 overlaps the decluster of
+/// chunk k and peak intermediate memory is O(ring * chunk_rows * columns)
+/// instead of O(N). chunk_rows == 0 picks a cache-sized chunk
+/// (DefaultChunkRows). Phase fields of `phases` accumulate busy time; the
+/// streamed sections' wall time lands in phases->pipeline_wall_seconds.
+storage::DsmResult DsmPostProjectStreaming(
+    join::JoinIndex& index, const storage::DsmRelation& left,
+    const storage::DsmRelation& right, size_t pi_left, size_t pi_right,
+    const hardware::MemoryHierarchy& hw, const DsmPostOptions& options,
+    size_t chunk_rows, PhaseBreakdown* phases = nullptr);
+
+/// Auto chunk size: one in-flight chunk column spans about the target
+/// cache, so a gathered chunk is still resident when its merge starts.
+size_t DefaultChunkRows(const hardware::MemoryHierarchy& hw);
+
+namespace detail {
+
+/// Shared plumbing between the materializing and streaming projectors —
+/// both must reorder the index identically so their outputs stay
+/// byte-identical.
+
+/// Lazily-created pool for a num_threads knob: nullptr (serial kernels)
+/// unless the caller asked for > 1 thread; 0 = all hardware threads.
+std::unique_ptr<ThreadPool> MakePool(size_t num_threads);
+
+cluster::ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
+                             size_t column_cardinality,
+                             const hardware::MemoryHierarchy& hw,
+                             radix_bits_t bits);
+
+/// Reorder `ids` by a (partial or full) radix cluster on the oid values,
+/// returning the borders. Keeps a parallel permutation `perm` in sync so
+/// callers can track where each result row went (needed by the decluster
+/// side). `perm` may be empty to skip that bookkeeping. A non-null `pool`
+/// runs the parallel multi-pass kernel (byte-identical output).
+cluster::ClusterBorders ClusterIds(std::vector<oid_t>& ids,
+                                   std::vector<oid_t>& perm,
+                                   const cluster::ClusterSpec& spec,
+                                   ThreadPool* pool);
+
+/// The left-side index reorder of DsmPostProject (sort, or cluster on the
+/// left oids carrying the right oids along); no-op for kUnsorted.
+void ReorderIndexLeft(join::JoinIndex& index, size_t left_cardinality,
+                      const hardware::MemoryHierarchy& hw, SideStrategy left,
+                      radix_bits_t left_bits, ThreadPool* pool);
+
+}  // namespace detail
 
 }  // namespace radix::project
 

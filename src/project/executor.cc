@@ -67,6 +67,35 @@ std::vector<value_t> ExtractNsmKeys(const storage::NsmRelation& rel) {
   return keys;
 }
 
+/// Shared prologue of the materializing and streaming kDsmPostDecluster
+/// paths: run the join phase and resolve the per-side plan. Kept in one
+/// place so the two entry points can never plan differently.
+join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
+                                   const QueryOptions& options,
+                                   const hardware::MemoryHierarchy& hw,
+                                   QueryRun* run, DsmPostOptions* popts) {
+  Timer join_timer;
+  join::JoinIndex index = join::PartitionedHashJoin(
+      w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
+  run->phases.join_seconds = join_timer.ElapsedSeconds();
+
+  if (options.plan_sides) {
+    Plan plan = PlanDsmPost(w.dsm_left.cardinality(),
+                            w.dsm_right.cardinality(), index.size(),
+                            options.pi_left, options.pi_right, hw,
+                            options.num_threads);
+    *popts = plan.options;
+    run->detail = plan.code;
+  } else {
+    popts->left = options.left;
+    popts->right = options.right;
+    popts->num_threads = options.num_threads;
+    run->detail = std::string(SideStrategyCode(popts->left)) + "/" +
+                  SideStrategyCode(popts->right);
+  }
+  return index;
+}
+
 }  // namespace
 
 QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
@@ -78,26 +107,8 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
 
   switch (strategy) {
     case JoinStrategy::kDsmPostDecluster: {
-      Timer join_timer;
-      join::JoinIndex index = join::PartitionedHashJoin(
-          w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
-      run.phases.join_seconds = join_timer.ElapsedSeconds();
-
       DsmPostOptions popts;
-      if (options.plan_sides) {
-        Plan plan = PlanDsmPost(w.dsm_left.cardinality(),
-                                w.dsm_right.cardinality(), index.size(),
-                                options.pi_left, options.pi_right, hw,
-                                options.num_threads);
-        popts = plan.options;
-        run.detail = plan.code;
-      } else {
-        popts.left = options.left;
-        popts.right = options.right;
-        popts.num_threads = options.num_threads;
-        run.detail = std::string(SideStrategyCode(popts.left)) + "/" +
-                     SideStrategyCode(popts.right);
-      }
+      join::JoinIndex index = JoinAndPlanDsmPost(w, options, hw, &run, &popts);
       storage::DsmResult result =
           DsmPostProject(index, w.dsm_left, w.dsm_right, options.pi_left,
                          options.pi_right, hw, popts, &run.phases);
@@ -164,6 +175,26 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
     }
   }
   RADIX_CHECK(false);
+  return run;
+}
+
+QueryRun RunQueryStreaming(const workload::JoinWorkload& w,
+                           JoinStrategy strategy, const QueryOptions& options,
+                           const hardware::MemoryHierarchy& hw) {
+  if (strategy != JoinStrategy::kDsmPostDecluster) {
+    return RunQuery(w, strategy, options, hw);
+  }
+  QueryRun run;
+  run.strategy = strategy;
+  Timer total;
+  DsmPostOptions popts;
+  join::JoinIndex index = JoinAndPlanDsmPost(w, options, hw, &run, &popts);
+  storage::DsmResult result = DsmPostProjectStreaming(
+      index, w.dsm_left, w.dsm_right, options.pi_left, options.pi_right, hw,
+      popts, options.chunk_rows, &run.phases);
+  run.seconds = total.ElapsedSeconds();
+  run.result_cardinality = result.cardinality;
+  run.checksum = ChecksumColumns(result);
   return run;
 }
 

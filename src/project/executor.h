@@ -40,12 +40,28 @@ struct QueryOptions {
   /// > 1 = parallel kernels with byte-identical output; 0 = all hardware
   /// threads.
   size_t num_threads = 1;
+  /// Chunk size (rows) for RunQueryStreaming's pipeline; 0 = auto, a
+  /// cache-sized chunk per column (DefaultChunkRows). RunQuery ignores it.
+  size_t chunk_rows = 0;
 };
 
 /// Execute the query on a generated workload with the given strategy.
 QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
                   const QueryOptions& options,
                   const hardware::MemoryHierarchy& hw);
+
+/// Streamed execution (the pipeline/ subsystem): for the DSM
+/// post-projection strategy the gather and Radix-Decluster phases exchange
+/// cluster-aligned chunks of options.chunk_rows rows through a bounded ring
+/// on the thread pool, overlapping the phases and bounding intermediates to
+/// O(chunk_rows * columns) instead of O(N). Checksum, cardinality and the
+/// result columns themselves are identical to RunQuery for every
+/// strategy/seed. Strategies without a streaming path yet (the NSM and
+/// pre-projection families, whose intermediates are row-major records) fall
+/// back to RunQuery.
+QueryRun RunQueryStreaming(const workload::JoinWorkload& w,
+                           JoinStrategy strategy, const QueryOptions& options,
+                           const hardware::MemoryHierarchy& hw);
 
 }  // namespace radix::project
 

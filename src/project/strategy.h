@@ -31,15 +31,38 @@ const char* JoinStrategyName(JoinStrategy s);
 
 /// Phase timings every strategy reports; the breakdowns behind Figs. 7b
 /// and the >90%-in-projection observation of §1.
+///
+/// The four per-phase fields are *busy* time. For materializing runs the
+/// phases execute back-to-back on one thread, so busy == wall and they sum
+/// to the run's elapsed time. A streamed run (RunQueryStreaming) overlaps
+/// the gather and decluster stages across pool threads: the per-phase
+/// fields then accumulate thread-seconds across all chunk tasks and may
+/// legitimately exceed the wall clock; the wall time of the overlapped
+/// sections is recorded separately in pipeline_wall_seconds.
 struct PhaseBreakdown {
   double join_seconds = 0;        ///< creating the join index / join phase
   double cluster_seconds = 0;     ///< radix-cluster / sort of the index
   double projection_seconds = 0;  ///< positional joins / record copies
   double decluster_seconds = 0;   ///< radix-decluster passes
+  /// Wall seconds of the streamed (overlapped) pipeline sections; 0 for
+  /// materializing runs.
+  double pipeline_wall_seconds = 0;
 
-  double total() const {
+  bool overlapped() const { return pipeline_wall_seconds > 0; }
+
+  /// Total busy time (thread-seconds once overlapped).
+  double busy_total() const {
     return join_seconds + cluster_seconds + projection_seconds +
            decluster_seconds;
+  }
+
+  /// Wall-clock attributable time: the overlapped projection + decluster
+  /// sections count by their pipeline wall time, not their busy sums, so
+  /// total() never exceeds QueryRun::seconds (up to scheduling noise).
+  double total() const {
+    return overlapped()
+               ? join_seconds + cluster_seconds + pipeline_wall_seconds
+               : busy_total();
   }
 };
 

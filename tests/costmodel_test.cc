@@ -164,6 +164,45 @@ TEST(ModelsTest, DeclusterDegradesWithTinyWindows) {
   EXPECT_GT(tiny, good);
 }
 
+TEST(ModelsTest, StreamingDeclusterConvergesToMaterializing) {
+  // chunk_rows >= N is the materializing execution as a degenerate plan;
+  // the streamed model must predict (essentially) the same cost there.
+  auto hw = P4();
+  CpuCosts cpu;
+  size_t n = 8'000'000;
+  size_t window = (256 * 1024) / 4;
+  double mat = RadixDeclusterCost(hw, cpu, n, 4, 10, window).seconds;
+  double one_chunk =
+      StreamingRadixDeclusterCost(hw, cpu, n, 4, 10, window, n).seconds;
+  EXPECT_NEAR(one_chunk, mat, mat * 0.01);
+}
+
+TEST(ModelsTest, StreamingDeclusterChargesPerChunkTraversals) {
+  // Smaller chunks mean more per-chunk window sweeps and task hand-offs:
+  // the model's overhead must grow monotonically as chunks shrink, and
+  // every streamed prediction stays at or above the materializing one.
+  auto hw = P4();
+  CpuCosts cpu;
+  size_t n = 8'000'000;
+  size_t window = (256 * 1024) / 4;
+  double mat = RadixDeclusterCost(hw, cpu, n, 4, 10, window).seconds;
+  double prev = mat;
+  for (size_t chunk : {n, n / 4, n / 16, n / 64, n / 256}) {
+    double streamed =
+        StreamingRadixDeclusterCost(hw, cpu, n, 4, 10, window, chunk).seconds;
+    EXPECT_GE(streamed, mat * 0.999) << "chunk=" << chunk;
+    EXPECT_GE(streamed, prev * 0.999) << "chunk=" << chunk;
+    prev = streamed;
+  }
+  // But the overhead stays moderate at the default (cache-sized) chunk:
+  // streaming is modeled as a memory-bound win, not a cost cliff.
+  size_t cache_chunk = hw.target_cache().capacity_bytes / 4;
+  double cache_sized =
+      StreamingRadixDeclusterCost(hw, cpu, n, 4, 10, window, cache_chunk)
+          .seconds;
+  EXPECT_LT(cache_sized, mat * 2.0);
+}
+
 TEST(ModelsTest, JiveJoinsHaveOpposingBitPreferences) {
   // Figs. 9e/9f: Left Jive degrades with more clusters (cursor thrash),
   // Right Jive degrades with fewer (fetch region exceeds cache).

@@ -18,6 +18,7 @@
 #include "hardware/memory_hierarchy.h"
 #include "join/positional_join.h"
 #include "project/dsm_post.h"
+#include "project/executor.h"
 #include "workload/distributions.h"
 #include "workload/generator.h"
 
@@ -230,6 +231,137 @@ TEST(ParallelProperty, ClusterAndDeclusterBitIdenticalToSerial) {
         ASSERT_EQ(par_result, serial_result)
             << s.name << " seed=" << seed << " threads=" << threads;
       }
+    }
+  }
+}
+
+TEST(ParallelProperty, PerColumnGatherBitIdenticalToSerial) {
+  // The parallelized positional-join gather loops (column x row-slice work
+  // items) must be byte-identical to the serial per-column loops, for both
+  // the oid-column and the join-index flavours.
+  Rng rng(6);
+  for (size_t n : {0u, 100u, 30000u}) {
+    size_t column_n = n + 1 + rng.Below(n + 1);
+    size_t pi = 3;
+    std::vector<oid_t> ids(n);
+    std::vector<cluster::OidPair> index(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<oid_t>(rng.Below(column_n));
+      index[i] = {static_cast<oid_t>(rng.Below(column_n)),
+                  static_cast<oid_t>(rng.Below(column_n))};
+    }
+    std::vector<std::vector<value_t>> columns(pi);
+    std::vector<std::span<const value_t>> col_spans(pi);
+    for (size_t a = 0; a < pi; ++a) {
+      columns[a].resize(column_n);
+      for (auto& v : columns[a]) v = static_cast<value_t>(rng.Next());
+      col_spans[a] = columns[a];
+    }
+    auto run_ids = [&](ThreadPool* pool) {
+      std::vector<std::vector<value_t>> out(pi,
+                                            std::vector<value_t>(n, -1));
+      std::vector<std::span<value_t>> out_spans(out.begin(), out.end());
+      join::PositionalJoinColumns<value_t>(ids, col_spans, out_spans, pool);
+      return out;
+    };
+    auto run_pairs = [&](ThreadPool* pool) {
+      std::vector<std::vector<value_t>> out(pi,
+                                            std::vector<value_t>(n, -1));
+      std::vector<std::span<value_t>> out_spans(out.begin(), out.end());
+      join::PositionalJoinPairsColumns<value_t, /*kLeft=*/true>(
+          index, col_spans, out_spans, pool);
+      return out;
+    };
+    auto serial_ids = run_ids(nullptr);
+    auto serial_pairs = run_pairs(nullptr);
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      ASSERT_EQ(run_ids(&pool), serial_ids) << "n=" << n << " threads=" << threads;
+      ASSERT_EQ(run_pairs(&pool), serial_pairs)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingProperty, StreamingMatchesMaterializingAcrossStrategies) {
+  // RunQueryStreaming's whole contract: identical checksum and cardinality
+  // to RunQuery for every DSM-post side-strategy combination (Fig. 10c's
+  // u/u, c/u, c/d, s/d), across seeds x threads x chunk sizes including
+  // chunk_rows >= N.
+  auto hw = hardware::MemoryHierarchy::Pentium4();
+  struct Combo {
+    project::SideStrategy left, right;
+  };
+  const Combo combos[] = {
+      {project::SideStrategy::kUnsorted, project::SideStrategy::kUnsorted},
+      {project::SideStrategy::kClustered, project::SideStrategy::kUnsorted},
+      {project::SideStrategy::kClustered, project::SideStrategy::kDecluster},
+      {project::SideStrategy::kSorted, project::SideStrategy::kDecluster},
+  };
+  for (uint64_t seed : {7u, 99u}) {
+    workload::JoinWorkloadSpec spec;
+    spec.cardinality = 15000 + 1000 * seed;
+    spec.num_attrs = 3;
+    spec.hit_rate = 1.0;
+    spec.seed = seed;
+    spec.build_nsm = false;
+    workload::JoinWorkload w = workload::MakeJoinWorkload(spec);
+    for (const Combo& combo : combos) {
+      project::QueryOptions opts;
+      opts.pi_left = 2;
+      opts.pi_right = 2;
+      opts.plan_sides = false;
+      opts.left = combo.left;
+      opts.right = combo.right;
+      project::QueryRun ref = project::RunQuery(
+          w, project::JoinStrategy::kDsmPostDecluster, opts, hw);
+      for (size_t threads : {1u, 2u, 4u}) {
+        for (size_t chunk_rows :
+             {size_t{977}, size_t{8192}, spec.cardinality * 2}) {
+          opts.num_threads = threads;
+          opts.chunk_rows = chunk_rows;
+          project::QueryRun streamed = project::RunQueryStreaming(
+              w, project::JoinStrategy::kDsmPostDecluster, opts, hw);
+          ASSERT_EQ(streamed.checksum, ref.checksum)
+              << "seed=" << seed << " combo=" << ref.detail
+              << " threads=" << threads << " chunk_rows=" << chunk_rows;
+          ASSERT_EQ(streamed.result_cardinality, ref.result_cardinality);
+          ASSERT_EQ(streamed.detail, ref.detail);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingProperty, ChunkRowsOneEdgeCase) {
+  // chunk_rows = 1 degenerates to one chunk per non-empty cluster (and one
+  // row per chunk on the order-preserving streams) — the smallest legal
+  // chunking must still agree with the materializing run.
+  auto hw = hardware::MemoryHierarchy::Pentium4();
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = 4000;
+  spec.num_attrs = 3;
+  spec.seed = 3;
+  spec.build_nsm = false;
+  workload::JoinWorkload w = workload::MakeJoinWorkload(spec);
+  for (auto right : {project::SideStrategy::kUnsorted,
+                     project::SideStrategy::kDecluster}) {
+    project::QueryOptions opts;
+    opts.pi_left = 2;
+    opts.pi_right = 2;
+    opts.plan_sides = false;
+    opts.left = project::SideStrategy::kClustered;
+    opts.right = right;
+    project::QueryRun ref = project::RunQuery(
+        w, project::JoinStrategy::kDsmPostDecluster, opts, hw);
+    for (size_t threads : {1u, 4u}) {
+      opts.num_threads = threads;
+      opts.chunk_rows = 1;
+      project::QueryRun streamed = project::RunQueryStreaming(
+          w, project::JoinStrategy::kDsmPostDecluster, opts, hw);
+      ASSERT_EQ(streamed.checksum, ref.checksum)
+          << ref.detail << " threads=" << threads;
+      ASSERT_EQ(streamed.result_cardinality, ref.result_cardinality);
     }
   }
 }
