@@ -25,6 +25,7 @@
 #include "decluster/paged_decluster.h"
 #include "decluster/radix_decluster.h"
 #include "decluster/window.h"
+#include "engine/engine.h"
 #include "pipeline/memory_gauge.h"
 #include "project/executor.h"
 #include "workload/distributions.h"
@@ -291,32 +292,34 @@ const workload::JoinWorkload& AblationQueryWorkload() {
   return w;
 }
 
-project::QueryOptions AblationQueryOptions(size_t threads) {
-  project::QueryOptions opts;
-  opts.pi_left = 3;
-  opts.pi_right = 3;
-  opts.plan_sides = false;  // pin c/d so both variants take the full path
-  opts.left = project::SideStrategy::kClustered;
-  opts.right = project::SideStrategy::kDecluster;
-  opts.num_threads = threads;
-  return opts;
+engine::QuerySpec AblationQuerySpec(engine::ChunkingPolicy chunking) {
+  engine::QuerySpec spec;
+  spec.pi_left = 3;
+  spec.pi_right = 3;
+  spec.plan_sides = false;  // pin c/d so both variants take the full path
+  spec.left = project::SideStrategy::kClustered;
+  spec.right = project::SideStrategy::kDecluster;
+  spec.chunking = chunking;
+  return spec;
 }
 
 void BM_QueryMaterializing(benchmark::State& state) {
   const workload::JoinWorkload& w = AblationQueryWorkload();
-  project::QueryOptions opts =
-      AblationQueryOptions(static_cast<size_t>(state.range(0)));
+  size_t threads = static_cast<size_t>(state.range(0));
+  engine::QuerySpec spec =
+      AblationQuerySpec(engine::ChunkingPolicy::kMaterialize);
   uint64_t checksum = 0;
+  size_t threads_used = 1;
   project::PhaseBreakdown phases;
   for (auto _ : state) {
-    project::QueryRun run = project::RunQuery(
-        w, project::JoinStrategy::kDsmPostDecluster, opts,
-        radix::bench::BenchHw());
+    project::QueryRun run =
+        radix::bench::BenchEngine(threads).Execute(w, spec);
     checksum = run.checksum;
     phases = run.phases;
+    threads_used = run.threads_used;
     benchmark::DoNotOptimize(checksum);
   }
-  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["threads"] = static_cast<double>(threads_used);
   state.counters["N"] = static_cast<double>(w.dsm_left.cardinality());
   state.counters["checksum_lo32"] =
       static_cast<double>(checksum & 0xffffffffu);
@@ -330,25 +333,26 @@ BENCHMARK(BM_QueryMaterializing)
 
 void BM_QueryStreaming(benchmark::State& state) {
   const workload::JoinWorkload& w = AblationQueryWorkload();
-  project::QueryOptions opts =
-      AblationQueryOptions(static_cast<size_t>(state.range(0)));
-  opts.chunk_rows = 0;  // auto: cache-sized chunks
+  size_t threads = static_cast<size_t>(state.range(0));
+  engine::QuerySpec spec = AblationQuerySpec(engine::ChunkingPolicy::kStream);
+  spec.chunk_rows = 0;  // auto: cache-sized chunks
   pipeline::MemoryGauge& gauge = pipeline::MemoryGauge::Instance();
   uint64_t checksum = 0;
+  size_t threads_used = 1;
   project::PhaseBreakdown phases;
   size_t peak = 0;
   for (auto _ : state) {
     gauge.ResetPeak();
     size_t before = gauge.current_bytes();
-    project::QueryRun run = project::RunQueryStreaming(
-        w, project::JoinStrategy::kDsmPostDecluster, opts,
-        radix::bench::BenchHw());
+    project::QueryRun run =
+        radix::bench::BenchEngine(threads).Execute(w, spec);
     peak = gauge.peak_bytes() - before;
     checksum = run.checksum;
     phases = run.phases;
+    threads_used = run.threads_used;
     benchmark::DoNotOptimize(checksum);
   }
-  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["threads"] = static_cast<double>(threads_used);
   state.counters["N"] = static_cast<double>(w.dsm_left.cardinality());
   state.counters["checksum_lo32"] =
       static_cast<double>(checksum & 0xffffffffu);

@@ -4,11 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/radix_cluster.h"
 #include "common/rng.h"
+#include "engine/engine.h"
 #include "hardware/memory_hierarchy.h"
 #include "workload/distributions.h"
 
@@ -38,6 +41,23 @@ inline const hardware::MemoryHierarchy& BenchHw() {
     return hardware::MemoryHierarchy::Detect();
   }();
   return hw;
+}
+
+/// Session engines for the query-level harnesses (Fig. 10 and the
+/// materializing-vs-streaming ablation): one engine per requested thread
+/// count, constructed once per process on the BenchHw() profile, so
+/// benchmark iterations measure queries — not thread spawn or hierarchy
+/// detection. Benchmarks are single-threaded drivers; no locking needed.
+inline radix::engine::Engine& BenchEngine(size_t threads = 1) {
+  static std::map<size_t, std::unique_ptr<radix::engine::Engine>> engines;
+  std::unique_ptr<radix::engine::Engine>& eng = engines[threads];
+  if (eng == nullptr) {
+    radix::engine::EngineConfig cfg;
+    cfg.hierarchy = BenchHw();
+    cfg.num_threads = threads;
+    eng = std::make_unique<radix::engine::Engine>(std::move(cfg));
+  }
+  return *eng;
 }
 
 /// A Radix-Decluster input with the *paper's* distribution (Fig. 4): the

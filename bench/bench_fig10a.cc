@@ -12,7 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
-#include "project/executor.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 namespace {
@@ -36,14 +36,14 @@ const workload::JoinWorkload& Workload() {
 void RunStrategy(benchmark::State& state, JoinStrategy strategy) {
   size_t pi = static_cast<size_t>(state.range(0));
   const auto& w = Workload();
-  project::QueryOptions qopts;
-  qopts.pi_left = pi;
-  qopts.pi_right = pi;
+  engine::QuerySpec spec;
+  spec.strategy = strategy;
+  spec.pi_left = pi;
+  spec.pi_right = pi;
   uint64_t checksum = 0;
   project::PhaseBreakdown phases;
   for (auto _ : state) {
-    project::QueryRun run =
-        project::RunQuery(w, strategy, qopts, radix::bench::BenchHw());
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
     checksum = run.checksum;
     phases = run.phases;
     benchmark::DoNotOptimize(checksum);

@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
-#include "project/executor.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 namespace {
@@ -47,13 +47,13 @@ const workload::JoinWorkload& Workload(int64_t code) {
 void RunStrategy(benchmark::State& state, JoinStrategy strategy) {
   int64_t code = state.range(0);
   const auto& w = Workload(code);
-  project::QueryOptions qopts;
-  qopts.pi_left = kPi;
-  qopts.pi_right = kPi;
+  engine::QuerySpec spec;
+  spec.strategy = strategy;
+  spec.pi_left = kPi;
+  spec.pi_right = kPi;
   size_t result_size = 0;
   for (auto _ : state) {
-    project::QueryRun run =
-        project::RunQuery(w, strategy, qopts, radix::bench::BenchHw());
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
     result_size = run.result_cardinality;
     benchmark::DoNotOptimize(result_size);
   }

@@ -12,8 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
-#include "project/executor.h"
-#include "project/planner.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 namespace {
@@ -39,13 +38,12 @@ void BM_DsmPostPlanned(benchmark::State& state) {
   size_t n = radix::bench::ScaledN(static_cast<size_t>(state.range(0)),
                                    4'000'000);
   workload::JoinWorkload w = MakeW(n);
-  project::QueryOptions qopts;
-  qopts.pi_left = kPi;
-  qopts.pi_right = kPi;
+  engine::QuerySpec spec;
+  spec.pi_left = kPi;
+  spec.pi_right = kPi;
   std::string code;
   for (auto _ : state) {
-    project::QueryRun run = project::RunQuery(
-        w, JoinStrategy::kDsmPostDecluster, qopts, radix::bench::BenchHw());
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
     code = run.detail;
     benchmark::DoNotOptimize(run.checksum);
   }
@@ -59,15 +57,14 @@ void RunForced(benchmark::State& state, SideStrategy left,
   size_t n = radix::bench::ScaledN(static_cast<size_t>(state.range(0)),
                                    4'000'000);
   workload::JoinWorkload w = MakeW(n);
-  project::QueryOptions qopts;
-  qopts.pi_left = kPi;
-  qopts.pi_right = kPi;
-  qopts.plan_sides = false;
-  qopts.left = left;
-  qopts.right = right;
+  engine::QuerySpec spec;
+  spec.pi_left = kPi;
+  spec.pi_right = kPi;
+  spec.plan_sides = false;
+  spec.left = left;
+  spec.right = right;
   for (auto _ : state) {
-    project::QueryRun run = project::RunQuery(
-        w, JoinStrategy::kDsmPostDecluster, qopts, radix::bench::BenchHw());
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
     benchmark::DoNotOptimize(run.checksum);
   }
   state.counters["N"] = static_cast<double>(n);

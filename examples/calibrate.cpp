@@ -8,8 +8,10 @@
 
 #include "cluster/partition_plan.h"
 #include "decluster/window.h"
+#include "engine/engine.h"
 #include "hardware/calibrator.h"
 #include "hardware/memory_hierarchy.h"
+#include "workload/generator.h"
 
 int main() {
   using namespace radix;  // NOLINT
@@ -30,9 +32,30 @@ int main() {
                 point.ns_per_access);
   }
 
-  hardware::MemoryHierarchy calibrated = cal.Calibrate(detected);
-  std::printf("\nCalibrated hierarchy:\n%s\n",
+  // A calibrate_on_startup engine runs exactly this measurement once and
+  // plans/models against the refined hierarchy for its whole session —
+  // the paper's §1.1 story of a startup Calibrator parameterizing the
+  // cost model.
+  engine::EngineConfig config;
+  config.calibrate_on_startup = true;
+  config.calibrator_options = opts;
+  engine::Engine eng(std::move(config));
+  const hardware::MemoryHierarchy& calibrated = eng.hierarchy();
+  std::printf("\nCalibrated hierarchy (engine session profile):\n%s\n",
               calibrated.ToString().c_str());
+
+  // What the planner does with it: explain the paper's query at 4M tuples
+  // without running it — modeled seconds are in this machine's units.
+  workload::JoinWorkloadSpec wspec;
+  wspec.cardinality = 4u << 20;
+  wspec.num_attrs = 3;
+  wspec.build_nsm = false;
+  workload::JoinWorkload w = workload::MakeJoinWorkload(wspec);
+  engine::QuerySpec qspec;
+  qspec.pi_left = 2;
+  qspec.pi_right = 2;
+  std::printf("Explain (N = 4M, pi = 2, not executed):\n%s\n\n",
+              eng.Prepare(w, qspec).Explain().ToString().c_str());
 
   // What the radix algorithms derive from this machine.
   std::printf("Derived parameters for this machine:\n");

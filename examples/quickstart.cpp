@@ -1,6 +1,6 @@
-// Quickstart: run the paper's project-join query end-to-end with the
-// winning strategy (DSM post-projection with Radix-Decluster) and print
-// what happened in each phase.
+// Quickstart: run the paper's project-join query end-to-end through the
+// session engine — the library's public entry point — and print the plan
+// *before* it runs (Prepare -> Explain -> Execute).
 //
 //   SELECT larger.a1, larger.a2, smaller.b1, smaller.b2
 //   FROM larger, smaller WHERE larger.key = smaller.key
@@ -10,23 +10,63 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
-#include "hardware/memory_hierarchy.h"
-#include "join/partitioned_hash_join.h"
-#include "project/dsm_post.h"
-#include "project/executor.h"
-#include "project/planner.h"
+#include "common/hash.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
+
+namespace {
+
+/// Independent ground truth: a scalar nested-loop join + projection digest
+/// sharing no code with the radix kernels. Any engine strategy must land
+/// on exactly this order-independent checksum.
+uint64_t ReferenceChecksum(const radix::workload::JoinWorkload& w,
+                           size_t pi_left, size_t pi_right) {
+  using radix::value_t;
+  std::multimap<value_t, size_t> right_index;
+  for (size_t i = 0; i < w.dsm_right.cardinality(); ++i) {
+    right_index.emplace(w.dsm_right.key()[i], i);
+  }
+  uint64_t sum = 0;
+  for (size_t i = 0; i < w.dsm_left.cardinality(); ++i) {
+    auto [lo, hi] = right_index.equal_range(w.dsm_left.key()[i]);
+    for (auto it = lo; it != hi; ++it) {
+      uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
+      size_t a = 0;
+      for (size_t c = 0; c < pi_left; ++c, ++a) {
+        uint64_t v = static_cast<uint32_t>(w.dsm_left.attr(1 + c)[i]);
+        row_digest =
+            radix::HashInt64(row_digest ^ (v + (static_cast<uint64_t>(a) << 32)));
+      }
+      for (size_t c = 0; c < pi_right; ++c, ++a) {
+        uint64_t v =
+            static_cast<uint32_t>(w.dsm_right.attr(1 + c)[it->second]);
+        row_digest =
+            radix::HashInt64(row_digest ^ (v + (static_cast<uint64_t>(a) << 32)));
+      }
+      sum += row_digest;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace radix;  // NOLINT
 
   size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 20);
 
-  // 1. Describe the machine. Detect() reads cache geometry from sysfs; the
-  //    paper's Pentium 4 is available as a preset for planning experiments.
-  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Detect();
-  std::printf("Memory hierarchy:\n%s\n", hw.ToString().c_str());
+  // 1. Build the session engine once per process. The config owns the
+  //    machine description (Detect() reads cache geometry from sysfs; the
+  //    paper's Pentium 4 is available as a preset), the worker pool, and
+  //    the cost-model constants. calibrate_on_startup = true would refine
+  //    the latencies with the §1.1-style runtime Calibrator.
+  engine::EngineConfig config;
+  config.num_threads = 1;  // serial kernels; try 0 for all hardware threads
+  engine::Engine eng(std::move(config));
+  std::printf("Memory hierarchy:\n%s\n", eng.hierarchy().ToString().c_str());
 
   // 2. Generate the paper's workload: two relations of N tuples, 4
   //    attributes each (key + 3 payload columns), join hit rate 1:1.
@@ -38,42 +78,45 @@ int main(int argc, char** argv) {
   std::printf("Workload: N = %zu tuples per relation, expected result %zu\n\n",
               n, w.expected_result_size);
 
-  // 3. Ask the planner which DSM post-projection side strategies to use —
-  //    "easy" joins use unsorted positional joins, "hard" ones the radix
-  //    machinery (paper Fig. 10c's u/u -> c/u -> c/d -> s/d progression).
-  project::Plan plan = project::PlanDsmPost(n, n, n, /*pi_left=*/2,
-                                            /*pi_right=*/2, hw);
-  std::printf("Planner: join is %s, side strategies %s\n",
-              plan.easy ? "easy (columns fit cache)" : "hard", plan.code.c_str());
+  // 3. Prepare the query. The planner resolves the per-side strategies
+  //    (Fig. 10c's u/u -> c/u -> c/d -> s/d progression), the radix/window
+  //    parameters, and materializing-vs-streaming execution — and Explain()
+  //    shows the whole plan with its modeled cost before anything runs.
+  engine::QuerySpec query;
+  query.pi_left = 2;
+  query.pi_right = 2;
+  engine::PreparedQuery prepared = eng.Prepare(w, query);
+  std::printf("Explain:\n%s\n\n", prepared.Explain().ToString().c_str());
 
-  // 4. Phase one: cache-conscious Partitioned Hash-Join on the key columns
-  //    only, producing a join index.
-  join::JoinIndex index = join::PartitionedHashJoin(
-      w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
-  std::printf("Join index: %zu matching pairs\n", index.size());
+  // 4. Execute on the session resources: Partitioned Hash-Join on the key
+  //    columns, then the planned post-projection (e.g. partial cluster on
+  //    the left, cluster + positional join + Radix-Decluster on the right).
+  project::QueryRun run = prepared.Execute();
+  std::printf("Result: %zu tuples, plan %s, %zu thread(s)\n",
+              run.result_cardinality, run.detail.c_str(), run.threads_used);
+  std::printf("Phases: join %.2f ms, cluster %.2f ms, positional joins "
+              "%.2f ms, decluster %.2f ms\n",
+              run.phases.join_seconds * 1e3, run.phases.cluster_seconds * 1e3,
+              run.phases.projection_seconds * 1e3,
+              run.phases.decluster_seconds * 1e3);
 
-  // 5. Phase two: post-projection. Left side is partially radix-clustered
-  //    (sequentialish fetches), right side goes through cluster +
-  //    positional join + Radix-Decluster.
-  project::PhaseBreakdown phases;
-  storage::DsmResult result = project::DsmPostProject(
-      index, w.dsm_left, w.dsm_right, /*pi_left=*/2, /*pi_right=*/2, hw,
-      plan.options, &phases);
-
-  std::printf("Result: %zu tuples x (%zu left + %zu right) columns\n",
-              result.cardinality, result.left_columns.size(),
-              result.right_columns.size());
-  std::printf("Phases: cluster %.2f ms, positional joins %.2f ms, "
-              "decluster %.2f ms\n",
-              phases.cluster_seconds * 1e3, phases.projection_seconds * 1e3,
-              phases.decluster_seconds * 1e3);
-
-  // 6. Verify a few rows: payloads are deterministic functions of the key.
+  // 5. Verify against ground truth: a scalar nested-loop reference that
+  //    shares no code with the radix kernels must produce the same
+  //    order-independent checksum — and so must the (deprecated) legacy
+  //    entry point on the same hardware profile.
   size_t errors = 0;
-  for (size_t i = 0; i < result.cardinality; i += 1 + result.cardinality / 1000) {
-    value_t key = w.dsm_left.key()[index[i].left];
-    if (result.left_columns[0][i] != workload::PayloadValue(key, 1)) ++errors;
-  }
-  std::printf("Spot check: %zu mismatches\n", errors);
+  uint64_t expected = ReferenceChecksum(w, 2, 2);
+  if (run.checksum != expected) ++errors;
+  std::printf("Scalar reference check: %s\n",
+              run.checksum == expected ? "checksum matches" : "MISMATCH");
+  project::QueryOptions legacy;
+  legacy.pi_left = 2;
+  legacy.pi_right = 2;
+  project::QueryRun ref = project::RunQuery(
+      w, project::JoinStrategy::kDsmPostDecluster, legacy, eng.hierarchy());
+  if (run.checksum != ref.checksum) ++errors;
+  if (run.result_cardinality != ref.result_cardinality) ++errors;
+  std::printf("Cross-check vs legacy RunQuery: %s\n",
+              run.checksum == ref.checksum ? "checksums match" : "MISMATCH");
   return errors == 0 ? 0 : 1;
 }

@@ -10,8 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "hardware/memory_hierarchy.h"
-#include "project/executor.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 int main(int argc, char** argv) {
@@ -27,7 +26,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Detect();
+  // One session engine drives all six strategies; Explain() supplies the
+  // modeled cost column so measured and predicted sit side by side.
+  engine::Engine eng{engine::EngineConfig{}};
   workload::JoinWorkloadSpec spec;
   spec.cardinality = n;
   spec.num_attrs = omega;
@@ -36,12 +37,12 @@ int main(int argc, char** argv) {
 
   std::printf("Query: N=%zu, omega=%zu, pi=%zu per side, hit rate %.2f\n\n",
               n, omega, pi, h);
-  std::printf("%-22s %10s %10s %12s %8s  %s\n", "strategy", "total ms",
-              "join ms", "project ms", "tuples", "detail");
+  std::printf("%-22s %10s %10s %12s %11s %8s  %s\n", "strategy", "total ms",
+              "join ms", "project ms", "modeled ms", "tuples", "detail");
 
-  project::QueryOptions qopts;
-  qopts.pi_left = pi;
-  qopts.pi_right = pi;
+  engine::QuerySpec qspec;
+  qspec.pi_left = pi;
+  qspec.pi_right = pi;
 
   uint64_t reference_checksum = 0;
   bool first = true;
@@ -50,14 +51,17 @@ int main(int argc, char** argv) {
        {JoinStrategy::kNsmPreHash, JoinStrategy::kNsmPrePhash,
         JoinStrategy::kDsmPrePhash, JoinStrategy::kDsmPostDecluster,
         JoinStrategy::kNsmPostDecluster, JoinStrategy::kNsmPostJive}) {
-    project::QueryRun run = project::RunQuery(w, s, qopts, hw);
+    qspec.strategy = s;
+    engine::PreparedQuery prepared = eng.Prepare(w, qspec);
+    project::QueryRun run = prepared.Execute();
     double project_ms = (run.phases.cluster_seconds +
                          run.phases.projection_seconds +
                          run.phases.decluster_seconds) *
                         1e3;
-    std::printf("%-22s %10.1f %10.1f %12.1f %8zu  %s\n",
+    std::printf("%-22s %10.1f %10.1f %12.1f %11.1f %8zu  %s\n",
                 project::JoinStrategyName(s), run.seconds * 1e3,
                 run.phases.join_seconds * 1e3, project_ms,
+                prepared.Explain().modeled_seconds * 1e3,
                 run.result_cardinality, run.detail.c_str());
     if (first) {
       reference_checksum = run.checksum;

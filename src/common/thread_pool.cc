@@ -2,7 +2,12 @@
 
 namespace radix {
 
+namespace {
+std::atomic<uint64_t> g_pools_constructed{0};
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
+  g_pools_constructed.fetch_add(1, std::memory_order_relaxed);
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads - 1);
   for (size_t t = 0; t + 1 < num_threads; ++t) {
@@ -100,6 +105,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
 size_t ThreadPool::DefaultThreads() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+uint64_t ThreadPool::TotalConstructed() {
+  return g_pools_constructed.load(std::memory_order_relaxed);
 }
 
 }  // namespace radix

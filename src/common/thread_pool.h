@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -60,6 +61,11 @@ class ThreadPool {
   /// Default parallelism for callers that pass num_threads == 0: the
   /// hardware concurrency, or 1 when it cannot be determined.
   static size_t DefaultThreads();
+
+  /// Process-wide count of ThreadPool objects ever constructed. Lets tests
+  /// assert that a steady-state query path spawns no pools (the engine's
+  /// zero-constructions-per-query contract); not a liveness count.
+  static uint64_t TotalConstructed();
 
  private:
   void WorkerLoop();

@@ -1,0 +1,427 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "cluster/partition_plan.h"
+#include "cluster/radix_cluster.h"
+#include "common/bits.h"
+#include "common/thread_pool.h"
+#include "decluster/window.h"
+#include "project/planner.h"
+
+namespace radix::engine {
+
+namespace {
+
+using costmodel::CostEstimate;
+using project::JoinStrategy;
+using project::SideStrategy;
+
+/// add * factor folded into `into` (misses and seconds alike).
+void Accumulate(CostEstimate* into, const CostEstimate& add, double factor) {
+  into->misses += add.misses * factor;
+  into->seconds += add.seconds * factor;
+}
+
+const char* ModeName(bool streaming) {
+  return streaming ? "streaming" : "materializing";
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  hw_ = config_.hierarchy.caches.empty()
+            ? hardware::MemoryHierarchy::Detect()
+            : config_.hierarchy;
+  if (config_.calibrate_on_startup) {
+    hardware::Calibrator calibrator(config_.calibrator_options);
+    hw_ = calibrator.Calibrate(hw_);
+  }
+  // Keep config() consistent with the session: its hierarchy reflects the
+  // resolved (detected/calibrated) profile, not the pre-startup input.
+  config_.hierarchy = hw_;
+  size_t threads = config_.num_threads;
+  if (threads == 0) threads = ThreadPool::DefaultThreads();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Engine::~Engine() = default;
+
+size_t Engine::num_threads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+Engine& Engine::Default() {
+  static Engine instance{EngineConfig{}};
+  return instance;
+}
+
+PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
+                              const QuerySpec& spec) const {
+  const hardware::MemoryHierarchy& hw = hw_;
+  const costmodel::CpuCosts& cpu = config_.cpu_costs;
+  const size_t n_left = workload.dsm_left.cardinality();
+  const size_t n_right = workload.dsm_right.cardinality();
+  // Cardinality estimate for the cost model; the generator knows the true
+  // value, a real system would use join selectivity statistics. The plan
+  // *choice* never depends on it (PlanDsmPost plans from the inputs), so
+  // execution is identical to the legacy post-join planning.
+  const size_t n_index = workload.expected_result_size;
+  const double pi_l = static_cast<double>(std::max<size_t>(1, spec.pi_left));
+  const double pi_r = static_cast<double>(std::max<size_t>(1, spec.pi_right));
+
+  Explanation ex;
+  ex.strategy = spec.strategy;
+  ex.threads = num_threads();
+
+  // The join index is [left-oid, right-oid] pairs for every strategy that
+  // builds one; its partitioned hash join is clustered by cache geometry.
+  const size_t pair_width = sizeof(cluster::KeyOid);
+  const radix_bits_t join_bits =
+      cluster::PartitionedJoinBits(n_right, pair_width, hw);
+
+  switch (spec.strategy) {
+    case JoinStrategy::kDsmPostDecluster: {
+      ex.join_cost = costmodel::PartitionedHashJoinCost(
+          hw, cpu, n_left, n_right, pair_width, join_bits);
+
+      // Resolve the per-side plan exactly as the executor will.
+      if (spec.plan_sides) {
+        project::Plan plan =
+            project::PlanDsmPost(n_left, n_right, n_index, spec.pi_left,
+                                 spec.pi_right, hw, ex.threads);
+        ex.side_options = plan.options;
+        ex.easy = plan.easy;
+        ex.plan_code = plan.code;
+      } else {
+        ex.side_options.left = spec.left;
+        ex.side_options.right = spec.right;
+        // §4.1: only the first projection table may be reordered; the
+        // executor coerces a reordering right side to d, so the plan says
+        // what will actually run.
+        if (ex.side_options.right == SideStrategy::kSorted ||
+            ex.side_options.right == SideStrategy::kClustered) {
+          ex.side_options.right = SideStrategy::kDecluster;
+        }
+        std::string code = project::SideStrategyCode(ex.side_options.left);
+        code += "/";
+        code += project::SideStrategyCode(ex.side_options.right);
+        ex.plan_code = code;
+        ex.easy = project::ColumnFitsCache(n_left, hw) &&
+                  project::ColumnFitsCache(n_right, hw);
+      }
+      ex.side_options.left_bits = spec.left_bits;
+      ex.side_options.right_bits = spec.right_bits;
+      ex.side_options.window_elems = spec.window_elems;
+      ex.side_options.num_threads = ex.threads;
+
+      // Left side: index reorder (cluster or sort of the oid pairs), then
+      // pi_left sequential-ish positional gathers.
+      switch (ex.side_options.left) {
+        case SideStrategy::kUnsorted:
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, sizeof(value_t),
+                         /*bits=*/0, /*sorted=*/false),
+                     pi_l);
+          break;
+        case SideStrategy::kSorted: {
+          radix_bits_t bits = SignificantBits(std::max<size_t>(1, n_left));
+          Accumulate(&ex.cluster_cost,
+                     costmodel::RadixClusterCost(
+                         hw, cpu, n_index, sizeof(cluster::OidPair), bits,
+                         cluster::PassesFor(bits, hw)),
+                     1.0);
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, sizeof(value_t),
+                         /*bits=*/0, /*sorted=*/true),
+                     pi_l);
+          break;
+        }
+        case SideStrategy::kClustered:
+        case SideStrategy::kDecluster: {
+          cluster::ClusterSpec left_spec = project::detail::SpecFor(
+              SideStrategy::kClustered, n_index, n_left, hw, spec.left_bits);
+          Accumulate(&ex.cluster_cost,
+                     costmodel::RadixClusterCost(
+                         hw, cpu, n_index, sizeof(cluster::OidPair),
+                         left_spec.total_bits, left_spec.passes),
+                     1.0);
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, sizeof(value_t),
+                         left_spec.total_bits, /*sorted=*/false),
+                     pi_l);
+          break;
+        }
+      }
+
+      // Right side: u = random positional gathers in result order; d = the
+      // paper's cluster + positional-join + Radix-Decluster machinery.
+      // Per-query chunking overrides beat the engine's session policy.
+      const ChunkingPolicy policy =
+          spec.chunking == ChunkingPolicy::kEngineDefault ? config_.chunking
+                                                          : spec.chunking;
+      if (ex.side_options.right == SideStrategy::kUnsorted) {
+        Accumulate(&ex.projection_cost,
+                   costmodel::ClusteredPositionalJoinCost(
+                       hw, cpu, n_index, n_right, sizeof(value_t),
+                       /*bits=*/0, /*sorted=*/false),
+                   pi_r);
+        // No value intermediates; an explicit kStream policy still streams
+        // the gathers (chunked, zero-copy), which changes nothing modeled.
+        ex.streaming = policy == ChunkingPolicy::kStream;
+        if (ex.streaming) {
+          ex.chunk_rows = spec.chunk_rows != 0 ? spec.chunk_rows
+                                               : project::DefaultChunkRows(hw);
+        }
+      } else {
+        cluster::ClusterSpec right_spec = project::detail::SpecFor(
+            SideStrategy::kClustered, n_index, n_right, hw, spec.right_bits);
+        ex.decluster_bits = right_spec.total_bits;
+        ex.decluster_passes = right_spec.passes;
+        ex.window_elems =
+            spec.window_elems != 0
+                ? spec.window_elems
+                : decluster::WindowPolicy::ChooseWindowElems(
+                      hw, sizeof(value_t),
+                      size_t{1} << right_spec.total_bits,
+                      std::max<size_t>(1, n_index));
+        // Cluster (id, result-position) pairs once; gather + decluster
+        // repeat per projected column.
+        Accumulate(&ex.cluster_cost,
+                   costmodel::RadixClusterCost(hw, cpu, n_index,
+                                               2 * sizeof(oid_t),
+                                               right_spec.total_bits,
+                                               right_spec.passes),
+                   1.0);
+        Accumulate(&ex.projection_cost,
+                   costmodel::ClusteredPositionalJoinCost(
+                       hw, cpu, n_index, n_right, sizeof(value_t),
+                       right_spec.total_bits, /*sorted=*/false),
+                   pi_r);
+        PlanExecutionMode(spec, policy, n_index, right_spec.total_bits, &ex);
+        const CostEstimate decluster_once =
+            ex.streaming
+                ? costmodel::StreamingRadixDeclusterCost(
+                      hw, cpu, n_index, sizeof(value_t),
+                      right_spec.total_bits, ex.window_elems, ex.chunk_rows)
+                : costmodel::RadixDeclusterCost(hw, cpu, n_index,
+                                                sizeof(value_t),
+                                                right_spec.total_bits,
+                                                ex.window_elems);
+        Accumulate(&ex.decluster_cost, decluster_once, pi_r);
+      }
+      break;
+    }
+
+    // The comparison strategies of Fig. 10 get the same coarse
+    // per-algorithm models the figure harnesses plot; they execute serial
+    // (QueryRun::threads_used == 1) and never stream.
+    case JoinStrategy::kDsmPrePhash: {
+      ex.threads = 1;
+      size_t tuple_width =
+          sizeof(value_t) * (1 + (spec.pi_left + spec.pi_right + 1) / 2);
+      ex.join_cost = costmodel::PartitionedHashJoinCost(
+          hw, cpu, n_left, n_right, tuple_width,
+          cluster::PartitionedJoinBits(n_right, tuple_width, hw));
+      Accumulate(&ex.projection_cost,
+                 costmodel::ClusteredPositionalJoinCost(
+                     hw, cpu, n_index, n_index, sizeof(value_t), 0,
+                     /*sorted=*/true),
+                 pi_l + pi_r);
+      break;
+    }
+    case JoinStrategy::kNsmPreHash:
+    case JoinStrategy::kNsmPrePhash: {
+      ex.threads = 1;
+      size_t record_width = sizeof(value_t) * workload.dsm_left.num_attrs();
+      radix_bits_t bits =
+          spec.strategy == JoinStrategy::kNsmPreHash
+              ? 0
+              : cluster::PartitionedJoinBits(n_right, record_width, hw);
+      ex.join_cost = costmodel::PartitionedHashJoinCost(
+          hw, cpu, n_left, n_right, record_width, bits);
+      Accumulate(&ex.projection_cost,
+                 costmodel::ClusteredPositionalJoinCost(
+                     hw, cpu, n_index, n_index, sizeof(value_t), 0,
+                     /*sorted=*/true),
+                 pi_l + pi_r);
+      break;
+    }
+    case JoinStrategy::kNsmPostDecluster: {
+      ex.threads = 1;
+      size_t record_width = sizeof(value_t) * workload.dsm_left.num_attrs();
+      ex.join_cost = costmodel::PartitionedHashJoinCost(
+          hw, cpu, n_left, n_right, pair_width, join_bits);
+      radix_bits_t bits = cluster::PartialClusterBits(
+          std::max<size_t>(1, n_right), record_width, hw);
+      size_t window = decluster::WindowPolicy::ChooseWindowElems(
+          hw, record_width, size_t{1} << bits, std::max<size_t>(1, n_index));
+      // Both sides fetch whole records through the decluster machinery.
+      Accumulate(&ex.decluster_cost,
+                 costmodel::RadixDeclusterCost(hw, cpu, n_index, record_width,
+                                               bits, window),
+                 2.0);
+      ex.decluster_bits = bits;
+      ex.window_elems = window;
+      break;
+    }
+    case JoinStrategy::kNsmPostJive: {
+      ex.threads = 1;
+      size_t record_width = sizeof(value_t) * workload.dsm_left.num_attrs();
+      ex.join_cost = costmodel::PartitionedHashJoinCost(
+          hw, cpu, n_left, n_right, pair_width, join_bits);
+      // Mirrors the executor's fixed cluster_bits = 6 for the Jive passes.
+      constexpr radix_bits_t kJiveBits = 6;
+      Accumulate(&ex.projection_cost,
+                 costmodel::LeftJiveJoinCost(hw, cpu, n_index, n_left,
+                                             record_width, kJiveBits),
+                 1.0);
+      Accumulate(&ex.projection_cost,
+                 costmodel::RightJiveJoinCost(hw, cpu, n_index, n_right,
+                                              record_width, kJiveBits),
+                 1.0);
+      break;
+    }
+  }
+
+  ex.modeled_seconds = ex.join_cost.seconds + ex.cluster_cost.seconds +
+                       ex.projection_cost.seconds + ex.decluster_cost.seconds;
+  return PreparedQuery(this, &workload, spec, std::move(ex));
+}
+
+void Engine::PlanExecutionMode(const QuerySpec& spec, ChunkingPolicy policy,
+                               size_t n_index, radix_bits_t bits,
+                               Explanation* ex) const {
+  const size_t materialized_bytes = n_index * sizeof(value_t);
+  // `policy` arrives resolved (never kEngineDefault): kAuto streams only
+  // when the budget says the materialized intermediate is too large.
+  const bool stream =
+      policy == ChunkingPolicy::kStream ||
+      (policy == ChunkingPolicy::kAuto &&
+       config_.streaming_budget_bytes != 0 &&
+       materialized_bytes > config_.streaming_budget_bytes);
+  if (!stream) {
+    ex->streaming = false;
+    ex->chunk_rows = 0;
+    ex->modeled_intermediate_bytes = materialized_bytes;
+    return;
+  }
+
+  // The streamed ring holds (pool threads + 2) chunks when threaded, 1
+  // when serial (ExecutorOptions auto ring), each pi_right columns wide.
+  const size_t ring = pool_ != nullptr ? pool_->num_threads() + 2 : 1;
+  const size_t per_row_bytes =
+      sizeof(value_t) * std::max<size_t>(1, spec.pi_right) * ring;
+  size_t chunk = spec.chunk_rows != 0 ? spec.chunk_rows
+                                      : project::DefaultChunkRows(hw_);
+  if (spec.chunk_rows == 0 && config_.streaming_budget_bytes != 0) {
+    // Shrink the chunk until the in-flight buffers fit the budget — but
+    // stop where StreamingRadixDeclusterCost says the per-chunk overhead
+    // would cliff past 1.5x the materializing prediction. The cost model,
+    // not the entry point, owns the trade-off.
+    const double materializing_seconds =
+        costmodel::RadixDeclusterCost(hw_, config_.cpu_costs, n_index,
+                                      sizeof(value_t), bits,
+                                      ex->window_elems)
+            .seconds;
+    while (chunk > 1 && chunk * per_row_bytes >
+                            config_.streaming_budget_bytes) {
+      double next_seconds =
+          costmodel::StreamingRadixDeclusterCost(
+              hw_, config_.cpu_costs, n_index, sizeof(value_t), bits,
+              ex->window_elems, chunk / 2)
+              .seconds;
+      if (next_seconds > 1.5 * materializing_seconds) break;
+      chunk /= 2;
+    }
+  }
+  ex->streaming = true;
+  ex->chunk_rows = chunk;
+  ex->modeled_intermediate_bytes =
+      std::min(materialized_bytes, chunk * per_row_bytes);
+}
+
+project::QueryRun Engine::Execute(const workload::JoinWorkload& workload,
+                                  const QuerySpec& spec) const {
+  return Prepare(workload, spec).Execute();
+}
+
+project::QueryRun PreparedQuery::Execute() const {
+  const Explanation& ex = explanation_;
+  project::QueryOptions options;
+  options.pi_left = spec_.pi_left;
+  options.pi_right = spec_.pi_right;
+  // The prepared plan's sides, execution mode and chunk size execute
+  // verbatim, so Explain() and the run can never disagree on them. The
+  // radix bits and insertion window are forwarded as the spec gave them
+  // (usually the kAuto sentinels): the kernels re-derive them from the
+  // *actual* join cardinality with the exact rules Explain() applied to
+  // the workload's estimate — pinning Explain's values instead would
+  // diverge from the legacy executors whenever estimate != actual,
+  // breaking byte-identity for no planning benefit.
+  options.plan_sides = false;
+  options.left = ex.side_options.left;
+  options.right = ex.side_options.right;
+  options.left_bits = ex.side_options.left_bits;
+  options.right_bits = ex.side_options.right_bits;
+  options.window_elems = ex.side_options.window_elems;
+  options.num_threads = engine_->num_threads();
+  options.pool = engine_->pool();
+  options.chunk_rows = ex.chunk_rows;
+  project::QueryRun run =
+      ex.streaming
+          ? project::RunQueryStreaming(*workload_, spec_.strategy, options,
+                                       engine_->hierarchy())
+          : project::RunQuery(*workload_, spec_.strategy, options,
+                              engine_->hierarchy());
+  return run;
+}
+
+std::string Explanation::ToString() const {
+  std::string s = "strategy: ";
+  s += project::JoinStrategyName(strategy);
+  s += "  sides: ";
+  s += plan_code;
+  s += easy ? "  (easy join)" : "  (hard join)";
+  s += "\nexecution: ";
+  s += ModeName(streaming);
+  if (streaming) {
+    s += ", chunk_rows=";
+    s += std::to_string(chunk_rows);
+  }
+  s += ", threads=";
+  s += std::to_string(threads);
+  if (decluster_bits != 0) {
+    s += "\nradix plan: B=";
+    s += std::to_string(decluster_bits);
+    s += " (";
+    s += std::to_string(decluster_passes);
+    s += " pass";
+    s += decluster_passes == 1 ? "" : "es";
+    s += "), window=";
+    s += std::to_string(window_elems);
+    s += " elems";
+  }
+  if (modeled_intermediate_bytes != 0) {
+    s += "\nintermediates: ~";
+    s += std::to_string(modeled_intermediate_bytes / 1024);
+    s += " KB peak";
+  }
+  s += "\nmodeled cost: ";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.3f ms  (join %.3f + cluster %.3f + project %.3f + "
+                "decluster %.3f)",
+                modeled_seconds * 1e3, join_cost.seconds * 1e3,
+                cluster_cost.seconds * 1e3, projection_cost.seconds * 1e3,
+                decluster_cost.seconds * 1e3);
+  s += buf;
+  return s;
+}
+
+}  // namespace radix::engine

@@ -1,0 +1,222 @@
+#ifndef RADIX_ENGINE_ENGINE_H_
+#define RADIX_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+#include "costmodel/models.h"
+#include "hardware/calibrator.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/dsm_post.h"
+#include "project/executor.h"
+#include "project/strategy.h"
+#include "workload/generator.h"
+
+namespace radix {
+class ThreadPool;
+}  // namespace radix
+
+/// The session-scoped public entry point of the library (paper §1.1's
+/// architecture): a process builds one Engine from an EngineConfig — which
+/// runs the startup Calibrator, fixes the cost-model constants, and spawns
+/// the worker pool once — and then drives every query through
+/// Prepare() -> Explain() -> Execute(). The planner's choices (per-side
+/// strategies, radix bits, insertion window, materializing vs streaming
+/// execution, chunk size) are visible *before* anything runs, and repeated
+/// queries share the session's threads instead of respawning them.
+namespace radix::engine {
+
+/// How the decluster-side projection executes.
+enum class ChunkingPolicy : uint8_t {
+  /// Defer to the engine's configured policy (QuerySpec default).
+  kEngineDefault,
+  /// Planner decides: stream when the materializing path's clustered
+  /// intermediate would exceed EngineConfig::streaming_budget_bytes,
+  /// with the chunk size chosen from StreamingRadixDeclusterCost.
+  kAuto,
+  /// Always materialize full intermediates (the legacy RunQuery path).
+  kMaterialize,
+  /// Always stream through the pipeline/ subsystem.
+  kStream,
+};
+
+struct EngineConfig {
+  /// Session worker threads for the parallel radix kernels. 1 (default)
+  /// runs the exact serial kernels and spawns nothing; > 1 spawns the pool
+  /// once at engine startup (byte-identical output); 0 = all hardware
+  /// threads.
+  size_t num_threads = 1;
+  /// Hardware profile to plan and model against. Default-constructed (no
+  /// cache levels) detects the running machine; tests and planning
+  /// experiments pin a preset (e.g. MemoryHierarchy::Pentium4()). Not a
+  /// std::optional: GCC 12's -Wmaybe-uninitialized false-fires on copying
+  /// optionals of vector-bearing types under -O2.
+  hardware::MemoryHierarchy hierarchy;
+  /// Run the startup Calibrator (the paper's §1.1 MonetDB calibrator) to
+  /// refine the profile's miss latencies and bandwidth with measured
+  /// values, so modeled costs are in this machine's units. Geometry is
+  /// unchanged, so planner *choices* equal the uncalibrated engine's and
+  /// results are identical; only the modeled seconds move.
+  bool calibrate_on_startup = false;
+  hardware::Calibrator::Options calibrator_options;
+  /// CPU constants of the Appendix-A cost model.
+  costmodel::CpuCosts cpu_costs = costmodel::CpuCosts::Default();
+  /// Session-wide execution mode for decluster-side projections.
+  ChunkingPolicy chunking = ChunkingPolicy::kAuto;
+  /// kAuto's memory budget for materialized intermediates (the clustered
+  /// value column of the decluster side, N * sizeof(value_t) bytes): when
+  /// a query's intermediate would exceed it, the planner streams instead,
+  /// shrinking the chunk size until the in-flight buffers fit (floored
+  /// where StreamingRadixDeclusterCost says the overhead turns into a
+  /// cliff). 0 (default) = unlimited, i.e. kAuto materializes.
+  size_t streaming_budget_bytes = 0;
+};
+
+/// What a query asks for; cardinalities come from the workload at
+/// Prepare() time. The default spec is the planner-driven DSM
+/// post-projection query of Fig. 10.
+struct QuerySpec {
+  project::JoinStrategy strategy = project::JoinStrategy::kDsmPostDecluster;
+  size_t pi_left = 1;
+  size_t pi_right = 1;
+  /// Let the planner pick the DSM-post side strategies (default);
+  /// otherwise use the explicit codes below. A right side of s or c is
+  /// coerced to d exactly as the executor does (§4.1: only the first
+  /// projection table may be reordered).
+  bool plan_sides = true;
+  project::SideStrategy left = project::SideStrategy::kClustered;
+  project::SideStrategy right = project::SideStrategy::kDecluster;
+  /// Radix-bits overrides for the partial clusters; kAuto = from geometry.
+  radix_bits_t left_bits = project::DsmPostOptions::kAuto;
+  radix_bits_t right_bits = project::DsmPostOptions::kAuto;
+  /// Insertion-window override in elements; 0 = WindowPolicy default.
+  size_t window_elems = 0;
+  /// Execution-mode override; kEngineDefault defers to the EngineConfig.
+  ChunkingPolicy chunking = ChunkingPolicy::kEngineDefault;
+  /// Streamed chunk size override in rows; 0 = planner-chosen.
+  size_t chunk_rows = 0;
+};
+
+/// The plan and its modeled cost, fixed at Prepare() time — everything the
+/// paper's Fig. 9/10 "modeled" curves know about a run, before it runs.
+/// Costs come from the costmodel/ layer evaluated against the engine's
+/// (possibly calibrated) hierarchy and CPU constants; for the DSM
+/// post-projection strategy they are per-phase faithful, for the
+/// comparison strategies they are the same coarse per-algorithm models the
+/// figure harnesses plot.
+struct Explanation {
+  project::JoinStrategy strategy;
+  /// DSM-post per-side plan code ("c/d"); "-" for other strategies.
+  std::string plan_code = "-";
+  bool easy = false;  ///< planner classified both columns as cache-resident
+  /// Resolved per-side options the executor will run with (DSM-post only).
+  project::DsmPostOptions side_options;
+  /// Resolved decluster-side radix plan (DSM-post with a d right side).
+  radix_bits_t decluster_bits = 0;
+  uint32_t decluster_passes = 0;
+  size_t window_elems = 0;
+  /// Chosen execution mode and chunk size.
+  bool streaming = false;
+  size_t chunk_rows = 0;
+  size_t threads = 1;
+  /// Peak bytes of the projection phase's value intermediates under the
+  /// chosen mode (0 when the strategy materializes no side intermediate).
+  size_t modeled_intermediate_bytes = 0;
+  /// Modeled per-phase costs (misses + seconds) and their total.
+  costmodel::CostEstimate join_cost;
+  costmodel::CostEstimate cluster_cost;
+  costmodel::CostEstimate projection_cost;
+  costmodel::CostEstimate decluster_cost;
+  double modeled_seconds = 0;
+
+  std::string ToString() const;
+};
+
+class Engine;
+
+/// A planned query bound to its workload: Explain() is free and
+/// side-effect-less; Execute() runs it on the engine's session resources.
+/// The workload (and the engine) must outlive the PreparedQuery.
+class PreparedQuery {
+ public:
+  /// The plan and its modeled cost. Ref-qualified so
+  /// `engine.Prepare(...).Explain()` on a temporary returns a copy instead
+  /// of a dangling reference.
+  const Explanation& Explain() const& { return explanation_; }
+  Explanation Explain() && { return std::move(explanation_); }
+  const QuerySpec& spec() const { return spec_; }
+
+  /// Run the query. Byte-identical results to the legacy free functions
+  /// for the same spec and hardware profile; spawns no threads (the
+  /// engine's pool, created at startup, is reused). The explained sides,
+  /// execution mode and chunk size run verbatim; radix bits and window
+  /// re-derive at execution from the actual join cardinality (Explain()
+  /// models them from the workload's estimate) under the same rules.
+  project::QueryRun Execute() const;
+
+ private:
+  friend class Engine;
+  PreparedQuery(const Engine* engine, const workload::JoinWorkload* workload,
+                QuerySpec spec, Explanation explanation)
+      : engine_(engine),
+        workload_(workload),
+        spec_(spec),
+        explanation_(std::move(explanation)) {}
+
+  const Engine* engine_;
+  const workload::JoinWorkload* workload_;
+  QuerySpec spec_;
+  Explanation explanation_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The session hardware profile: the configured/detected hierarchy,
+  /// calibrator-refined when calibrate_on_startup was set.
+  const hardware::MemoryHierarchy& hierarchy() const { return hw_; }
+  const costmodel::CpuCosts& cpu_costs() const { return config_.cpu_costs; }
+  const EngineConfig& config() const { return config_; }
+  /// Session worker threads (1 = serial kernels, no pool spawned).
+  size_t num_threads() const;
+  /// The session pool; nullptr when the engine runs serial.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Plan the query: resolve side strategies, radix/chunk parameters and
+  /// execution mode, and model their cost — all before anything runs.
+  PreparedQuery Prepare(const workload::JoinWorkload& workload,
+                        const QuerySpec& spec) const;
+
+  /// Prepare() + Execute() in one call.
+  project::QueryRun Execute(const workload::JoinWorkload& workload,
+                            const QuerySpec& spec) const;
+
+  /// The process-wide default engine backing one-shot callers: serial,
+  /// detected hardware, no calibration. Constructed on first use.
+  static Engine& Default();
+
+ private:
+  /// Resolve materializing vs streaming (and the chunk size) for a
+  /// decluster-side plan from the resolved chunking policy, the streaming
+  /// budget and StreamingRadixDeclusterCost; fills the mode fields of `ex`.
+  void PlanExecutionMode(const QuerySpec& spec, ChunkingPolicy policy,
+                         size_t n_index, radix_bits_t bits,
+                         Explanation* ex) const;
+
+  EngineConfig config_;
+  hardware::MemoryHierarchy hw_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace radix::engine
+
+#endif  // RADIX_ENGINE_ENGINE_H_

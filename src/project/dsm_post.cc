@@ -67,6 +67,15 @@ std::unique_ptr<ThreadPool> MakePool(size_t num_threads) {
   return std::make_unique<ThreadPool>(num_threads);
 }
 
+ThreadPool* ResolveKernelPool(const DsmPostOptions& options,
+                              std::unique_ptr<ThreadPool>* owned) {
+  if (options.pool != nullptr) {
+    return options.pool->num_threads() > 1 ? options.pool : nullptr;
+  }
+  *owned = MakePool(options.num_threads);
+  return owned->get();
+}
+
 ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
                     size_t column_cardinality,
                     const hardware::MemoryHierarchy& hw, radix_bits_t bits) {
@@ -246,11 +255,12 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   // along: cluster/sort the [l,r] pairs, then split into two id columns.
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
-  std::unique_ptr<ThreadPool> pool = MakePool(options.num_threads);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::ResolveKernelPool(options, &owned);
   Timer timer;
   timer.Reset();
   detail::ReorderIndexLeft(index, left.cardinality(), hw, options.left,
-                           options.left_bits, pool.get());
+                           options.left_bits, pool);
   ph->cluster_seconds += timer.ElapsedSeconds();
 
   // Left projections: ids now (partially) ordered; plain positional joins.
@@ -262,7 +272,7 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
     left_out[a] = result.left_columns[a].span();
   }
   join::PositionalJoinPairsColumns<value_t, /*kLeft=*/true>(
-      index.span(), left_cols, left_out, pool.get());
+      index.span(), left_cols, left_out, pool);
   ph->projection_seconds += timer.ElapsedSeconds();
 
   // Right projections in the (possibly re-ordered) result order.
@@ -285,7 +295,7 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   // second one.
   ProjectSideWithPool(right_ids, right_strategy, right_cols, right_out,
                       right.cardinality(), hw, options.right_bits,
-                      options.window_elems, ph, pool.get());
+                      options.window_elems, ph, pool);
   return result;
 }
 

@@ -31,8 +31,13 @@ struct DsmPostOptions {
   /// Worker threads for the Radix-Cluster / Radix-Decluster kernels.
   /// 1 (default) runs the exact serial kernels — required for MemTracer
   /// runs; > 1 uses the parallel kernels (byte-identical output); 0 means
-  /// ThreadPool::DefaultThreads().
+  /// ThreadPool::DefaultThreads(). Ignored when `pool` is set.
   size_t num_threads = 1;
+  /// Caller-owned pool to run the parallel kernels on (the engine's
+  /// session pool). When set it wins over num_threads and no pool is
+  /// constructed inside the projector; a size-1 pool selects the exact
+  /// serial kernels. nullptr (default) = derive a pool from num_threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// Execute the projection phase. `index` is consumed (may be reordered in
@@ -86,6 +91,13 @@ namespace detail {
 /// Lazily-created pool for a num_threads knob: nullptr (serial kernels)
 /// unless the caller asked for > 1 thread; 0 = all hardware threads.
 std::unique_ptr<ThreadPool> MakePool(size_t num_threads);
+
+/// Resolve the kernel pool for one projection: an injected options.pool
+/// wins (size-1 injected pools map to nullptr, i.e. the exact serial
+/// kernels); otherwise a per-call pool is materialized into `owned` from
+/// options.num_threads. Returns the pool the kernels should use.
+ThreadPool* ResolveKernelPool(const DsmPostOptions& options,
+                              std::unique_ptr<ThreadPool>* owned);
 
 cluster::ClusterSpec SpecFor(SideStrategy strategy, size_t index_tuples,
                              size_t column_cardinality,

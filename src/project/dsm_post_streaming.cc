@@ -36,18 +36,19 @@ storage::DsmResult DsmPostProjectStreaming(
 
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
-  std::unique_ptr<ThreadPool> pool = detail::MakePool(options.num_threads);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::ResolveKernelPool(options, &owned);
   Timer timer;
 
   // Blocking prefix, identical to DsmPostProject: byte-identical inputs to
   // the streamed stages guarantee byte-identical output columns.
   timer.Reset();
   detail::ReorderIndexLeft(index, left.cardinality(), hw, options.left,
-                           options.left_bits, pool.get());
+                           options.left_bits, pool);
   ph->cluster_seconds += timer.ElapsedSeconds();
 
   pipeline::ExecutorOptions xopts;
-  xopts.pool = pool.get();
+  xopts.pool = pool;
 
   // Left projections preserve the (reordered) index order, so each chunk
   // gathers straight into its row range of the result — no intermediates.
@@ -103,7 +104,7 @@ storage::DsmResult DsmPostProjectStreaming(
       SideStrategy::kClustered, n, right.cardinality(), hw,
       options.right_bits);
   cluster::ClusterBorders borders =
-      detail::ClusterIds(right_ids, result_pos, spec, pool.get());
+      detail::ClusterIds(right_ids, result_pos, spec, pool);
   ph->cluster_seconds += timer.ElapsedSeconds();
 
   size_t window = options.window_elems;

@@ -1,8 +1,12 @@
 #include "project/executor.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "join/partitioned_hash_join.h"
 #include "project/dsm_post.h"
@@ -12,6 +16,11 @@
 #include "project/planner.h"
 
 namespace radix::project {
+
+// QueryOptions re-declares the auto sentinel so its header stays light;
+// the two must never drift apart (JoinAndPlanDsmPost copies the bits
+// fields verbatim into DsmPostOptions, where SpecFor compares to kAuto).
+static_assert(QueryOptions::kAutoBits == DsmPostOptions::kAuto);
 
 namespace {
 
@@ -67,13 +76,24 @@ std::vector<value_t> ExtractNsmKeys(const storage::NsmRelation& rel) {
   return keys;
 }
 
+/// Resolve the kernel pool for one query: an injected options.pool wins
+/// (size-1 pools map to nullptr, the exact serial kernels); otherwise the
+/// process-wide shared cache serves a pool of the requested size.
+ThreadPool* ResolveQueryPool(const QueryOptions& options) {
+  if (options.pool != nullptr) {
+    return options.pool->num_threads() > 1 ? options.pool : nullptr;
+  }
+  return detail::SharedPoolFor(options.num_threads);
+}
+
 /// Shared prologue of the materializing and streaming kDsmPostDecluster
 /// paths: run the join phase and resolve the per-side plan. Kept in one
 /// place so the two entry points can never plan differently.
 join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
                                    const QueryOptions& options,
                                    const hardware::MemoryHierarchy& hw,
-                                   QueryRun* run, DsmPostOptions* popts) {
+                                   ThreadPool* pool, QueryRun* run,
+                                   DsmPostOptions* popts) {
   Timer join_timer;
   join::JoinIndex index = join::PartitionedHashJoin(
       w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
@@ -93,10 +113,37 @@ join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
     run->detail = std::string(SideStrategyCode(popts->left)) + "/" +
                   SideStrategyCode(popts->right);
   }
+  popts->left_bits = options.left_bits;
+  popts->right_bits = options.right_bits;
+  popts->window_elems = options.window_elems;
+  popts->pool = pool;
+  // An injected pool owns the thread count outright: pin num_threads to its
+  // size so a size-1 injected pool (pool == nullptr after resolution) can
+  // never fall back to MakePool(num_threads) downstream and silently run
+  // parallel kernels on a per-call pool.
+  if (options.pool != nullptr) {
+    popts->num_threads = options.pool->num_threads();
+  }
+  run->threads_used = pool != nullptr ? pool->num_threads() : 1;
   return index;
 }
 
 }  // namespace
+
+namespace detail {
+
+ThreadPool* SharedPoolFor(size_t num_threads) {
+  if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
+  if (num_threads <= 1) return nullptr;
+  static std::mutex mu;
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[num_threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+  return pool.get();
+}
+
+}  // namespace detail
 
 QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
                   const QueryOptions& options,
@@ -108,7 +155,8 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
   switch (strategy) {
     case JoinStrategy::kDsmPostDecluster: {
       DsmPostOptions popts;
-      join::JoinIndex index = JoinAndPlanDsmPost(w, options, hw, &run, &popts);
+      join::JoinIndex index = JoinAndPlanDsmPost(
+          w, options, hw, ResolveQueryPool(options), &run, &popts);
       storage::DsmResult result =
           DsmPostProject(index, w.dsm_left, w.dsm_right, options.pi_left,
                          options.pi_right, hw, popts, &run.phases);
@@ -188,7 +236,8 @@ QueryRun RunQueryStreaming(const workload::JoinWorkload& w,
   run.strategy = strategy;
   Timer total;
   DsmPostOptions popts;
-  join::JoinIndex index = JoinAndPlanDsmPost(w, options, hw, &run, &popts);
+  join::JoinIndex index = JoinAndPlanDsmPost(
+      w, options, hw, ResolveQueryPool(options), &run, &popts);
   storage::DsmResult result = DsmPostProjectStreaming(
       index, w.dsm_left, w.dsm_right, options.pi_left, options.pi_right, hw,
       popts, options.chunk_rows, &run.phases);

@@ -1,0 +1,362 @@
+// Tests for the session-scoped engine API: Prepare/Explain/Execute must
+// agree with the planner and cost-model layers, produce byte-identical
+// results to the legacy free-function executors, and run queries on the
+// session pool without constructing threads per query.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/partition_plan.h"
+#include "common/thread_pool.h"
+#include "costmodel/models.h"
+#include "decluster/window.h"
+#include "engine/engine.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/dsm_post.h"
+#include "project/executor.h"
+#include "project/planner.h"
+#include "workload/generator.h"
+
+namespace radix::engine {
+namespace {
+
+using project::JoinStrategy;
+using project::SideStrategy;
+
+hardware::MemoryHierarchy P4() {
+  return hardware::MemoryHierarchy::Pentium4();
+}
+
+EngineConfig P4Config(size_t threads = 1) {
+  EngineConfig cfg;
+  cfg.hierarchy = P4();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+workload::JoinWorkload MakeW(size_t n, uint64_t seed, size_t omega = 4) {
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = omega;
+  spec.hit_rate = 1.0;
+  spec.seed = seed;
+  return workload::MakeJoinWorkload(spec);
+}
+
+TEST(EngineTest, ReusedEngineMatchesLegacyAcrossConsecutiveQueries) {
+  // One engine, >= 3 consecutive queries per strategy x seed: checksums and
+  // cardinalities must be byte-identical to the legacy RunQuery on the same
+  // hardware profile, and must not drift between consecutive runs.
+  Engine eng(P4Config(/*threads=*/2));
+  auto hw = P4();
+  for (uint64_t seed : {5u, 17u, 23u}) {
+    workload::JoinWorkload w = MakeW(1 << 12, seed);
+    for (JoinStrategy s :
+         {JoinStrategy::kDsmPostDecluster, JoinStrategy::kDsmPrePhash,
+          JoinStrategy::kNsmPreHash, JoinStrategy::kNsmPrePhash,
+          JoinStrategy::kNsmPostDecluster, JoinStrategy::kNsmPostJive}) {
+      QuerySpec spec;
+      spec.strategy = s;
+      spec.pi_left = 2;
+      spec.pi_right = 2;
+      project::QueryOptions legacy;
+      legacy.pi_left = 2;
+      legacy.pi_right = 2;
+      project::QueryRun ref = project::RunQuery(w, s, legacy, hw);
+      for (int round = 0; round < 3; ++round) {
+        project::QueryRun run = eng.Execute(w, spec);
+        ASSERT_EQ(run.checksum, ref.checksum)
+            << project::JoinStrategyName(s) << " seed=" << seed
+            << " round=" << round;
+        ASSERT_EQ(run.result_cardinality, ref.result_cardinality);
+        ASSERT_EQ(run.detail, ref.detail);
+      }
+    }
+  }
+}
+
+TEST(EngineTest, PreparedPlanAgreesWithPlanner) {
+  // 2^18 tuples x 4B = 1MB > the P4's 512KB L2: the planner must pick the
+  // hard-join machinery, and Explain() must report exactly its choice.
+  Engine eng(P4Config());
+  workload::JoinWorkload w = MakeW(1 << 18, 7);
+  QuerySpec spec;
+  spec.pi_left = 2;
+  spec.pi_right = 2;
+  PreparedQuery q = eng.Prepare(w, spec);
+  const Explanation& ex = q.Explain();
+
+  project::Plan plan = project::PlanDsmPost(
+      w.dsm_left.cardinality(), w.dsm_right.cardinality(),
+      w.expected_result_size, spec.pi_left, spec.pi_right, eng.hierarchy());
+  EXPECT_EQ(ex.plan_code, plan.code);
+  EXPECT_EQ(ex.plan_code, "c/d");
+  EXPECT_FALSE(ex.easy);
+  EXPECT_EQ(ex.side_options.left, plan.options.left);
+  EXPECT_EQ(ex.side_options.right, plan.options.right);
+
+  // The executed run must carry the explained plan code verbatim.
+  project::QueryRun run = q.Execute();
+  EXPECT_EQ(run.detail, ex.plan_code);
+  EXPECT_EQ(run.strategy, JoinStrategy::kDsmPostDecluster);
+}
+
+TEST(EngineTest, ExplainModeledCostMatchesCostModelDirectCalls) {
+  // Explain() is a view over costmodel/: recomputing each phase with
+  // direct cost-model calls (same hierarchy, same CPU constants, same
+  // resolved radix plan) must give exactly the same seconds.
+  Engine eng(P4Config());
+  const auto& hw = eng.hierarchy();
+  const auto& cpu = eng.cpu_costs();
+  workload::JoinWorkload w = MakeW(1 << 18, 11);
+  size_t n = w.dsm_left.cardinality();
+  size_t n_index = w.expected_result_size;
+  QuerySpec spec;
+  spec.pi_left = 2;
+  spec.pi_right = 2;
+  const Explanation& ex = eng.Prepare(w, spec).Explain();
+
+  // Right-side radix plan: bits/passes/window must match the projector's
+  // own resolution.
+  cluster::ClusterSpec right_spec = project::detail::SpecFor(
+      SideStrategy::kClustered, n_index, n, hw,
+      project::DsmPostOptions::kAuto);
+  EXPECT_EQ(ex.decluster_bits, right_spec.total_bits);
+  EXPECT_EQ(ex.decluster_passes, right_spec.passes);
+  size_t window = decluster::WindowPolicy::ChooseWindowElems(
+      hw, sizeof(value_t), size_t{1} << right_spec.total_bits, n_index);
+  EXPECT_EQ(ex.window_elems, window);
+
+  // Phase costs: join, per-column decluster, and the total as their sum.
+  double join_s = costmodel::PartitionedHashJoinCost(
+                      hw, cpu, n, n, sizeof(cluster::KeyOid),
+                      cluster::PartitionedJoinBits(n, sizeof(cluster::KeyOid),
+                                                   hw))
+                      .seconds;
+  EXPECT_DOUBLE_EQ(ex.join_cost.seconds, join_s);
+  double decluster_s =
+      2.0 * costmodel::RadixDeclusterCost(hw, cpu, n_index, sizeof(value_t),
+                                          ex.decluster_bits, ex.window_elems)
+                .seconds;
+  EXPECT_DOUBLE_EQ(ex.decluster_cost.seconds, decluster_s);
+  EXPECT_DOUBLE_EQ(ex.modeled_seconds,
+                   ex.join_cost.seconds + ex.cluster_cost.seconds +
+                       ex.projection_cost.seconds + ex.decluster_cost.seconds);
+  EXPECT_GT(ex.modeled_seconds, 0.0);
+  EXPECT_FALSE(ex.ToString().empty());
+}
+
+TEST(EngineTest, ZeroThreadPoolConstructionsPerQueryAfterStartup) {
+  // The engine's whole point: the pool spawns once at startup, and no
+  // query — materializing or streaming, any strategy — constructs another.
+  Engine eng(P4Config(/*threads=*/4));
+  workload::JoinWorkload w = MakeW(1 << 12, 3);
+  QuerySpec dsm;
+  dsm.pi_left = 2;
+  dsm.pi_right = 2;
+  QuerySpec streamed = dsm;
+  streamed.chunking = ChunkingPolicy::kStream;
+  QuerySpec nsm;
+  nsm.strategy = JoinStrategy::kNsmPreHash;
+
+  uint64_t before = ThreadPool::TotalConstructed();
+  for (int round = 0; round < 3; ++round) {
+    eng.Execute(w, dsm);
+    eng.Execute(w, streamed);
+    eng.Execute(w, nsm);
+  }
+  EXPECT_EQ(ThreadPool::TotalConstructed(), before);
+}
+
+TEST(EngineTest, LegacyWrappersReuseProcessWidePool) {
+  // The deprecated free functions resolve their pool from the shared
+  // cache: after a warm-up call per size, repeated queries construct none.
+  auto hw = P4();
+  workload::JoinWorkload w = MakeW(1 << 12, 9);
+  project::QueryOptions opts;
+  opts.pi_left = 1;
+  opts.pi_right = 1;
+  opts.num_threads = 3;
+  project::RunQuery(w, JoinStrategy::kDsmPostDecluster, opts, hw);  // warm
+  uint64_t before = ThreadPool::TotalConstructed();
+  for (int round = 0; round < 3; ++round) {
+    project::RunQuery(w, JoinStrategy::kDsmPostDecluster, opts, hw);
+    project::RunQueryStreaming(w, JoinStrategy::kDsmPostDecluster, opts, hw);
+  }
+  EXPECT_EQ(ThreadPool::TotalConstructed(), before);
+}
+
+TEST(EngineTest, ThreadsUsedIsHonest) {
+  auto hw = P4();
+  workload::JoinWorkload w = MakeW(1 << 12, 13);
+  project::QueryOptions opts;
+  opts.pi_left = 1;
+  opts.pi_right = 1;
+  opts.num_threads = 4;
+  // Only the DSM post-projection strategy has parallel kernels; everything
+  // else must report threads_used == 1 no matter what was requested.
+  project::QueryRun par =
+      project::RunQuery(w, JoinStrategy::kDsmPostDecluster, opts, hw);
+  EXPECT_EQ(par.threads_used, 4u);
+  project::QueryRun serial =
+      project::RunQuery(w, JoinStrategy::kNsmPreHash, opts, hw);
+  EXPECT_EQ(serial.threads_used, 1u);
+  project::QueryRun jive =
+      project::RunQuery(w, JoinStrategy::kNsmPostJive, opts, hw);
+  EXPECT_EQ(jive.threads_used, 1u);
+
+  Engine eng(P4Config(/*threads=*/2));
+  QuerySpec spec;
+  EXPECT_EQ(eng.Execute(w, spec).threads_used, 2u);
+  QuerySpec nsm;
+  nsm.strategy = JoinStrategy::kNsmPrePhash;
+  EXPECT_EQ(eng.Execute(w, nsm).threads_used, 1u);
+}
+
+TEST(EngineTest, InjectedSizeOnePoolPinsSerialExecution) {
+  // An injected pool owns the thread count outright: a size-1 pool with a
+  // conflicting num_threads must run the exact serial kernels, report
+  // threads_used == 1, and never fall back to constructing a per-call
+  // pool from num_threads.
+  auto hw = P4();
+  workload::JoinWorkload w = MakeW(1 << 12, 27);
+  ThreadPool serial_pool(1);
+  project::QueryOptions opts;
+  opts.pi_left = 2;
+  opts.pi_right = 2;
+  opts.pool = &serial_pool;
+  opts.num_threads = 4;  // must be ignored: the injected pool wins
+  uint64_t before = ThreadPool::TotalConstructed();
+  project::QueryRun run =
+      project::RunQuery(w, JoinStrategy::kDsmPostDecluster, opts, hw);
+  project::QueryRun streamed = project::RunQueryStreaming(
+      w, JoinStrategy::kDsmPostDecluster, opts, hw);
+  EXPECT_EQ(ThreadPool::TotalConstructed(), before);
+  EXPECT_EQ(run.threads_used, 1u);
+  EXPECT_EQ(streamed.threads_used, 1u);
+
+  project::QueryOptions plain;
+  plain.pi_left = 2;
+  plain.pi_right = 2;
+  project::QueryRun ref =
+      project::RunQuery(w, JoinStrategy::kDsmPostDecluster, plain, hw);
+  EXPECT_EQ(run.checksum, ref.checksum);
+  EXPECT_EQ(streamed.checksum, ref.checksum);
+}
+
+TEST(EngineTest, CalibratedEngineMatchesPresetEngineResults) {
+  // Calibration refines latencies/bandwidth only — geometry, and therefore
+  // every planner choice and every byte of the result, must be unchanged.
+  Engine preset(P4Config());
+
+  EngineConfig cal_cfg = P4Config();
+  cal_cfg.calibrate_on_startup = true;
+  cal_cfg.calibrator_options.max_working_set_bytes = 1u << 20;
+  cal_cfg.calibrator_options.accesses_per_point = 1u << 12;
+  Engine calibrated(cal_cfg);
+
+  workload::JoinWorkload w = MakeW(1 << 13, 21);
+  for (JoinStrategy s :
+       {JoinStrategy::kDsmPostDecluster, JoinStrategy::kNsmPostJive}) {
+    QuerySpec spec;
+    spec.strategy = s;
+    spec.pi_left = 2;
+    spec.pi_right = 2;
+    PreparedQuery a = preset.Prepare(w, spec);
+    PreparedQuery b = calibrated.Prepare(w, spec);
+    EXPECT_EQ(a.Explain().plan_code, b.Explain().plan_code);
+    project::QueryRun ra = a.Execute();
+    project::QueryRun rb = b.Execute();
+    EXPECT_EQ(ra.checksum, rb.checksum) << project::JoinStrategyName(s);
+    EXPECT_EQ(ra.result_cardinality, rb.result_cardinality);
+  }
+}
+
+TEST(EngineTest, ChunkingPolicyControlsExecutionMode) {
+  workload::JoinWorkload w = MakeW(20000, 31, /*omega=*/3);
+  QuerySpec spec;
+  spec.pi_left = 2;
+  spec.pi_right = 2;
+  spec.plan_sides = false;
+  spec.left = SideStrategy::kClustered;
+  spec.right = SideStrategy::kDecluster;
+
+  // Default engine policy (kAuto, no budget): materialize, like RunQuery.
+  Engine mat(P4Config());
+  EXPECT_FALSE(mat.Prepare(w, spec).Explain().streaming);
+
+  // A tiny intermediate budget forces streaming, with a planner-chosen
+  // chunk small enough for the budget unless the cost model vetoes it.
+  EngineConfig budget_cfg = P4Config();
+  budget_cfg.streaming_budget_bytes = 16 * 1024;
+  Engine budget(budget_cfg);
+  const Explanation& ex = budget.Prepare(w, spec).Explain();
+  EXPECT_TRUE(ex.streaming);
+  EXPECT_GT(ex.chunk_rows, 0u);
+  EXPECT_LT(ex.modeled_intermediate_bytes,
+            w.expected_result_size * sizeof(value_t));
+
+  // Explicit per-query overrides beat the engine policy.
+  QuerySpec forced = spec;
+  forced.chunking = ChunkingPolicy::kStream;
+  EXPECT_TRUE(mat.Prepare(w, forced).Explain().streaming);
+  forced.chunking = ChunkingPolicy::kMaterialize;
+  EXPECT_FALSE(budget.Prepare(w, forced).Explain().streaming);
+
+  // All modes compute the same relation as the legacy entry points.
+  project::QueryOptions legacy;
+  legacy.pi_left = 2;
+  legacy.pi_right = 2;
+  legacy.plan_sides = false;
+  legacy.left = SideStrategy::kClustered;
+  legacy.right = SideStrategy::kDecluster;
+  project::QueryRun ref = project::RunQuery(
+      w, JoinStrategy::kDsmPostDecluster, legacy, P4());
+  EXPECT_EQ(budget.Execute(w, spec).checksum, ref.checksum);
+  forced.chunking = ChunkingPolicy::kStream;
+  EXPECT_EQ(mat.Execute(w, forced).checksum, ref.checksum);
+}
+
+TEST(EngineTest, ExplainStreamingCostUsesStreamingModel) {
+  // When the plan streams, the modeled decluster phase must be the
+  // streamed prediction for the chosen chunk — not the materializing one.
+  Engine eng(P4Config());
+  workload::JoinWorkload w = MakeW(1 << 16, 41, /*omega=*/3);
+  QuerySpec spec;
+  spec.pi_left = 1;
+  spec.pi_right = 1;
+  spec.plan_sides = false;
+  spec.left = SideStrategy::kClustered;
+  spec.right = SideStrategy::kDecluster;
+  spec.chunking = ChunkingPolicy::kStream;
+  spec.chunk_rows = 4096;
+  const Explanation& ex = eng.Prepare(w, spec).Explain();
+  ASSERT_TRUE(ex.streaming);
+  EXPECT_EQ(ex.chunk_rows, 4096u);
+  double expected = costmodel::StreamingRadixDeclusterCost(
+                        eng.hierarchy(), eng.cpu_costs(),
+                        w.expected_result_size, sizeof(value_t),
+                        ex.decluster_bits, ex.window_elems, ex.chunk_rows)
+                        .seconds;
+  EXPECT_DOUBLE_EQ(ex.decluster_cost.seconds, expected);
+  double materializing = costmodel::RadixDeclusterCost(
+                             eng.hierarchy(), eng.cpu_costs(),
+                             w.expected_result_size, sizeof(value_t),
+                             ex.decluster_bits, ex.window_elems)
+                             .seconds;
+  EXPECT_GE(ex.decluster_cost.seconds, materializing);
+}
+
+TEST(EngineTest, DefaultEngineIsUsableAndSerial) {
+  Engine& eng = Engine::Default();
+  EXPECT_EQ(eng.num_threads(), 1u);
+  EXPECT_EQ(eng.pool(), nullptr);
+  workload::JoinWorkload w = MakeW(2048, 1, /*omega=*/3);
+  QuerySpec spec;
+  project::QueryRun run = eng.Execute(w, spec);
+  EXPECT_EQ(run.result_cardinality, w.expected_result_size);
+}
+
+}  // namespace
+}  // namespace radix::engine

@@ -1,6 +1,9 @@
 // End-to-end integration tests: the full pipeline (generate -> join ->
 // project) across storage models, strategies, hit rates, projectivities
 // and cardinalities, cross-validated against a scalar reference executor.
+// Queries run through the public engine API (one session Engine reused by
+// the whole suite); the legacy free functions are covered by the project
+// and engine suites.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "engine/engine.h"
 #include "hardware/memory_hierarchy.h"
 #include "join/partitioned_hash_join.h"
 #include "project/dsm_post.h"
@@ -19,11 +23,23 @@ namespace radix {
 namespace {
 
 using project::JoinStrategy;
-using project::QueryOptions;
 using project::QueryRun;
 
 hardware::MemoryHierarchy P4() {
   return hardware::MemoryHierarchy::Pentium4();
+}
+
+engine::EngineConfig P4Config() {
+  engine::EngineConfig cfg;
+  cfg.hierarchy = P4();
+  return cfg;
+}
+
+/// One session engine for the whole suite — consecutive tests double as
+/// engine-reuse coverage.
+engine::Engine& P4Engine() {
+  static engine::Engine eng{P4Config()};
+  return eng;
 }
 
 /// Scalar reference: nested-loop join + projection, producing the same
@@ -73,15 +89,15 @@ TEST_P(PipelineSweep, AllStrategiesMatchScalarReference) {
   auto w = workload::MakeJoinWorkload(spec);
   uint64_t expected = ReferenceChecksum(w, p.pi, p.pi);
 
-  QueryOptions qopts;
-  qopts.pi_left = p.pi;
-  qopts.pi_right = p.pi;
-  auto hw = P4();
+  engine::QuerySpec qspec;
+  qspec.pi_left = p.pi;
+  qspec.pi_right = p.pi;
   for (JoinStrategy s :
        {JoinStrategy::kDsmPostDecluster, JoinStrategy::kDsmPrePhash,
         JoinStrategy::kNsmPreHash, JoinStrategy::kNsmPrePhash,
         JoinStrategy::kNsmPostDecluster, JoinStrategy::kNsmPostJive}) {
-    QueryRun run = project::RunQuery(w, s, qopts, hw);
+    qspec.strategy = s;
+    QueryRun run = P4Engine().Execute(w, qspec);
     EXPECT_EQ(run.checksum, expected) << project::JoinStrategyName(s);
     EXPECT_EQ(run.result_cardinality, w.expected_result_size)
         << project::JoinStrategyName(s);
@@ -106,20 +122,21 @@ TEST(PipelineTest, HardCaseUsesRadixMachineryAndStaysCorrect) {
   spec.cardinality = 1 << 18;
   spec.num_attrs = 4;
   auto w = workload::MakeJoinWorkload(spec);
-  auto hw = P4();
-  QueryOptions planned;
+  engine::QuerySpec planned;
   planned.pi_left = 2;
   planned.pi_right = 2;
-  QueryRun run = project::RunQuery(w, JoinStrategy::kDsmPostDecluster,
-                                   planned, hw);
+  // Prepare/Explain/Execute: the plan is visible before the run, and the
+  // run must carry it verbatim.
+  engine::PreparedQuery q = P4Engine().Prepare(w, planned);
+  EXPECT_EQ(q.Explain().plan_code, "c/d");
+  QueryRun run = q.Execute();
   EXPECT_EQ(run.detail, "c/d");
 
-  QueryOptions unsorted = planned;
+  engine::QuerySpec unsorted = planned;
   unsorted.plan_sides = false;
   unsorted.left = project::SideStrategy::kUnsorted;
   unsorted.right = project::SideStrategy::kUnsorted;
-  QueryRun ref = project::RunQuery(w, JoinStrategy::kDsmPostDecluster,
-                                   unsorted, hw);
+  QueryRun ref = P4Engine().Execute(w, unsorted);
   EXPECT_EQ(run.checksum, ref.checksum);
 }
 
@@ -162,11 +179,10 @@ TEST(PipelineTest, ProjectionDominatesAtHighProjectivity) {
   spec.num_attrs = 33;
   spec.build_nsm = false;
   auto w = workload::MakeJoinWorkload(spec);
-  QueryOptions qopts;
-  qopts.pi_left = 32;
-  qopts.pi_right = 32;
-  QueryRun run =
-      project::RunQuery(w, JoinStrategy::kDsmPostDecluster, qopts, P4());
+  engine::QuerySpec qspec;
+  qspec.pi_left = 32;
+  qspec.pi_right = 32;
+  QueryRun run = P4Engine().Execute(w, qspec);
   double projection = run.phases.cluster_seconds +
                       run.phases.projection_seconds +
                       run.phases.decluster_seconds;
@@ -185,13 +201,14 @@ TEST(PipelineTest, ZeroMatchesProduceEmptyResultEverywhere) {
     w.nsm_left.record(i)[0] = w.dsm_left.key()[i];
     w.nsm_right.record(i)[0] = w.dsm_right.key()[i];
   }
-  QueryOptions qopts;
-  qopts.pi_left = 1;
-  qopts.pi_right = 1;
+  engine::QuerySpec qspec;
+  qspec.pi_left = 1;
+  qspec.pi_right = 1;
   for (JoinStrategy s :
        {JoinStrategy::kDsmPostDecluster, JoinStrategy::kNsmPreHash,
         JoinStrategy::kNsmPostJive}) {
-    QueryRun run = project::RunQuery(w, s, qopts, P4());
+    qspec.strategy = s;
+    QueryRun run = P4Engine().Execute(w, qspec);
     EXPECT_EQ(run.result_cardinality, 0u) << project::JoinStrategyName(s);
   }
 }
