@@ -79,8 +79,58 @@ void BM_NsmPostJive(benchmark::State& s) {
   RunStrategy(s, JoinStrategy::kNsmPostJive);
 }
 
+// Varchar variants (paper §5's workload): the projection list mixes
+// range(0) fixed columns per side with 2 varchar columns per side, so the
+// sweep shows how string payloads shift the Fig. 10a comparison — DSM-post
+// pays the three-phase paged decluster, the pre-projection strategies drag
+// oid luggage through the join and gather strings at the end.
+const workload::JoinWorkload& VarcharWorkload() {
+  static workload::JoinWorkload w = [] {
+    workload::JoinWorkloadSpec spec;
+    spec.cardinality = radix::bench::ScaledN(500'000);
+    spec.num_attrs = kOmega;
+    spec.hit_rate = 1.0;
+    spec.varchar.num_cols = 2;
+    return workload::MakeJoinWorkload(spec);
+  }();
+  return w;
+}
+
+void RunStrategyVarchar(benchmark::State& state, JoinStrategy strategy) {
+  size_t pi = static_cast<size_t>(state.range(0));
+  const auto& w = VarcharWorkload();
+  engine::QuerySpec spec;
+  spec.strategy = strategy;
+  spec.pi_left = pi;
+  spec.pi_right = pi;
+  spec.pi_varchar_left = 2;
+  spec.pi_varchar_right = 2;
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
+    checksum = run.checksum;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["pi"] = static_cast<double>(pi);
+  state.counters["varchar_cols"] = 4;
+  state.counters["checksum_lo32"] =
+      static_cast<double>(checksum & 0xffffffffu);
+}
+
+void BM_DsmPostDeclusterVarchar(benchmark::State& s) {
+  RunStrategyVarchar(s, JoinStrategy::kDsmPostDecluster);
+}
+void BM_NsmPrePhashVarchar(benchmark::State& s) {
+  RunStrategyVarchar(s, JoinStrategy::kNsmPrePhash);
+}
+
 void Args(benchmark::internal::Benchmark* b) {
   for (int64_t pi : {1, 4, 16, 64}) b->Args({pi});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void VarcharArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t pi : {1, 4, 16}) b->Args({pi});
   b->Unit(benchmark::kMillisecond)->Iterations(1);
 }
 
@@ -92,5 +142,7 @@ BENCHMARK(BM_DsmPrePhash)->Apply(Args);
 BENCHMARK(BM_DsmPostDecluster)->Apply(Args);
 BENCHMARK(BM_NsmPostDecluster)->Apply(Args);
 BENCHMARK(BM_NsmPostJive)->Apply(Args);
+BENCHMARK(BM_DsmPostDeclusterVarchar)->Apply(VarcharArgs);
+BENCHMARK(BM_NsmPrePhashVarchar)->Apply(VarcharArgs);
 
 BENCHMARK_MAIN();

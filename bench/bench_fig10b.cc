@@ -80,6 +80,44 @@ void BM_NsmPostJive(benchmark::State& s) {
   RunStrategy(s, JoinStrategy::kNsmPostJive);
 }
 
+// Varchar variant across hit rates: the result cardinality scales the
+// string bytes the projection must move, so the 3:1 point triples the
+// paged-decluster heap traffic relative to 1:1.
+const workload::JoinWorkload& VarcharWorkload(int64_t code) {
+  static workload::JoinWorkload w[3] = {};
+  static bool built[3] = {false, false, false};
+  if (!built[code]) {
+    workload::JoinWorkloadSpec spec;
+    spec.cardinality = radix::bench::ScaledN(500'000);
+    spec.num_attrs = kOmega;
+    spec.hit_rate = HitRate(code);
+    spec.varchar.num_cols = 2;
+    w[code] = workload::MakeJoinWorkload(spec);
+    built[code] = true;
+  }
+  return w[code];
+}
+
+void BM_DsmPostDeclusterVarchar(benchmark::State& state) {
+  int64_t code = state.range(0);
+  const auto& w = VarcharWorkload(code);
+  engine::QuerySpec spec;
+  spec.strategy = JoinStrategy::kDsmPostDecluster;
+  spec.pi_left = kPi;
+  spec.pi_right = kPi;
+  spec.pi_varchar_left = 2;
+  spec.pi_varchar_right = 2;
+  size_t result_size = 0;
+  for (auto _ : state) {
+    project::QueryRun run = radix::bench::BenchEngine().Execute(w, spec);
+    result_size = run.result_cardinality;
+    benchmark::DoNotOptimize(result_size);
+  }
+  state.counters["hit_rate_x100"] = HitRate(code) * 100;
+  state.counters["varchar_cols"] = 4;
+  state.counters["result_tuples"] = static_cast<double>(result_size);
+}
+
 void Args(benchmark::internal::Benchmark* b) {
   b->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)->Iterations(1);
 }
@@ -92,5 +130,6 @@ BENCHMARK(BM_DsmPrePhash)->Apply(Args);
 BENCHMARK(BM_DsmPostDecluster)->Apply(Args);
 BENCHMARK(BM_NsmPostDecluster)->Apply(Args);
 BENCHMARK(BM_NsmPostJive)->Apply(Args);
+BENCHMARK(BM_DsmPostDeclusterVarchar)->Apply(Args);
 
 BENCHMARK_MAIN();

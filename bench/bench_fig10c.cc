@@ -83,6 +83,42 @@ void BM_DsmPost_sd(benchmark::State& s) {
   RunForced(s, SideStrategy::kSorted, SideStrategy::kDecluster);
 }
 
+/// Planned DSM-post over a mixed fixed+varchar projection list (paper §5):
+/// same cardinality sweep, with 2 varchar columns per side riding along —
+/// the right side's strings run the Fig. 12 three-phase paged decluster
+/// once columns outgrow the cache.
+void BM_DsmPostPlannedVarchar(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(static_cast<size_t>(state.range(0)),
+                                   4'000'000);
+  workload::JoinWorkloadSpec wspec;
+  wspec.cardinality = n;
+  wspec.num_attrs = kPi + 1;
+  wspec.hit_rate = 1.0;
+  wspec.build_nsm = false;
+  wspec.varchar.num_cols = 2;
+  workload::JoinWorkload w = workload::MakeJoinWorkload(wspec);
+  engine::QuerySpec spec;
+  spec.pi_left = kPi;
+  spec.pi_right = kPi;
+  spec.pi_varchar_left = 2;
+  spec.pi_varchar_right = 2;
+  std::string code;
+  double modeled_varchar_ms = 0;
+  for (auto _ : state) {
+    engine::PreparedQuery prepared =
+        radix::bench::BenchEngine().Prepare(w, spec);
+    modeled_varchar_ms =
+        prepared.Explain().varchar_decluster_cost.seconds * 1e3;
+    project::QueryRun run = prepared.Execute();
+    code = run.detail;
+    benchmark::DoNotOptimize(run.checksum);
+  }
+  state.SetLabel(code);
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["varchar_cols"] = 4;
+  state.counters["modeled_varchar_ms"] = modeled_varchar_ms;
+}
+
 void Args(benchmark::internal::Benchmark* b) {
   for (int64_t n : {15'625, 62'500, 250'000, 1'000'000, 4'000'000,
                     16'000'000}) {
@@ -98,5 +134,6 @@ BENCHMARK(BM_DsmPost_uu)->Apply(Args);
 BENCHMARK(BM_DsmPost_cu)->Apply(Args);
 BENCHMARK(BM_DsmPost_cd)->Apply(Args);
 BENCHMARK(BM_DsmPost_sd)->Apply(Args);
+BENCHMARK(BM_DsmPostPlannedVarchar)->Apply(Args);
 
 BENCHMARK_MAIN();

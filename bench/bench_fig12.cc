@@ -1,0 +1,156 @@
+// Figure 12 (paper §5): Radix-Decluster into buffer-manager pages for
+// variable-size values — the three-phase scheme (decluster the lengths
+// into SIZE_VALUES, prefix-sum into byte positions, decluster the value
+// bytes into page/offset) versus the fixed-size fast path whose page and
+// offset follow directly from the result oid, versus the flat (in-memory
+// varchar column) variant the DSM post-projection executor runs. Each
+// benchmark reports a "modeled_ms" counter from the cost model's
+// paged-decluster term (VarcharRadixDeclusterCost), the same term the
+// engine's Explain() surfaces for varchar projections.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bufferpool/buffer_manager.h"
+#include "costmodel/models.h"
+#include "decluster/paged_decluster.h"
+#include "decluster/window.h"
+#include "storage/varchar.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace radix;  // NOLINT
+
+const costmodel::CpuCosts& Cpu() {
+  static costmodel::CpuCosts cpu = costmodel::CpuCosts::Default();
+  return cpu;
+}
+
+size_t CapN(size_t n) { return radix::bench::ScaledN(n, 1'000'000); }
+
+/// The clustered inputs of a decluster-side varchar projection: reuse the
+/// paper-distribution fixed fixture and derive per-tuple strings from the
+/// result positions (deterministic, so lengths vary but are reproducible).
+struct VarInput {
+  radix::bench::DeclusterInput base;
+  decluster::VarValues values;
+  storage::VarcharColumn column;  // same bytes, flat-variant input
+  size_t window = 0;
+  size_t avg_len = 0;
+};
+
+VarInput MakeVarInput(size_t n, radix_bits_t bits,
+                      const hardware::MemoryHierarchy& hw) {
+  VarInput in;
+  in.base = radix::bench::MakeDeclusterInput(n, bits, 12);
+  workload::VarcharColumnSpec vs;
+  vs.min_len = 4;
+  vs.max_len = 24;
+  size_t heap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::string s = workload::PayloadString(
+        static_cast<value_t>(in.base.ids[i]), 0, vs);
+    in.values.Append(s);
+    in.column.Append(s);
+    heap += s.size();
+  }
+  in.avg_len = n == 0 ? 1 : std::max<size_t>(1, heap / n);
+  in.window = decluster::WindowPolicy::ChooseWindowElems(
+      hw, std::max(sizeof(uint32_t), in.avg_len),
+      in.base.borders.num_clusters(), n);
+  return in;
+}
+
+// ------------------------------------------------- three-phase paged (var)
+void BM_PagedDeclusterVar(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  const auto& hw = radix::bench::BenchHw();
+  VarInput in = MakeVarInput(n, bits, hw);
+  size_t pages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bufferpool::BufferManager bm(8192);
+    state.ResumeTiming();
+    decluster::PagedResult result = decluster::PagedDeclusterVar(
+        in.values, in.base.ids, in.base.borders, in.window, &bm);
+    pages = result.num_pages;
+    benchmark::DoNotOptimize(result.directory.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["avg_len"] = static_cast<double>(in.avg_len);
+  state.counters["modeled_ms"] =
+      costmodel::VarcharRadixDeclusterCost(hw, Cpu(), n, in.avg_len, bits,
+                                           in.window)
+          .seconds *
+      1e3;
+}
+
+// ------------------------------------------------ fixed-size single pass
+void BM_PagedDeclusterFixed(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  const auto& hw = radix::bench::BenchHw();
+  radix::bench::DeclusterInput in = radix::bench::MakeDeclusterInput(n, bits,
+                                                                     12);
+  size_t window = decluster::WindowPolicy::ChooseWindowElems(
+      hw, sizeof(value_t), in.borders.num_clusters(), n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    bufferpool::BufferManager bm(8192);
+    state.ResumeTiming();
+    decluster::PagedResult result = decluster::PagedDeclusterFixed(
+        in.values, in.ids, in.borders, window, &bm);
+    benchmark::DoNotOptimize(result.directory.data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::RadixDeclusterCost(hw, Cpu(), n, sizeof(value_t), bits,
+                                    window)
+          .seconds *
+      1e3;
+}
+
+// ----------------------------------------- flat three-phase (executor's)
+void BM_RadixDeclusterVarcharFlat(benchmark::State& state) {
+  size_t n = CapN(static_cast<size_t>(state.range(0)));
+  radix_bits_t bits = static_cast<radix_bits_t>(state.range(1));
+  const auto& hw = radix::bench::BenchHw();
+  VarInput in = MakeVarInput(n, bits, hw);
+  for (auto _ : state) {
+    storage::VarcharColumn out = decluster::RadixDeclusterVarchar(
+        in.column, in.base.ids, in.base.borders, in.window);
+    benchmark::DoNotOptimize(out.heap().data());
+  }
+  state.counters["B"] = bits;
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["modeled_ms"] =
+      costmodel::VarcharRadixDeclusterCost(hw, Cpu(), n, in.avg_len, bits,
+                                           in.window)
+          .seconds *
+      1e3;
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {250'000, 1'000'000, 4'000'000}) {
+    for (int64_t bits : {4, 8, 12}) {
+      b->Args({n, bits});
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PagedDeclusterVar)->Apply(Args);
+BENCHMARK(BM_PagedDeclusterFixed)->Apply(Args);
+BENCHMARK(BM_RadixDeclusterVarcharFlat)->Apply(Args);
+
+BENCHMARK_MAIN();

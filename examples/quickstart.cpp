@@ -14,15 +14,18 @@
 
 #include "common/hash.h"
 #include "engine/engine.h"
+#include "project/checksum.h"
 #include "workload/generator.h"
 
 namespace {
 
 /// Independent ground truth: a scalar nested-loop join + projection digest
-/// sharing no code with the radix kernels. Any engine strategy must land
-/// on exactly this order-independent checksum.
+/// sharing no code with the radix kernels (only the canonical per-row
+/// digest). Any engine strategy must land on exactly this
+/// order-independent checksum — string bytes included.
 uint64_t ReferenceChecksum(const radix::workload::JoinWorkload& w,
-                           size_t pi_left, size_t pi_right) {
+                           size_t pi_left, size_t pi_right,
+                           size_t pi_varchar) {
   using radix::value_t;
   std::multimap<value_t, size_t> right_index;
   for (size_t i = 0; i < w.dsm_right.cardinality(); ++i) {
@@ -32,20 +35,20 @@ uint64_t ReferenceChecksum(const radix::workload::JoinWorkload& w,
   for (size_t i = 0; i < w.dsm_left.cardinality(); ++i) {
     auto [lo, hi] = right_index.equal_range(w.dsm_left.key()[i]);
     for (auto it = lo; it != hi; ++it) {
-      uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
-      size_t a = 0;
-      for (size_t c = 0; c < pi_left; ++c, ++a) {
-        uint64_t v = static_cast<uint32_t>(w.dsm_left.attr(1 + c)[i]);
-        row_digest =
-            radix::HashInt64(row_digest ^ (v + (static_cast<uint64_t>(a) << 32)));
+      radix::project::RowDigest d;
+      for (size_t c = 0; c < pi_left; ++c) {
+        d.AddValue(w.dsm_left.attr(1 + c)[i]);
       }
-      for (size_t c = 0; c < pi_right; ++c, ++a) {
-        uint64_t v =
-            static_cast<uint32_t>(w.dsm_right.attr(1 + c)[it->second]);
-        row_digest =
-            radix::HashInt64(row_digest ^ (v + (static_cast<uint64_t>(a) << 32)));
+      for (size_t c = 0; c < pi_right; ++c) {
+        d.AddValue(w.dsm_right.attr(1 + c)[it->second]);
       }
-      sum += row_digest;
+      for (size_t c = 0; c < pi_varchar; ++c) {
+        d.AddString(w.left_varchars[c].at(i));
+      }
+      for (size_t c = 0; c < pi_varchar; ++c) {
+        d.AddString(w.right_varchars[c].at(it->second));
+      }
+      sum += d.digest();
     }
   }
   return sum;
@@ -68,15 +71,19 @@ int main(int argc, char** argv) {
   engine::Engine eng(std::move(config));
   std::printf("Memory hierarchy:\n%s\n", eng.hierarchy().ToString().c_str());
 
-  // 2. Generate the paper's workload: two relations of N tuples, 4
-  //    attributes each (key + 3 payload columns), join hit rate 1:1.
+  // 2. Generate the paper's workload: two relations of N tuples, 4 fixed
+  //    attributes each (key + 3 payload columns) plus one varchar payload
+  //    column per side (paper §5's variable-size values), hit rate 1:1.
   workload::JoinWorkloadSpec spec;
   spec.cardinality = n;
   spec.num_attrs = 4;
   spec.hit_rate = 1.0;
+  spec.varchar.num_cols = 1;
   workload::JoinWorkload w = workload::MakeJoinWorkload(spec);
-  std::printf("Workload: N = %zu tuples per relation, expected result %zu\n\n",
-              n, w.expected_result_size);
+  std::printf("Workload: N = %zu tuples per relation, expected result %zu, "
+              "varchar heap %zu KB/side\n\n",
+              n, w.expected_result_size,
+              w.left_varchars[0].heap_bytes() / 1024);
 
   // 3. Prepare the query. The planner resolves the per-side strategies
   //    (Fig. 10c's u/u -> c/u -> c/d -> s/d progression), the radix/window
@@ -85,6 +92,8 @@ int main(int argc, char** argv) {
   engine::QuerySpec query;
   query.pi_left = 2;
   query.pi_right = 2;
+  query.pi_varchar_left = 1;   // mixed fixed+varchar projection list:
+  query.pi_varchar_right = 1;  // the right strings run Fig. 12's scheme
   engine::PreparedQuery prepared = eng.Prepare(w, query);
   std::printf("Explain:\n%s\n\n", prepared.Explain().ToString().c_str());
 
@@ -105,13 +114,15 @@ int main(int argc, char** argv) {
   //    order-independent checksum — and so must the (deprecated) legacy
   //    entry point on the same hardware profile.
   size_t errors = 0;
-  uint64_t expected = ReferenceChecksum(w, 2, 2);
+  uint64_t expected = ReferenceChecksum(w, 2, 2, 1);
   if (run.checksum != expected) ++errors;
-  std::printf("Scalar reference check: %s\n",
+  std::printf("Scalar reference check (incl. string bytes): %s\n",
               run.checksum == expected ? "checksum matches" : "MISMATCH");
   project::QueryOptions legacy;
   legacy.pi_left = 2;
   legacy.pi_right = 2;
+  legacy.pi_varchar_left = 1;
+  legacy.pi_varchar_right = 1;
   project::QueryRun ref = project::RunQuery(
       w, project::JoinStrategy::kDsmPostDecluster, legacy, eng.hierarchy());
   if (run.checksum != ref.checksum) ++errors;

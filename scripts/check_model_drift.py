@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate modeled-vs-measured drift for the Appendix-A cost model.
+
+Reads a Google Benchmark JSON file produced by bench_fig09 (each benchmark
+carries a `modeled_ms` counter next to its measured `real_time`) and
+closes the ROADMAP item "validate modeled vs measured drift in CI".
+
+What Fig. 9 actually claims is that model and measurement *move together*
+— same optima, same cliffs at the same radix-bits — not that the absolute
+milliseconds agree on an arbitrary uncalibrated machine (the CPU constants
+and miss latencies are defaults unless the Calibrator ran). The gate
+therefore works per kernel (benchmark family):
+
+ * compute each point's measured/modeled ratio;
+ * absorb the kernel's constant scale error as the median ratio;
+ * FAIL any point whose ratio deviates from that median by more than
+   MAX_POINT_DRIFT in either direction (the curve shapes diverged);
+ * FAIL if the median itself exceeds MAX_SCALE (the model is off by so
+   much that even "constant factor" is implausible — total model rot).
+
+Thresholds live here, in ONE place, and are generous: CI machines are
+noisy and share caches with neighbours.
+
+Usage: check_model_drift.py BENCH_JSON [--max-point-drift X] [--max-scale Y]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# A point may drift this far from its kernel's median measured/modeled
+# ratio before the gate fails (shape divergence).
+MAX_POINT_DRIFT = 5.0
+
+# The per-kernel constant scale error may be at most this large in either
+# direction (sanity bound against total model rot).
+MAX_SCALE = 100.0
+
+# Measurements below this are dominated by timer/allocator noise at
+# Iterations(1); skip them rather than gate on noise.
+MIN_MEASURED_MS = 0.5
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--max-point-drift", type=float,
+                        default=MAX_POINT_DRIFT)
+    parser.add_argument("--max-scale", type=float, default=MAX_SCALE)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        report = json.load(f)
+
+    families = defaultdict(list)  # kernel name -> [(bench name, ratio)]
+    skipped = 0
+    failures = []
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "?")
+        modeled = bench.get("modeled_ms")
+        measured = bench.get("real_time")
+        if modeled is None or bench.get("time_unit") != "ms":
+            skipped += 1
+            continue
+        if measured is None or measured < MIN_MEASURED_MS:
+            skipped += 1
+            continue
+        if modeled <= 0:
+            failures.append(f"{name}: modeled_ms={modeled} (non-positive)")
+            continue
+        families[name.split("/")[0]].append((name, measured / modeled))
+
+    checked = 0
+    for family in sorted(families):
+        points = families[family]
+        ratios = sorted(r for _, r in points)
+        median = ratios[len(ratios) // 2]
+        scale = max(median, 1.0 / median)
+        status = "FAIL" if scale > args.max_scale else "ok"
+        print(f"{status:4} {family}: {len(points)} points, "
+              f"median measured/modeled = {median:.2f}")
+        if scale > args.max_scale:
+            failures.append(
+                f"{family}: median ratio {median:.2f} beyond the "
+                f"{args.max_scale}x scale sanity bound")
+        for name, ratio in points:
+            drift = max(ratio / median, median / ratio)
+            checked += 1
+            if drift > args.max_point_drift:
+                print(f"  FAIL {name}: ratio {ratio:.2f} drifts "
+                      f"{drift:.2f}x from the family median {median:.2f}")
+                failures.append(
+                    f"{name}: {drift:.2f}x shape drift "
+                    f"(> {args.max_point_drift}x)")
+
+    print(f"\nchecked {checked} benchmarks in {len(families)} kernel "
+          f"families, skipped {skipped} (no model counter / below "
+          f"{MIN_MEASURED_MS} ms noise floor)")
+    if failures:
+        print(f"\nModel drift gate FAILED ({len(failures)} finding(s)):",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("No benchmarks were checked — treating as failure "
+              "(did bench_fig09 emit modeled_ms?)", file=sys.stderr)
+        return 1
+    print("Model drift gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

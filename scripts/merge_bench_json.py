@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Merge several Google Benchmark JSON reports into one artifact.
+
+Used by CI to publish BENCH_ci.json — the quick-mode fig09/fig10/ablation
+numbers of every main push — so future PRs have a perf trajectory to
+compare against. The output keeps one `context` (they only differ in
+timestamps) and tags each benchmark with its source binary.
+
+Usage: merge_bench_json.py OUT.json IN1.json IN2.json ...
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path, in_paths = sys.argv[1], sys.argv[2:]
+    merged = {"context": None, "benchmarks": []}
+    for path in in_paths:
+        with open(path) as f:
+            report = json.load(f)
+        if merged["context"] is None:
+            merged["context"] = report.get("context", {})
+        source = os.path.splitext(os.path.basename(path))[0]
+        for bench in report.get("benchmarks", []):
+            bench["source"] = source
+            merged["benchmarks"].append(bench)
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=1)
+    print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks "
+          f"from {len(in_paths)} reports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #ifndef RADIX_COMMON_HASH_H_
 #define RADIX_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace radix {
@@ -25,6 +26,19 @@ inline uint64_t HashInt32(uint32_t k) { return HashInt64(k); }
 struct OidIdentityHash {
   uint64_t operator()(uint32_t oid) const { return oid; }
 };
+
+/// FNV-1a over a byte range; digests variable-size (varchar) values so
+/// string payloads can participate in the order-independent result
+/// checksums next to the fixed-width HashInt64 terms.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 /// Mixing hash for join keys.
 struct KeyHash {

@@ -183,6 +183,31 @@ CostEstimate RadixDeclusterCost(const hardware::MemoryHierarchy& hw,
   return Finish(hw, total, cpu_s);
 }
 
+CostEstimate VarcharRadixDeclusterCost(const hardware::MemoryHierarchy& hw,
+                                       const CpuCosts& cpu, size_t tuples,
+                                       size_t avg_len, radix_bits_t bits,
+                                       size_t window_elems) {
+  avg_len = std::max<size_t>(1, avg_len);
+  // Phase 1: decluster the lengths — a fixed-width decluster of uint32s.
+  CostEstimate est = RadixDeclusterCost(hw, cpu, tuples, sizeof(uint32_t),
+                                        bits, window_elems);
+  // Phase 2: sequential prefix sum — read the length array, write the
+  // byte-position array; pure bandwidth plus a cheap add per tuple.
+  Region sizes = Region::Of(tuples, sizeof(uint32_t));
+  Region positions = Region::Of(tuples, sizeof(uint64_t));
+  MissVector prefix = STrav({&hw, 1.0}, sizes) + STrav({&hw, 1.0}, positions);
+  est.misses += prefix;
+  est.seconds += MissesToSeconds(
+      hw, prefix, 0.25e-9 * static_cast<double>(tuples));
+  // Phase 3: decluster the value bytes — same merge control flow, but the
+  // streams and the insertion window carry avg_len bytes per tuple.
+  CostEstimate bytes_pass =
+      RadixDeclusterCost(hw, cpu, tuples, avg_len, bits, window_elems);
+  est.misses += bytes_pass.misses;
+  est.seconds += bytes_pass.seconds;
+  return est;
+}
+
 CostEstimate StreamingRadixDeclusterCost(const hardware::MemoryHierarchy& hw,
                                          const CpuCosts& cpu, size_t tuples,
                                          size_t width, radix_bits_t bits,

@@ -65,6 +65,23 @@ CostEstimate RadixDeclusterCost(const hardware::MemoryHierarchy& hw,
                                 size_t width, radix_bits_t bits,
                                 size_t window_elems);
 
+/// Three-phase varchar Radix-Decluster (paper §5 / Fig. 12), the cost of
+/// declustering variable-size values that cannot be inserted by position
+/// directly. Composes, sequentially (⊕):
+///   1. a Radix-Decluster of the 4-byte *lengths* into a positionally
+///      addressable array (the extra SIZE_VALUES pass);
+///   2. a sequential prefix-sum pass over the lengths producing each
+///      tuple's byte position (s_trav read ⊕ s_trav write);
+///   3. a Radix-Decluster whose window holds avg_len-byte values — the
+///      heap-byte traffic: the sequential source stream and the windowed
+///      random writes both scale with avg_len, not sizeof(value_t).
+/// This is the "paged-decluster" term the engine's Explain() reports per
+/// varchar column of a decluster-side projection.
+CostEstimate VarcharRadixDeclusterCost(const hardware::MemoryHierarchy& hw,
+                                       const CpuCosts& cpu, size_t tuples,
+                                       size_t avg_len, radix_bits_t bits,
+                                       size_t window_elems);
+
 /// Streamed (chunked) Radix-Decluster — the pipeline/ execution of the same
 /// merge. The per-tuple traversals are unchanged (every value/id is still
 /// read sequentially once, every result slot written once into a

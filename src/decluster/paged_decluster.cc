@@ -1,11 +1,16 @@
 #include "decluster/paged_decluster.h"
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/macros.h"
 
 namespace radix::decluster {
 
 std::string_view PagedResult::Read(const bufferpool::BufferManager& bm,
                                    size_t i) const {
+  RADIX_CHECK(i < directory.size());
   const PagedLocation& loc = directory[i];
   const bufferpool::Page& page = bm.page(loc.page);
   return {reinterpret_cast<const char*>(page.raw()) +
@@ -13,7 +18,64 @@ std::string_view PagedResult::Read(const bufferpool::BufferManager& bm,
           loc.length};
 }
 
+Status ValidatePagedDecluster(size_t num_values, std::span<const oid_t> ids,
+                              const cluster::ClusterBorders& borders,
+                              size_t window_elems) {
+  if (num_values != ids.size()) {
+    std::string msg("paged decluster: ");
+    msg += std::to_string(num_values);
+    msg += " values but ";
+    msg += std::to_string(ids.size());
+    msg += " ids";
+    return Status::InvalidArgument(std::move(msg));
+  }
+  if (window_elems == 0 && !ids.empty()) {
+    return Status::InvalidArgument(
+        "paged decluster: window_elems == 0 — the merge would sweep forever "
+        "without retiring a tuple");
+  }
+  if (ids.empty() && borders.total() == 0) return Status::OK();
+  if (borders.offsets.empty() || borders.offsets.front() != 0 ||
+      borders.total() != ids.size()) {
+    std::string msg("paged decluster: borders cover [0, ");
+    msg += std::to_string(borders.total());
+    msg += ") but the input has ";
+    msg += std::to_string(ids.size());
+    msg += " tuples";
+    return Status::InvalidArgument(std::move(msg));
+  }
+  for (size_t k = 0; k + 1 < borders.offsets.size(); ++k) {
+    if (borders.offsets[k] > borders.offsets[k + 1]) {
+      std::string msg("paged decluster: non-monotone border at cluster ");
+      msg += std::to_string(k);
+      return Status::InvalidArgument(std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
+
+/// §3.2 preconditions of any decluster merge, NDEBUG-gated like the
+/// fixed-width kernels' checks: `ids` must be a dense permutation of
+/// [0, n) ascending within each cluster.
+void DCheckDeclusterPreconditions(std::span<const oid_t> ids,
+                                  const cluster::ClusterBorders& borders) {
+#ifndef NDEBUG
+  std::vector<bool> seen(ids.size(), false);
+  for (size_t k = 0; k < borders.num_clusters(); ++k) {
+    for (uint64_t i = borders.start(k); i < borders.end(k); ++i) {
+      RADIX_DCHECK(ids[i] < ids.size());
+      RADIX_DCHECK(!seen[ids[i]]);
+      seen[ids[i]] = true;
+      RADIX_DCHECK(i == borders.start(k) || ids[i - 1] < ids[i]);
+    }
+  }
+#else
+  (void)ids;
+  (void)borders;
+#endif
+}
 
 /// The phase-1/phase-3 merge loop, factored out: identical window/cursor
 /// control flow as RadixDecluster, but per-tuple work is a callback.
@@ -48,7 +110,10 @@ PagedResult PagedDeclusterVar(const VarValues& values,
                               size_t window_elems,
                               bufferpool::BufferManager* bm) {
   size_t n = ids.size();
-  RADIX_CHECK(values.size() == n);
+  RADIX_CHECK(
+      ValidatePagedDecluster(values.size(), ids, borders, window_elems).ok());
+  DCheckDeclusterPreconditions(ids, borders);
+  if (n == 0) return {};
 
   // Phase 1: decluster only the lengths into a positionally addressable
   // integer array (SIZE_VALUES in Fig. 12).
@@ -83,7 +148,7 @@ PagedResult PagedDeclusterVar(const VarValues& values,
       ++slots;
     }
   }
-  size_t num_pages = static_cast<size_t>(rec_page.empty() ? 0 : rec_page[n - 1]) + 1;
+  size_t num_pages = static_cast<size_t>(rec_page[n - 1]) + 1;
   bufferpool::page_id_t first = bm->Allocate(num_pages);
 
   PagedResult result;
@@ -98,8 +163,12 @@ PagedResult PagedDeclusterVar(const VarValues& values,
                   bufferpool::page_id_t pid = first + rec_page[result_pos];
                   uint32_t off = rec_off[result_pos];
                   uint32_t len = sizes[result_pos];
-                  bm->page(pid).WriteAt(
-                      off, values.bytes.data() + values.offsets[pos], len);
+                  // Zero-length records still get a slot but copy nothing
+                  // (an all-empty column's heap pointer may be null).
+                  if (len != 0) {
+                    bm->page(pid).WriteAt(
+                        off, values.bytes.data() + values.offsets[pos], len);
+                  }
                   result.directory[result_pos] = {pid, off, len};
                 });
   // Record the slot directory per page (record offsets at end of page).
@@ -119,7 +188,10 @@ storage::VarcharColumn RadixDeclusterVarchar(
     const storage::VarcharColumn& values, std::span<const oid_t> ids,
     const cluster::ClusterBorders& borders, size_t window_elems) {
   size_t n = ids.size();
-  RADIX_CHECK(values.size() == n);
+  RADIX_CHECK(
+      ValidatePagedDecluster(values.size(), ids, borders, window_elems).ok());
+  DCheckDeclusterPreconditions(ids, borders);
+  if (n == 0) return {};
 
   // Phase 1: decluster the lengths into result order.
   std::vector<uint32_t> sizes(n);
@@ -140,9 +212,11 @@ storage::VarcharColumn RadixDeclusterVarchar(
   std::span<const uint64_t> src_offsets = values.offsets();
   DeclusterLoop(ids, MakeCursors(borders), window_elems,
                 [&](uint64_t pos, oid_t result_pos) {
-                  std::memcpy(heap.data() + start[result_pos],
-                              src_heap.data() + src_offsets[pos],
-                              sizes[result_pos]);
+                  if (sizes[result_pos] != 0) {
+                    std::memcpy(heap.data() + start[result_pos],
+                                src_heap.data() + src_offsets[pos],
+                                sizes[result_pos]);
+                  }
                 });
   storage::VarcharColumn out;
   out.Reserve(n, heap.size());
@@ -159,11 +233,13 @@ PagedResult PagedDeclusterFixed(std::span<const value_t> values,
                                 size_t window_elems,
                                 bufferpool::BufferManager* bm) {
   size_t n = ids.size();
-  RADIX_CHECK(values.size() == n);
+  RADIX_CHECK(
+      ValidatePagedDecluster(values.size(), ids, borders, window_elems).ok());
+  DCheckDeclusterPreconditions(ids, borders);
+  if (n == 0) return {};
   size_t payload = bm->payload_capacity();
   size_t per_page = payload / sizeof(value_t);
   size_t num_pages = (n + per_page - 1) / per_page;
-  if (num_pages == 0) num_pages = 1;
   bufferpool::page_id_t first = bm->Allocate(num_pages);
 
   PagedResult result;

@@ -9,6 +9,7 @@
 
 #include "bufferpool/buffer_manager.h"
 #include "cluster/radix_cluster.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "decluster/radix_decluster.h"
 #include "storage/varchar.h"
@@ -43,13 +44,25 @@ struct PagedLocation {
 
 /// Result of a paged decluster: the pages live in the buffer manager; the
 /// directory maps result position -> location for verification/reads.
+/// An empty input declusters to num_pages == 0 with no allocation.
 struct PagedResult {
   bufferpool::page_id_t first_page = 0;
   size_t num_pages = 0;
   std::vector<PagedLocation> directory;
 
+  /// Bounds-checked (RADIX_CHECK) directory lookup.
   std::string_view Read(const bufferpool::BufferManager& bm, size_t i) const;
 };
+
+/// Validate a paged/varchar decluster input (the recoverable-Status twin
+/// of the RADIX_CHECKs the kernels apply, matching ValidateClusterSpec's
+/// contract style): `num_values` values and `ids` must agree in size, the
+/// borders must be a monotone partition of exactly that range starting at
+/// 0, and the insertion window must be non-empty (a zero window would make
+/// the merge loop spin forever without retiring a tuple).
+Status ValidatePagedDecluster(size_t num_values, std::span<const oid_t> ids,
+                              const cluster::ClusterBorders& borders,
+                              size_t window_elems);
 
 /// Section 5 of the paper: Radix-Decluster into buffer-manager pages for
 /// variable-sized values, where "insert by position" cannot address a page

@@ -72,9 +72,26 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
   const double pi_l = static_cast<double>(std::max<size_t>(1, spec.pi_left));
   const double pi_r = static_cast<double>(std::max<size_t>(1, spec.pi_right));
 
+  const size_t var_l = spec.pi_varchar_left;
+  const size_t var_r = spec.pi_varchar_right;
+  const size_t avg_var_l =
+      workload::AverageVarcharBytes(workload.left_varchars, var_l);
+  const size_t avg_var_r =
+      workload::AverageVarcharBytes(workload.right_varchars, var_r);
+
   Explanation ex;
   ex.strategy = spec.strategy;
   ex.threads = num_threads();
+  ex.varchar_cols = var_l + var_r;
+  if (ex.varchar_cols > 0) {
+    size_t values = var_l + var_r;
+    ex.avg_varchar_len = (avg_var_l * var_l + avg_var_r * var_r) / values;
+  }
+
+  // A varchar positional join touches the 8-byte offset array plus
+  // avg_len heap bytes per tuple; model it as a gather of that width.
+  const size_t var_width_l = sizeof(uint64_t) + avg_var_l;
+  const size_t var_width_r = sizeof(uint64_t) + avg_var_r;
 
   // The join index is [left-oid, right-oid] pairs for every strategy that
   // builds one; its partitioned hash join is clustered by cache geometry.
@@ -91,7 +108,8 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
       if (spec.plan_sides) {
         project::Plan plan =
             project::PlanDsmPost(n_left, n_right, n_index, spec.pi_left,
-                                 spec.pi_right, hw, ex.threads);
+                                 spec.pi_right, hw, ex.threads, var_l, var_r,
+                                 avg_var_l, avg_var_r);
         ex.side_options = plan.options;
         ex.easy = plan.easy;
         ex.plan_code = plan.code;
@@ -118,7 +136,8 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
       ex.side_options.num_threads = ex.threads;
 
       // Left side: index reorder (cluster or sort of the oid pairs), then
-      // pi_left sequential-ish positional gathers.
+      // pi_left sequential-ish positional gathers; varchar columns gather
+      // under the same (re)ordering at their offsets+heap width.
       switch (ex.side_options.left) {
         case SideStrategy::kUnsorted:
           Accumulate(&ex.projection_cost,
@@ -126,6 +145,11 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                          hw, cpu, n_index, n_left, sizeof(value_t),
                          /*bits=*/0, /*sorted=*/false),
                      pi_l);
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, var_width_l,
+                         /*bits=*/0, /*sorted=*/false),
+                     static_cast<double>(var_l));
           break;
         case SideStrategy::kSorted: {
           radix_bits_t bits = SignificantBits(std::max<size_t>(1, n_left));
@@ -139,6 +163,11 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                          hw, cpu, n_index, n_left, sizeof(value_t),
                          /*bits=*/0, /*sorted=*/true),
                      pi_l);
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, var_width_l,
+                         /*bits=*/0, /*sorted=*/true),
+                     static_cast<double>(var_l));
           break;
         }
         case SideStrategy::kClustered:
@@ -155,6 +184,11 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                          hw, cpu, n_index, n_left, sizeof(value_t),
                          left_spec.total_bits, /*sorted=*/false),
                      pi_l);
+          Accumulate(&ex.projection_cost,
+                     costmodel::ClusteredPositionalJoinCost(
+                         hw, cpu, n_index, n_left, var_width_l,
+                         left_spec.total_bits, /*sorted=*/false),
+                     static_cast<double>(var_l));
           break;
         }
       }
@@ -171,9 +205,17 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                        hw, cpu, n_index, n_right, sizeof(value_t),
                        /*bits=*/0, /*sorted=*/false),
                    pi_r);
+        Accumulate(&ex.projection_cost,
+                   costmodel::ClusteredPositionalJoinCost(
+                       hw, cpu, n_index, n_right, var_width_r,
+                       /*bits=*/0, /*sorted=*/false),
+                   static_cast<double>(var_r));
         // No value intermediates; an explicit kStream policy still streams
         // the gathers (chunked, zero-copy), which changes nothing modeled.
-        ex.streaming = policy == ChunkingPolicy::kStream;
+        // Varchar queries are the exception: the executor falls back to
+        // materializing for them on every path, so Explain must too.
+        ex.streaming =
+            policy == ChunkingPolicy::kStream && ex.varchar_cols == 0;
         if (ex.streaming) {
           ex.chunk_rows = spec.chunk_rows != 0 ? spec.chunk_rows
                                                : project::DefaultChunkRows(hw);
@@ -203,7 +245,19 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                        hw, cpu, n_index, n_right, sizeof(value_t),
                        right_spec.total_bits, /*sorted=*/false),
                    pi_r);
+        Accumulate(&ex.projection_cost,
+                   costmodel::ClusteredPositionalJoinCost(
+                       hw, cpu, n_index, n_right, var_width_r,
+                       right_spec.total_bits, /*sorted=*/false),
+                   static_cast<double>(var_r));
         PlanExecutionMode(spec, policy, n_index, right_spec.total_bits, &ex);
+        if (ex.varchar_cols > 0 && ex.streaming) {
+          // Mirror the executor: varchar projections have no streaming
+          // path yet, so the plan must not claim one.
+          ex.streaming = false;
+          ex.chunk_rows = 0;
+          ex.modeled_intermediate_bytes = n_index * sizeof(value_t);
+        }
         const CostEstimate decluster_once =
             ex.streaming
                 ? costmodel::StreamingRadixDeclusterCost(
@@ -214,6 +268,27 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                                                 right_spec.total_bits,
                                                 ex.window_elems);
         Accumulate(&ex.decluster_cost, decluster_once, pi_r);
+        if (var_r > 0) {
+          // The Fig. 12 three-phase paged-decluster term, per varchar
+          // column; its window holds avg_len-byte values (the executor
+          // sizes it the same way).
+          size_t vwindow =
+              spec.window_elems != 0
+                  ? spec.window_elems
+                  : decluster::WindowPolicy::ChooseWindowElems(
+                        hw, std::max(sizeof(uint32_t), avg_var_r),
+                        size_t{1} << right_spec.total_bits,
+                        std::max<size_t>(1, n_index));
+          Accumulate(&ex.varchar_decluster_cost,
+                     costmodel::VarcharRadixDeclusterCost(
+                         hw, cpu, n_index, avg_var_r, right_spec.total_bits,
+                         vwindow),
+                     static_cast<double>(var_r));
+          // The clustered varchar intermediate (offsets + heap) counts
+          // toward the materialized footprint.
+          ex.modeled_intermediate_bytes +=
+              n_index * (sizeof(uint64_t) + avg_var_r) * var_r;
+        }
       }
       break;
     }
@@ -289,8 +364,29 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
     }
   }
 
+  // The Fig. 10 comparison strategies gather their varchar columns
+  // positionally from result-order oids (u-style random access), on top of
+  // the oid-pair luggage their joins carry; model the gathers coarsely,
+  // like the rest of their per-algorithm costs.
+  if (spec.strategy != JoinStrategy::kDsmPostDecluster &&
+      ex.varchar_cols > 0) {
+    Accumulate(&ex.projection_cost,
+               costmodel::ClusteredPositionalJoinCost(hw, cpu, n_index,
+                                                      n_left, var_width_l,
+                                                      /*bits=*/0,
+                                                      /*sorted=*/false),
+               static_cast<double>(var_l));
+    Accumulate(&ex.projection_cost,
+               costmodel::ClusteredPositionalJoinCost(hw, cpu, n_index,
+                                                      n_right, var_width_r,
+                                                      /*bits=*/0,
+                                                      /*sorted=*/false),
+               static_cast<double>(var_r));
+  }
+
   ex.modeled_seconds = ex.join_cost.seconds + ex.cluster_cost.seconds +
-                       ex.projection_cost.seconds + ex.decluster_cost.seconds;
+                       ex.projection_cost.seconds + ex.decluster_cost.seconds +
+                       ex.varchar_decluster_cost.seconds;
   return PreparedQuery(this, &workload, spec, std::move(ex));
 }
 
@@ -364,6 +460,8 @@ project::QueryRun PreparedQuery::Execute() const {
   // the workload's estimate — pinning Explain's values instead would
   // diverge from the legacy executors whenever estimate != actual,
   // breaking byte-identity for no planning benefit.
+  options.pi_varchar_left = spec_.pi_varchar_left;
+  options.pi_varchar_right = spec_.pi_varchar_right;
   options.plan_sides = false;
   options.left = ex.side_options.left;
   options.right = ex.side_options.right;
@@ -412,14 +510,28 @@ std::string Explanation::ToString() const {
     s += std::to_string(modeled_intermediate_bytes / 1024);
     s += " KB peak";
   }
+  if (varchar_cols != 0) {
+    s += "\nvarchar: ";
+    s += std::to_string(varchar_cols);
+    s += " col";
+    s += varchar_cols == 1 ? "" : "s";
+    s += ", avg len ";
+    s += std::to_string(avg_varchar_len);
+    s += " B";
+    char vbuf[64];
+    std::snprintf(vbuf, sizeof(vbuf), ", paged-decluster %.3f ms",
+                  varchar_decluster_cost.seconds * 1e3);
+    s += vbuf;
+  }
   s += "\nmodeled cost: ";
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
                 "%.3f ms  (join %.3f + cluster %.3f + project %.3f + "
-                "decluster %.3f)",
+                "decluster %.3f + varchar %.3f)",
                 modeled_seconds * 1e3, join_cost.seconds * 1e3,
                 cluster_cost.seconds * 1e3, projection_cost.seconds * 1e3,
-                decluster_cost.seconds * 1e3);
+                decluster_cost.seconds * 1e3,
+                varchar_decluster_cost.seconds * 1e3);
   s += buf;
   return s;
 }

@@ -83,6 +83,19 @@ struct QuerySpec {
   project::JoinStrategy strategy = project::JoinStrategy::kDsmPostDecluster;
   size_t pi_left = 1;
   size_t pi_right = 1;
+  /// Varchar projection columns per side, drawn from the workload's
+  /// {left,right}_varchars (their length distribution is set at workload
+  /// generation, workload::VarcharColumnSpec). Mixed fixed+varchar
+  /// projection lists are planned per column type: the DSM post-projection
+  /// strategy declusters right-side varchars with the paper's Fig. 12
+  /// three-phase paged scheme (Explain() reports its cost as the
+  /// paged-decluster term), other strategies gather them positionally from
+  /// result-order oids. Varchar queries always materialize (no streaming
+  /// path for variable-size chunks yet) and their string bytes are folded
+  /// into QueryRun::checksum, so equal checksums assert byte-identical
+  /// strings across strategies.
+  size_t pi_varchar_left = 0;
+  size_t pi_varchar_right = 0;
   /// Let the planner pick the DSM-post side strategies (default);
   /// otherwise use the explicit codes below. A right side of s or c is
   /// coerced to d exactly as the executor does (§4.1: only the first
@@ -126,11 +139,19 @@ struct Explanation {
   /// Peak bytes of the projection phase's value intermediates under the
   /// chosen mode (0 when the strategy materializes no side intermediate).
   size_t modeled_intermediate_bytes = 0;
+  /// Varchar projection columns (left + right) and their mean value length
+  /// in bytes, as planned from the workload.
+  size_t varchar_cols = 0;
+  size_t avg_varchar_len = 0;
   /// Modeled per-phase costs (misses + seconds) and their total.
   costmodel::CostEstimate join_cost;
   costmodel::CostEstimate cluster_cost;
   costmodel::CostEstimate projection_cost;
   costmodel::CostEstimate decluster_cost;
+  /// The paper §5 three-phase paged-decluster term: cost of declustering
+  /// the right side's varchar columns (0 unless the plan runs a d right
+  /// side with pi_varchar_right > 0). Included in modeled_seconds.
+  costmodel::CostEstimate varchar_decluster_cost;
   double modeled_seconds = 0;
 
   std::string ToString() const;

@@ -9,11 +9,12 @@
 namespace radix::join {
 
 NsmPreProjection::Intermediate NsmPreProjection::Scan(
-    const storage::NsmRelation& rel, size_t pi) {
+    const storage::NsmRelation& rel, size_t pi, bool carry_oid) {
   RADIX_CHECK(pi + 1 <= rel.num_attrs());
   Intermediate inter;
   inter.rows = rel.cardinality();
-  inter.width = 1 + pi;
+  inter.has_oid = carry_oid;
+  inter.width = 1 + pi + (carry_oid ? 1 : 0);
   inter.buffer.Resize(inter.rows * inter.width * sizeof(value_t));
   // Tuple-at-a-time extraction: per record, copy key + pi attributes. The
   // source scan is sequential but uses only (1+pi)/omega of each line —
@@ -23,6 +24,7 @@ NsmPreProjection::Intermediate NsmPreProjection::Scan(
     value_t* out = inter.row(i);
     out[0] = rec[0];
     for (size_t a = 0; a < pi; ++a) out[1 + a] = rec[1 + a];
+    if (carry_oid) out[1 + pi] = static_cast<value_t>(i);
   }
   return inter;
 }
@@ -70,15 +72,17 @@ class RowTable {
 };
 
 /// Join rows of left[lbegin, lend) with right[rbegin, rend), appending
-/// result rows [left payload..., right payload...].
+/// result rows [left payload..., right payload...]; carried oids are
+/// excluded from the payload copy and instead emitted as pairs into
+/// `out_oids` (when requested) in the same result order.
 void JoinRange(const NsmPreProjection::Intermediate& left, size_t lbegin,
                size_t lend, const NsmPreProjection::Intermediate& right,
-               size_t rbegin, size_t rend,
-               std::vector<value_t>* out_rows) {
+               size_t rbegin, size_t rend, std::vector<value_t>* out_rows,
+               std::vector<cluster::OidPair>* out_oids) {
   if (lbegin == lend || rbegin == rend) return;
   RowTable table(right, rbegin, rend);
-  size_t lpi = left.width - 1;
-  size_t rpi = right.width - 1;
+  size_t lpi = left.payload_width();
+  size_t rpi = right.payload_width();
   for (size_t i = lbegin; i < lend; ++i) {
     const value_t* lrow = left.row(i);
     table.Probe(lrow[0], [&](size_t rrow_idx) {
@@ -88,6 +92,12 @@ void JoinRange(const NsmPreProjection::Intermediate& left, size_t lbegin,
       value_t* dst = out_rows->data() + base;
       for (size_t a = 0; a < lpi; ++a) dst[a] = lrow[1 + a];
       for (size_t a = 0; a < rpi; ++a) dst[lpi + a] = rrow[1 + a];
+      if (out_oids != nullptr) {
+        out_oids->push_back(
+            {static_cast<oid_t>(static_cast<uint32_t>(lrow[left.width - 1])),
+             static_cast<oid_t>(
+                 static_cast<uint32_t>(rrow[right.width - 1]))});
+      }
     });
   }
 }
@@ -101,12 +111,15 @@ storage::NsmResult RowsToResult(const std::vector<value_t>& rows,
 
 }  // namespace
 
-storage::NsmResult NsmPreProjection::HashJoinRows(const Intermediate& left,
-                                                  const Intermediate& right) {
+storage::NsmResult NsmPreProjection::HashJoinRows(
+    const Intermediate& left, const Intermediate& right,
+    std::vector<cluster::OidPair>* result_oids) {
+  RADIX_CHECK(result_oids == nullptr || (left.has_oid && right.has_oid));
+  size_t width = left.payload_width() + right.payload_width();
   std::vector<value_t> rows;
-  rows.reserve(left.rows * (left.width + right.width - 2));
-  JoinRange(left, 0, left.rows, right, 0, right.rows, &rows);
-  return RowsToResult(rows, left.width + right.width - 2);
+  rows.reserve(left.rows * width);
+  JoinRange(left, 0, left.rows, right, 0, right.rows, &rows, result_oids);
+  return RowsToResult(rows, width);
 }
 
 std::vector<uint64_t> NsmPreProjection::ClusterRows(Intermediate& inter,
@@ -169,16 +182,19 @@ std::vector<uint64_t> NsmPreProjection::ClusterRows(Intermediate& inter,
 storage::NsmResult NsmPreProjection::PartitionedHashJoinRows(
     Intermediate& left, Intermediate& right,
     const hardware::MemoryHierarchy& /*hw*/, radix_bits_t bits,
-    uint32_t passes) {
+    uint32_t passes, std::vector<cluster::OidPair>* result_oids) {
+  RADIX_CHECK(result_oids == nullptr || (left.has_oid && right.has_oid));
   std::vector<uint64_t> lo = ClusterRows(left, bits, passes);
   std::vector<uint64_t> ro = ClusterRows(right, bits, passes);
   RADIX_CHECK(lo.size() == ro.size());
+  size_t width = left.payload_width() + right.payload_width();
   std::vector<value_t> rows;
-  rows.reserve(left.rows * (left.width + right.width - 2));
+  rows.reserve(left.rows * width);
   for (size_t c = 0; c + 1 < lo.size(); ++c) {
-    JoinRange(left, lo[c], lo[c + 1], right, ro[c], ro[c + 1], &rows);
+    JoinRange(left, lo[c], lo[c + 1], right, ro[c], ro[c + 1], &rows,
+              result_oids);
   }
-  return RowsToResult(rows, left.width + right.width - 2);
+  return RowsToResult(rows, width);
 }
 
 }  // namespace radix::join

@@ -7,6 +7,7 @@
 #include "common/aligned_buffer.h"
 #include "common/types.h"
 #include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
 #include "storage/nsm.h"
 
 namespace radix::join {
@@ -25,11 +26,20 @@ namespace radix::join {
 /// overhead is part of what Fig. 10a measures.
 class NsmPreProjection {
  public:
-  /// Row-major intermediate: n rows of (1 + pi) values each.
+  /// Row-major intermediate: n rows of (1 + pi [+ 1]) values each. When a
+  /// varchar projection rides along, the scan additionally carries the
+  /// source row's oid as a trailing column — extra luggage through the
+  /// whole join pipeline, the row-store analogue of dragging the string
+  /// payloads themselves (§1.1) — so the join can emit result-order oids
+  /// for the post-join varchar gathers.
   struct Intermediate {
     AlignedBuffer buffer;
     size_t rows = 0;
-    size_t width = 0;  ///< values per row, = 1 + pi
+    size_t width = 0;  ///< values per row, = 1 + pi + (has_oid ? 1 : 0)
+    bool has_oid = false;
+
+    /// Projected payload values per row (excludes key and carried oid).
+    size_t payload_width() const { return width - 1 - (has_oid ? 1 : 0); }
 
     value_t* row(size_t i) { return buffer.As<value_t>() + i * width; }
     const value_t* row(size_t i) const {
@@ -38,21 +48,28 @@ class NsmPreProjection {
   };
 
   /// Scan `rel`, extracting the key and the first `pi` payload attributes
-  /// (attrs 1..pi) of every record.
-  static Intermediate Scan(const storage::NsmRelation& rel, size_t pi);
+  /// (attrs 1..pi) of every record; `carry_oid` appends the row's oid as a
+  /// trailing hidden column (see Intermediate).
+  static Intermediate Scan(const storage::NsmRelation& rel, size_t pi,
+                           bool carry_oid = false);
 
   /// Naive hash join of two intermediates ("NSM-pre-hash"): build on right,
-  /// probe with left, copy both sides' payloads per match.
-  static storage::NsmResult HashJoinRows(const Intermediate& left,
-                                         const Intermediate& right);
+  /// probe with left, copy both sides' payloads per match. When both
+  /// intermediates carry oids and `result_oids` is non-null, the matching
+  /// (left, right) oid pair of every result row is appended to it in
+  /// result order.
+  static storage::NsmResult HashJoinRows(
+      const Intermediate& left, const Intermediate& right,
+      std::vector<cluster::OidPair>* result_oids = nullptr);
 
   /// Partitioned hash join ("NSM-pre-phash"): radix-cluster both
   /// intermediates on hash(key) into 2^bits clusters (multi-pass per the
-  /// TLB constraint), then hash-join matching clusters.
+  /// TLB constraint), then hash-join matching clusters. `result_oids` as
+  /// in HashJoinRows.
   static storage::NsmResult PartitionedHashJoinRows(
       Intermediate& left, Intermediate& right,
-      const hardware::MemoryHierarchy& hw, radix_bits_t bits,
-      uint32_t passes);
+      const hardware::MemoryHierarchy& hw, radix_bits_t bits, uint32_t passes,
+      std::vector<cluster::OidPair>* result_oids = nullptr);
 
   /// Cluster an intermediate in place on hash(key); returns 2^bits + 1
   /// offsets. Exposed for tests.

@@ -1,5 +1,18 @@
 #include "join/positional_join.h"
 
+namespace radix::join {
+
+storage::VarcharColumn PositionalJoinVarcharPairs(
+    std::span<const cluster::OidPair> index, bool left_side,
+    const storage::VarcharColumn& values) {
+  return storage::GatherVarchar(
+      index.size(),
+      [&](size_t i) { return left_side ? index[i].left : index[i].right; },
+      values);
+}
+
+}  // namespace radix::join
+
 // Template instantiations for the common cases keep rebuilds fast.
 namespace radix::join {
 template void PositionalJoin<value_t, simcache::NoTracer>(

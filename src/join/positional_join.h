@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "simcache/mem_tracer.h"
+#include "storage/varchar.h"
 
 namespace radix::join {
 
@@ -88,6 +89,16 @@ void PositionalJoinPairsRange(std::span<const cluster::OidPair> index,
     out[i - begin] = v[kLeft ? p[i].left : p[i].right];
   }
 }
+
+/// Varchar Positional-Join off one side of a join index (the varchar
+/// analogue of PositionalJoinPairs): gathers values[id] for the chosen
+/// side's oids into a fresh offsets+heap column. Like
+/// storage::PositionalJoinVarchar this is an offset-array lookup plus a
+/// heap dereference per tuple — a second, correlated random stream whose
+/// cache behaviour scales with the average string length.
+storage::VarcharColumn PositionalJoinVarcharPairs(
+    std::span<const cluster::OidPair> index, bool left_side,
+    const storage::VarcharColumn& values);
 
 namespace detail {
 

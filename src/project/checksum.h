@@ -1,0 +1,43 @@
+#ifndef RADIX_PROJECT_CHECKSUM_H_
+#define RADIX_PROJECT_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace radix::project {
+
+/// The per-row digest behind every strategy's order-independent result
+/// checksum: each row folds its values — fixed-width and varchar alike —
+/// into one digest, tagged with a running column index so row contents
+/// stay associated, and the query checksum is the *sum* of row digests
+/// (commutative, because result order legitimately differs between
+/// strategies).
+///
+/// The canonical column order every producer and every reference verifier
+/// must follow is: left fixed columns, right fixed columns, left varchar
+/// columns, right varchar columns. Fixed values hash exactly as the
+/// pre-varchar executor did, so fixed-only checksums are unchanged.
+class RowDigest {
+ public:
+  void AddValue(value_t v) {
+    d_ = HashInt64(d_ ^ (static_cast<uint64_t>(static_cast<uint32_t>(v)) +
+                         (col_++ << 32)));
+  }
+
+  void AddString(std::string_view s) {
+    d_ = HashInt64(d_ ^ (HashBytes(s.data(), s.size()) + (col_++ << 32)));
+  }
+
+  uint64_t digest() const { return d_; }
+
+ private:
+  uint64_t d_ = 0x9e3779b97f4a7c15ULL;
+  uint64_t col_ = 0;
+};
+
+}  // namespace radix::project
+
+#endif  // RADIX_PROJECT_CHECKSUM_H_

@@ -9,6 +9,7 @@
 #include "cluster/radix_count.h"
 #include "cluster/radix_sort.h"
 #include "common/timer.h"
+#include "decluster/paged_decluster.h"
 #include "decluster/radix_decluster.h"
 #include "decluster/window.h"
 #include "join/positional_join.h"
@@ -137,16 +138,39 @@ using detail::ClusterIds;
 using detail::MakePool;
 using detail::SpecFor;
 
+/// Positional-join the varchar columns at (re)ordered `ids`, appending one
+/// gathered column per input to `var_out`. Serial — the varchar gather
+/// builds a heap incrementally, so it has no slice-parallel form yet.
+void GatherVarchars(std::span<const oid_t> ids,
+                    const std::vector<const storage::VarcharColumn*>& cols,
+                    std::vector<storage::VarcharColumn>* var_out,
+                    PhaseBreakdown* ph, Timer* timer) {
+  if (cols.empty()) return;
+  timer->Reset();
+  for (const storage::VarcharColumn* col : cols) {
+    var_out->push_back(storage::PositionalJoinVarchar(ids, *col));
+  }
+  ph->projection_seconds += timer->ElapsedSeconds();
+}
+
 /// ProjectSide against a caller-owned pool (nullptr = serial kernels), so
 /// one pool serves both sides of a projection instead of being respawned.
+/// `var_columns`/`var_out` carry the variable-size projections of the same
+/// side (paper §5): gathered with the fixed columns for u/s/c, or run
+/// through the three-phase varchar Radix-Decluster for d.
 void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
                          const std::vector<std::span<const value_t>>& columns,
                          const std::vector<std::span<value_t>>& out,
                          size_t column_cardinality,
                          const hardware::MemoryHierarchy& hw,
                          radix_bits_t bits, size_t window_elems,
-                         PhaseBreakdown* phases, ThreadPool* pool) {
+                         PhaseBreakdown* phases, ThreadPool* pool,
+                         const std::vector<const storage::VarcharColumn*>&
+                             var_columns = {},
+                         std::vector<storage::VarcharColumn>* var_out =
+                             nullptr) {
   RADIX_CHECK(columns.size() == out.size());
+  RADIX_CHECK(var_columns.empty() || var_out != nullptr);
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
   Timer timer;
@@ -156,6 +180,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
       timer.Reset();
       join::PositionalJoinColumns<value_t>(ids, columns, out, pool);
       ph->projection_seconds += timer.ElapsedSeconds();
+      GatherVarchars(ids, var_columns, var_out, ph, &timer);
       return;
     }
     case SideStrategy::kSorted:
@@ -171,6 +196,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
       timer.Reset();
       join::PositionalJoinColumns<value_t>(ids, columns, out, pool);
       ph->projection_seconds += timer.ElapsedSeconds();
+      GatherVarchars(ids, var_columns, var_out, ph, &timer);
       return;
     }
     case SideStrategy::kDecluster: {
@@ -212,6 +238,30 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
         }
         ph->decluster_seconds += timer.ElapsedSeconds();
       }
+      // Varchar columns run the three-phase scheme of paper Fig. 12: fetch
+      // in clustered order, then decluster lengths -> prefix-sum -> bytes.
+      for (const storage::VarcharColumn* vc : var_columns) {
+        timer.Reset();
+        storage::VarcharColumn clustered =
+            storage::PositionalJoinVarchar(ids, *vc);
+        ph->projection_seconds += timer.ElapsedSeconds();
+        timer.Reset();
+        size_t vwindow = window_elems;
+        if (vwindow == 0) {
+          // Size the insertion window for the *byte* traffic of phase 3:
+          // the window holds avg_len-byte values, not 4-byte ints.
+          size_t avg = clustered.size() == 0
+                           ? 1
+                           : std::max<size_t>(
+                                 1, clustered.heap_bytes() / clustered.size());
+          vwindow = decluster::WindowPolicy::ChooseWindowElems(
+              hw, std::max(sizeof(uint32_t), avg), borders.num_clusters(),
+              ids.size());
+        }
+        var_out->push_back(decluster::RadixDeclusterVarchar(
+            clustered, result_pos, borders, vwindow));
+        ph->decluster_seconds += timer.ElapsedSeconds();
+      }
       return;
     }
   }
@@ -239,10 +289,13 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
                                   size_t pi_left, size_t pi_right,
                                   const hardware::MemoryHierarchy& hw,
                                   const DsmPostOptions& options,
-                                  PhaseBreakdown* phases) {
+                                  PhaseBreakdown* phases,
+                                  const VarcharProjection* varchar) {
   RADIX_CHECK(pi_left + 1 <= left.num_attrs());
   RADIX_CHECK(pi_right + 1 <= right.num_attrs());
   size_t n = index.size();
+  static const VarcharProjection kNoVarchar;
+  const VarcharProjection& var = varchar != nullptr ? *varchar : kNoVarchar;
 
   storage::DsmResult result;
   result.cardinality = n;
@@ -250,6 +303,8 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   result.right_columns.resize(pi_right);
   for (auto& c : result.left_columns) c.Resize(n);
   for (auto& c : result.right_columns) c.Resize(n);
+  result.left_varchars.reserve(var.left.size());
+  result.right_varchars.reserve(var.right.size());
 
   // Reordering the join index on the left side must carry the right oids
   // along: cluster/sort the [l,r] pairs, then split into two id columns.
@@ -274,6 +329,16 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   join::PositionalJoinPairsColumns<value_t, /*kLeft=*/true>(
       index.span(), left_cols, left_out, pool);
   ph->projection_seconds += timer.ElapsedSeconds();
+  if (!var.left.empty()) {
+    // Left varchars gather off the reordered index — result order is index
+    // order for every left strategy, so no decluster pass is needed.
+    timer.Reset();
+    for (const storage::VarcharColumn* col : var.left) {
+      result.left_varchars.push_back(join::PositionalJoinVarcharPairs(
+          index.span(), /*left_side=*/true, *col));
+    }
+    ph->projection_seconds += timer.ElapsedSeconds();
+  }
 
   // Right projections in the (possibly re-ordered) result order.
   std::vector<oid_t> right_ids = index.RightOids();
@@ -295,7 +360,8 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   // second one.
   ProjectSideWithPool(right_ids, right_strategy, right_cols, right_out,
                       right.cardinality(), hw, options.right_bits,
-                      options.window_elems, ph, pool);
+                      options.window_elems, ph, pool, var.right,
+                      &result.right_varchars);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "join/join_index.h"
 #include "project/strategy.h"
 #include "storage/dsm.h"
+#include "storage/varchar.h"
 
 namespace radix::project {
 
@@ -40,16 +41,37 @@ struct DsmPostOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Variable-size columns riding along a DSM post-projection (paper §5):
+/// pointers into the caller's base varchar columns, one entry per
+/// projected varchar column per side.
+struct VarcharProjection {
+  std::vector<const storage::VarcharColumn*> left;
+  std::vector<const storage::VarcharColumn*> right;
+
+  bool empty() const { return left.empty() && right.empty(); }
+};
+
 /// Execute the projection phase. `index` is consumed (may be reordered in
-/// place). Projects attributes 1..pi of each relation. Returns the result
+/// place; after the call it holds each result row's oid pair in result
+/// order). Projects attributes 1..pi of each relation. Returns the result
 /// columns plus phase timings.
+///
+/// `varchar`, when non-null, projects the listed variable-size columns
+/// alongside the fixed ones into DsmResult::{left,right}_varchars, in the
+/// same result order: left varchars gather off the reordered index; right
+/// varchars follow the right side's strategy — a positional gather for u,
+/// or the paper's Fig. 12 three-phase scheme for d (decluster the lengths,
+/// prefix-sum into heap positions, decluster the bytes), reusing the
+/// fixed columns' cluster pass. The varchar kernels are serial; only the
+/// fixed-width kernels use `options.pool`.
 storage::DsmResult DsmPostProject(join::JoinIndex& index,
                                   const storage::DsmRelation& left,
                                   const storage::DsmRelation& right,
                                   size_t pi_left, size_t pi_right,
                                   const hardware::MemoryHierarchy& hw,
                                   const DsmPostOptions& options,
-                                  PhaseBreakdown* phases = nullptr);
+                                  PhaseBreakdown* phases = nullptr,
+                                  const VarcharProjection* varchar = nullptr);
 
 /// Project one side only, with an explicit strategy; building block used by
 /// the full projector and benchmarked in isolation in Fig. 8.

@@ -10,18 +10,26 @@ namespace {
 
 /// Gather key + pi payload columns from DSM into a row-major intermediate:
 /// the pre-projection "scan" in DSM. Column-at-a-time gathering keeps some
-/// of DSM's sequential-bandwidth advantage over the NSM scan.
+/// of DSM's sequential-bandwidth advantage over the NSM scan. `carry_oid`
+/// appends the source position as a trailing hidden column (see
+/// NsmPreProjection::Intermediate).
 join::NsmPreProjection::Intermediate GatherDsm(
-    const storage::DsmRelation& rel, size_t pi) {
+    const storage::DsmRelation& rel, size_t pi, bool carry_oid) {
   join::NsmPreProjection::Intermediate inter;
   inter.rows = rel.cardinality();
-  inter.width = 1 + pi;
+  inter.has_oid = carry_oid;
+  inter.width = 1 + pi + (carry_oid ? 1 : 0);
   inter.buffer.Resize(inter.rows * inter.width * sizeof(value_t));
   const value_t* key = rel.key().data();
   for (size_t i = 0; i < inter.rows; ++i) inter.row(i)[0] = key[i];
   for (size_t a = 0; a < pi; ++a) {
     const value_t* col = rel.attr(1 + a).data();
     for (size_t i = 0; i < inter.rows; ++i) inter.row(i)[1 + a] = col[i];
+  }
+  if (carry_oid) {
+    for (size_t i = 0; i < inter.rows; ++i) {
+      inter.row(i)[1 + pi] = static_cast<value_t>(i);
+    }
   }
   return inter;
 }
@@ -32,15 +40,16 @@ storage::NsmResult DsmPreProject(const storage::DsmRelation& left,
                                  const storage::DsmRelation& right,
                                  size_t pi_left, size_t pi_right,
                                  const hardware::MemoryHierarchy& hw,
-                                 radix_bits_t bits,
-                                 PhaseBreakdown* phases) {
+                                 radix_bits_t bits, PhaseBreakdown* phases,
+                                 std::vector<join::OidPair>* result_oids) {
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
   Timer timer;
+  const bool carry_oid = result_oids != nullptr;
 
   timer.Reset();
-  auto li = GatherDsm(left, pi_left);
-  auto ri = GatherDsm(right, pi_right);
+  auto li = GatherDsm(left, pi_left, carry_oid);
+  auto ri = GatherDsm(right, pi_right, carry_oid);
   ph->projection_seconds += timer.ElapsedSeconds();
 
   size_t tuple_bytes = (1 + std::max(pi_left, pi_right)) * sizeof(value_t);
@@ -50,7 +59,7 @@ storage::NsmResult DsmPreProject(const storage::DsmRelation& left,
   uint32_t passes = cluster::PassesFor(bits, hw);
   timer.Reset();
   storage::NsmResult result = join::NsmPreProjection::PartitionedHashJoinRows(
-      li, ri, hw, bits, passes);
+      li, ri, hw, bits, passes, result_oids);
   ph->join_seconds += timer.ElapsedSeconds();
   return result;
 }

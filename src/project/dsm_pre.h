@@ -2,9 +2,11 @@
 #define RADIX_PROJECT_DSM_PRE_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 #include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
 #include "project/strategy.h"
 #include "storage/dsm.h"
 #include "storage/nsm.h"
@@ -17,12 +19,17 @@ namespace radix::project {
 /// tuples are wide (1 + pi values), so fewer fit per cluster and the
 /// column list is a run-time parameter — both disadvantages the paper
 /// attributes to pre-projection strategies.
-storage::NsmResult DsmPreProject(const storage::DsmRelation& left,
-                                 const storage::DsmRelation& right,
-                                 size_t pi_left, size_t pi_right,
-                                 const hardware::MemoryHierarchy& hw,
-                                 radix_bits_t bits,
-                                 PhaseBreakdown* phases = nullptr);
+///
+/// `result_oids`, when non-null, receives each result row's matching
+/// (left, right) source oids in result order: the oids are carried as an
+/// extra hidden intermediate column through cluster + join (more luggage,
+/// charged to this strategy's measured time), which is what lets varchar
+/// projections be gathered after the join.
+storage::NsmResult DsmPreProject(
+    const storage::DsmRelation& left, const storage::DsmRelation& right,
+    size_t pi_left, size_t pi_right, const hardware::MemoryHierarchy& hw,
+    radix_bits_t bits, PhaseBreakdown* phases = nullptr,
+    std::vector<join::OidPair>* result_oids = nullptr);
 
 }  // namespace radix::project
 

@@ -9,11 +9,14 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "join/partitioned_hash_join.h"
+#include "join/positional_join.h"
+#include "project/checksum.h"
 #include "project/dsm_post.h"
 #include "project/dsm_pre.h"
 #include "project/nsm_post.h"
 #include "project/nsm_pre.h"
 #include "project/planner.h"
+#include "storage/varchar.h"
 
 namespace radix::project {
 
@@ -24,48 +27,105 @@ static_assert(QueryOptions::kAutoBits == DsmPostOptions::kAuto);
 
 namespace {
 
-/// Order-independent digest: sum of per-value hashes. Result order differs
-/// legitimately across strategies (post-projection reorders the index), so
-/// the checksum must not depend on it. Row contents must stay associated,
-/// which we capture by hashing each row's values with their column index
-/// and summing per-row digests.
-uint64_t ChecksumRows(const storage::NsmResult& r) {
+/// Result-order varchar columns gathered for the strategies whose primary
+/// result type has no varchar slots (the NSM row results).
+struct VarcharResult {
+  std::vector<storage::VarcharColumn> left;
+  std::vector<storage::VarcharColumn> right;
+
+  bool empty() const { return left.empty() && right.empty(); }
+  size_t rows() const {
+    return !left.empty() ? left.front().size()
+                         : (!right.empty() ? right.front().size() : 0);
+  }
+};
+
+/// Order-independent digest: sum of per-row digests (see RowDigest for the
+/// canonical column order). Result order differs legitimately across
+/// strategies (post-projection reorders the index), so the checksum must
+/// not depend on it; row contents — fixed and varchar alike — must stay
+/// associated, which the per-row digest captures.
+uint64_t ChecksumRows(const storage::NsmResult& r,
+                      const VarcharResult* vars = nullptr) {
   uint64_t sum = 0;
-  for (size_t i = 0; i < r.cardinality(); ++i) {
-    const value_t* row = r.row(i);
-    uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
-    for (size_t a = 0; a < r.width(); ++a) {
-      row_digest = HashInt64(row_digest ^
-                             (static_cast<uint64_t>(static_cast<uint32_t>(row[a])) +
-                              (static_cast<uint64_t>(a) << 32)));
+  size_t n = r.cardinality();
+  if (vars != nullptr && !vars->empty()) {
+    // Row-major results of width 0 collapse to cardinality 0; the gathered
+    // varchar columns still know the true row count.
+    n = std::max(n, vars->rows());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RowDigest digest;
+    if (i < r.cardinality()) {
+      const value_t* row = r.row(i);
+      for (size_t a = 0; a < r.width(); ++a) digest.AddValue(row[a]);
     }
-    sum += row_digest;
+    if (vars != nullptr) {
+      for (const auto& col : vars->left) digest.AddString(col.at(i));
+      for (const auto& col : vars->right) digest.AddString(col.at(i));
+    }
+    sum += digest.digest();
   }
   return sum;
 }
 
 uint64_t ChecksumColumns(const storage::DsmResult& r) {
   uint64_t sum = 0;
-  size_t width = r.left_columns.size() + r.right_columns.size();
   for (size_t i = 0; i < r.cardinality; ++i) {
-    uint64_t row_digest = 0x9e3779b97f4a7c15ULL;
-    size_t a = 0;
-    for (const auto& col : r.left_columns) {
-      row_digest = HashInt64(row_digest ^
-                             (static_cast<uint64_t>(static_cast<uint32_t>(col[i])) +
-                              (static_cast<uint64_t>(a) << 32)));
-      ++a;
-    }
-    for (const auto& col : r.right_columns) {
-      row_digest = HashInt64(row_digest ^
-                             (static_cast<uint64_t>(static_cast<uint32_t>(col[i])) +
-                              (static_cast<uint64_t>(a) << 32)));
-      ++a;
-    }
-    sum += row_digest;
+    RowDigest digest;
+    for (const auto& col : r.left_columns) digest.AddValue(col[i]);
+    for (const auto& col : r.right_columns) digest.AddValue(col[i]);
+    for (const auto& col : r.left_varchars) digest.AddString(col.at(i));
+    for (const auto& col : r.right_varchars) digest.AddString(col.at(i));
+    sum += digest.digest();
   }
-  (void)width;
   return sum;
+}
+
+/// Do the query options ask for any varchar projection?
+bool WantsVarchar(const QueryOptions& options) {
+  return options.pi_varchar_left + options.pi_varchar_right > 0;
+}
+
+/// The base varchar columns the options select, as a DsmPostProject spec.
+VarcharProjection SelectVarchars(const workload::JoinWorkload& w,
+                                 const QueryOptions& options) {
+  RADIX_CHECK(options.pi_varchar_left <= w.left_varchars.size());
+  RADIX_CHECK(options.pi_varchar_right <= w.right_varchars.size());
+  VarcharProjection var;
+  for (size_t c = 0; c < options.pi_varchar_left; ++c) {
+    var.left.push_back(&w.left_varchars[c]);
+  }
+  for (size_t c = 0; c < options.pi_varchar_right; ++c) {
+    var.right.push_back(&w.right_varchars[c]);
+  }
+  return var;
+}
+
+/// Post-join varchar gather for the non-DSM-post strategies: `pairs` holds
+/// each result row's (left, right) source oids in result order — either
+/// the projection-reordered join index, or the oid pairs a pre-projection
+/// join carried through. Timing lands in phases.projection_seconds (it is
+/// part of the strategy's projection work).
+VarcharResult GatherVarchars(std::span<const cluster::OidPair> pairs,
+                             const workload::JoinWorkload& w,
+                             const QueryOptions& options,
+                             PhaseBreakdown* phases) {
+  VarcharResult vars;
+  if (!WantsVarchar(options)) return vars;
+  RADIX_CHECK(options.pi_varchar_left <= w.left_varchars.size());
+  RADIX_CHECK(options.pi_varchar_right <= w.right_varchars.size());
+  Timer timer;
+  for (size_t c = 0; c < options.pi_varchar_left; ++c) {
+    vars.left.push_back(join::PositionalJoinVarcharPairs(
+        pairs, /*left_side=*/true, w.left_varchars[c]));
+  }
+  for (size_t c = 0; c < options.pi_varchar_right; ++c) {
+    vars.right.push_back(join::PositionalJoinVarcharPairs(
+        pairs, /*left_side=*/false, w.right_varchars[c]));
+  }
+  phases->projection_seconds += timer.ElapsedSeconds();
+  return vars;
 }
 
 /// NSM post-projection strategies must first extract the key attribute from
@@ -100,10 +160,15 @@ join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
   run->phases.join_seconds = join_timer.ElapsedSeconds();
 
   if (options.plan_sides) {
+    size_t avg_left = workload::AverageVarcharBytes(
+        w.left_varchars, options.pi_varchar_left);
+    size_t avg_right = workload::AverageVarcharBytes(
+        w.right_varchars, options.pi_varchar_right);
     Plan plan = PlanDsmPost(w.dsm_left.cardinality(),
                             w.dsm_right.cardinality(), index.size(),
                             options.pi_left, options.pi_right, hw,
-                            options.num_threads);
+                            options.num_threads, options.pi_varchar_left,
+                            options.pi_varchar_right, avg_left, avg_right);
     *popts = plan.options;
     run->detail = plan.code;
   } else {
@@ -157,39 +222,51 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
       DsmPostOptions popts;
       join::JoinIndex index = JoinAndPlanDsmPost(
           w, options, hw, ResolveQueryPool(options), &run, &popts);
+      VarcharProjection var = SelectVarchars(w, options);
       storage::DsmResult result =
           DsmPostProject(index, w.dsm_left, w.dsm_right, options.pi_left,
-                         options.pi_right, hw, popts, &run.phases);
+                         options.pi_right, hw, popts, &run.phases,
+                         WantsVarchar(options) ? &var : nullptr);
       run.seconds = total.ElapsedSeconds();
       run.result_cardinality = result.cardinality;
       run.checksum = ChecksumColumns(result);
       return run;
     }
     case JoinStrategy::kDsmPrePhash: {
+      std::vector<join::OidPair> oids;
       storage::NsmResult result =
           DsmPreProject(w.dsm_left, w.dsm_right, options.pi_left,
-                        options.pi_right, hw, ~radix_bits_t{0}, &run.phases);
+                        options.pi_right, hw, ~radix_bits_t{0}, &run.phases,
+                        WantsVarchar(options) ? &oids : nullptr);
+      VarcharResult vars = GatherVarchars(oids, w, options, &run.phases);
       run.seconds = total.ElapsedSeconds();
-      run.result_cardinality = result.cardinality();
-      run.checksum = ChecksumRows(result);
+      // Zero-width row results collapse to cardinality 0; for varchar-only
+      // projection lists the gathered columns know the true row count.
+      run.result_cardinality = std::max(result.cardinality(), vars.rows());
+      run.checksum = ChecksumRows(result, &vars);
       return run;
     }
     case JoinStrategy::kNsmPreHash: {
+      std::vector<join::OidPair> oids;
       storage::NsmResult result = NsmPreProjectHash(
           w.nsm_left, w.nsm_right, options.pi_left, options.pi_right,
-          &run.phases);
+          &run.phases, WantsVarchar(options) ? &oids : nullptr);
+      VarcharResult vars = GatherVarchars(oids, w, options, &run.phases);
       run.seconds = total.ElapsedSeconds();
-      run.result_cardinality = result.cardinality();
-      run.checksum = ChecksumRows(result);
+      run.result_cardinality = std::max(result.cardinality(), vars.rows());
+      run.checksum = ChecksumRows(result, &vars);
       return run;
     }
     case JoinStrategy::kNsmPrePhash: {
+      std::vector<join::OidPair> oids;
       storage::NsmResult result = NsmPreProjectPartitionedHash(
           w.nsm_left, w.nsm_right, options.pi_left, options.pi_right, hw,
-          ~radix_bits_t{0}, &run.phases);
+          ~radix_bits_t{0}, &run.phases,
+          WantsVarchar(options) ? &oids : nullptr);
+      VarcharResult vars = GatherVarchars(oids, w, options, &run.phases);
       run.seconds = total.ElapsedSeconds();
-      run.result_cardinality = result.cardinality();
-      run.checksum = ChecksumRows(result);
+      run.result_cardinality = std::max(result.cardinality(), vars.rows());
+      run.checksum = ChecksumRows(result, &vars);
       return run;
     }
     case JoinStrategy::kNsmPostDecluster: {
@@ -201,9 +278,13 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
       storage::NsmResult result = NsmPostProjectDecluster(
           index, w.nsm_left, w.nsm_right, options.pi_left, options.pi_right,
           hw, &run.phases);
+      // The projector reordered the index in place; it now lists each
+      // result row's oid pair in result order — the varchar gather input.
+      VarcharResult vars =
+          GatherVarchars(index.span(), w, options, &run.phases);
       run.seconds = total.ElapsedSeconds();
       run.result_cardinality = result.cardinality();
-      run.checksum = ChecksumRows(result);
+      run.checksum = ChecksumRows(result, &vars);
       return run;
     }
     case JoinStrategy::kNsmPostJive: {
@@ -216,9 +297,12 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
           NsmPostProjectJive(index, w.nsm_left, w.nsm_right, options.pi_left,
                              options.pi_right, /*cluster_bits=*/6,
                              &run.phases);
+      // Jive sorts the index by left oid; result row i <-> index[i].
+      VarcharResult vars =
+          GatherVarchars(index.span(), w, options, &run.phases);
       run.seconds = total.ElapsedSeconds();
       run.result_cardinality = result.cardinality();
-      run.checksum = ChecksumRows(result);
+      run.checksum = ChecksumRows(result, &vars);
       return run;
     }
   }
@@ -229,7 +313,10 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
 QueryRun RunQueryStreaming(const workload::JoinWorkload& w,
                            JoinStrategy strategy, const QueryOptions& options,
                            const hardware::MemoryHierarchy& hw) {
-  if (strategy != JoinStrategy::kDsmPostDecluster) {
+  if (strategy != JoinStrategy::kDsmPostDecluster || WantsVarchar(options)) {
+    // No streaming path for varchar projections yet (the chunk buffers are
+    // fixed-width); the engine's planner mirrors this fallback, so Explain
+    // never claims a varchar query streams.
     return RunQuery(w, strategy, options, hw);
   }
   QueryRun run;

@@ -38,6 +38,17 @@ struct QueryRun {
 struct QueryOptions {
   size_t pi_left = 1;
   size_t pi_right = 1;
+  /// Varchar projection columns per side, taken from the workload's
+  /// {left,right}_varchars (must be <= their size). String bytes are folded
+  /// into QueryRun::checksum with the same per-row digest every strategy
+  /// (and the scalar references) uses, so a checksum match asserts the
+  /// strategies produced byte-identical string results. DSM post-projection
+  /// declusters right-side varchars with the Fig. 12 three-phase scheme;
+  /// every other strategy gathers them via PositionalJoinVarchar from
+  /// result-order oids (pre-projection strategies carry those oids through
+  /// the join as extra intermediate luggage — charged to their time).
+  size_t pi_varchar_left = 0;
+  size_t pi_varchar_right = 0;
   /// Use the planner for DSM-post side strategies (default); otherwise
   /// explicit codes.
   bool plan_sides = true;

@@ -9,16 +9,19 @@ namespace radix::project {
 storage::NsmResult NsmPreProjectHash(const storage::NsmRelation& left,
                                      const storage::NsmRelation& right,
                                      size_t pi_left, size_t pi_right,
-                                     PhaseBreakdown* phases) {
+                                     PhaseBreakdown* phases,
+                                     std::vector<join::OidPair>* result_oids) {
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
   Timer timer;
+  const bool carry_oid = result_oids != nullptr;
   timer.Reset();
-  auto li = join::NsmPreProjection::Scan(left, pi_left);
-  auto ri = join::NsmPreProjection::Scan(right, pi_right);
+  auto li = join::NsmPreProjection::Scan(left, pi_left, carry_oid);
+  auto ri = join::NsmPreProjection::Scan(right, pi_right, carry_oid);
   ph->projection_seconds += timer.ElapsedSeconds();
   timer.Reset();
-  storage::NsmResult result = join::NsmPreProjection::HashJoinRows(li, ri);
+  storage::NsmResult result =
+      join::NsmPreProjection::HashJoinRows(li, ri, result_oids);
   ph->join_seconds += timer.ElapsedSeconds();
   return result;
 }
@@ -26,13 +29,15 @@ storage::NsmResult NsmPreProjectHash(const storage::NsmRelation& left,
 storage::NsmResult NsmPreProjectPartitionedHash(
     const storage::NsmRelation& left, const storage::NsmRelation& right,
     size_t pi_left, size_t pi_right, const hardware::MemoryHierarchy& hw,
-    radix_bits_t bits, PhaseBreakdown* phases) {
+    radix_bits_t bits, PhaseBreakdown* phases,
+    std::vector<join::OidPair>* result_oids) {
   PhaseBreakdown local;
   PhaseBreakdown* ph = phases != nullptr ? phases : &local;
   Timer timer;
+  const bool carry_oid = result_oids != nullptr;
   timer.Reset();
-  auto li = join::NsmPreProjection::Scan(left, pi_left);
-  auto ri = join::NsmPreProjection::Scan(right, pi_right);
+  auto li = join::NsmPreProjection::Scan(left, pi_left, carry_oid);
+  auto ri = join::NsmPreProjection::Scan(right, pi_right, carry_oid);
   ph->projection_seconds += timer.ElapsedSeconds();
 
   size_t tuple_bytes = (1 + std::max(pi_left, pi_right)) * sizeof(value_t);
@@ -42,7 +47,7 @@ storage::NsmResult NsmPreProjectPartitionedHash(
   uint32_t passes = cluster::PassesFor(bits, hw);
   timer.Reset();
   storage::NsmResult result = join::NsmPreProjection::PartitionedHashJoinRows(
-      li, ri, hw, bits, passes);
+      li, ri, hw, bits, passes, result_oids);
   ph->join_seconds += timer.ElapsedSeconds();
   return result;
 }

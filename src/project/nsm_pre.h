@@ -2,9 +2,11 @@
 #define RADIX_PROJECT_NSM_PRE_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 #include "hardware/memory_hierarchy.h"
+#include "join/join_index.h"
 #include "project/strategy.h"
 #include "storage/nsm.h"
 
@@ -14,15 +16,21 @@ namespace radix::project {
 /// left): table scans extract key + projected attributes, the projected
 /// values travel through the join pipeline. Two join flavours, matching
 /// Fig. 10a's "NSM-pre-hash" and "NSM-pre-phash" curves.
-storage::NsmResult NsmPreProjectHash(const storage::NsmRelation& left,
-                                     const storage::NsmRelation& right,
-                                     size_t pi_left, size_t pi_right,
-                                     PhaseBreakdown* phases = nullptr);
+///
+/// `result_oids`, when non-null, receives each result row's (left, right)
+/// source oids in result order, carried through the join as an extra
+/// hidden intermediate column (see DsmPreProject) for post-join varchar
+/// gathers.
+storage::NsmResult NsmPreProjectHash(
+    const storage::NsmRelation& left, const storage::NsmRelation& right,
+    size_t pi_left, size_t pi_right, PhaseBreakdown* phases = nullptr,
+    std::vector<join::OidPair>* result_oids = nullptr);
 
 storage::NsmResult NsmPreProjectPartitionedHash(
     const storage::NsmRelation& left, const storage::NsmRelation& right,
     size_t pi_left, size_t pi_right, const hardware::MemoryHierarchy& hw,
-    radix_bits_t bits = ~radix_bits_t{0}, PhaseBreakdown* phases = nullptr);
+    radix_bits_t bits = ~radix_bits_t{0}, PhaseBreakdown* phases = nullptr,
+    std::vector<join::OidPair>* result_oids = nullptr);
 
 }  // namespace radix::project
 

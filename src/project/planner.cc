@@ -10,21 +10,41 @@ bool ColumnFitsCache(size_t tuples, const hardware::MemoryHierarchy& hw) {
   return tuples * sizeof(value_t) <= hw.target_cache().capacity_bytes;
 }
 
+bool VarcharColumnFitsCache(size_t tuples, size_t avg_len,
+                            const hardware::MemoryHierarchy& hw) {
+  return tuples * (sizeof(uint64_t) + avg_len) <=
+         hw.target_cache().capacity_bytes;
+}
+
 Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
                  size_t /*index_cardinality*/, size_t pi_left,
                  size_t /*pi_right*/, const hardware::MemoryHierarchy& hw,
-                 size_t num_threads) {
+                 size_t num_threads, size_t pi_varchar_left,
+                 size_t pi_varchar_right, size_t avg_varchar_left_len,
+                 size_t avg_varchar_right_len) {
   Plan plan;
   plan.options.num_threads = num_threads;
   bool left_fits = ColumnFitsCache(left_cardinality, hw);
   bool right_fits = ColumnFitsCache(right_cardinality, hw);
+  // Per-column types: a side projecting varchar columns is only cache-easy
+  // if the offsets + heap working set fits too.
+  if (pi_varchar_left > 0) {
+    left_fits = left_fits && VarcharColumnFitsCache(
+                                 left_cardinality, avg_varchar_left_len, hw);
+  }
+  if (pi_varchar_right > 0) {
+    right_fits = right_fits && VarcharColumnFitsCache(
+                                   right_cardinality, avg_varchar_right_len,
+                                   hw);
+  }
   plan.easy = left_fits && right_fits;
 
   if (left_fits) {
     plan.options.left = SideStrategy::kUnsorted;
-  } else if (pi_left > 16) {
+  } else if (pi_left + pi_varchar_left > 16) {
     // Fig. 8: with many projection columns the one-off full sort amortizes
     // over the per-column positional joins and beats partial clustering.
+    // Varchar columns count: each costs at least a fixed column's gather.
     plan.options.left = SideStrategy::kSorted;
   } else {
     plan.options.left = SideStrategy::kClustered;

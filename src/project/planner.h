@@ -28,13 +28,32 @@ struct Plan {
 /// `num_threads` is carried into the planned DsmPostOptions verbatim (the
 /// strategy choice itself is thread-count independent: parallelism scales
 /// every candidate's memory phases alike). 1 = serial kernels.
+///
+/// Per-column-type planning (paper §5): `pi_varchar_left`/`pi_varchar_right`
+/// count the variable-size columns projected per side and
+/// `avg_varchar_{left,right}_len` their mean value length in bytes.
+/// Varchar columns weigh in twice: they count toward the left side's
+/// many-columns sort threshold (each is at least as expensive as a fixed
+/// gather), and a side with varchar projections is only "easy" if its
+/// offsets *and* heap working set fit the cache too
+/// (VarcharColumnFitsCache) — otherwise the right side gets the
+/// three-phase varchar decluster (d).
 Plan PlanDsmPost(size_t left_cardinality, size_t right_cardinality,
                  size_t index_cardinality, size_t pi_left, size_t pi_right,
-                 const hardware::MemoryHierarchy& hw, size_t num_threads = 1);
+                 const hardware::MemoryHierarchy& hw, size_t num_threads = 1,
+                 size_t pi_varchar_left = 0, size_t pi_varchar_right = 0,
+                 size_t avg_varchar_left_len = 0,
+                 size_t avg_varchar_right_len = 0);
 
 /// The paper's "easy vs hard" boundary: a column of `tuples` 4-byte values
 /// fits the target cache.
 bool ColumnFitsCache(size_t tuples, const hardware::MemoryHierarchy& hw);
+
+/// Varchar analogue of ColumnFitsCache: the random working set of a varchar
+/// positional join is the 8-byte offset array plus the value heap
+/// (tuples * avg_len bytes); "easy" only if both fit the target cache.
+bool VarcharColumnFitsCache(size_t tuples, size_t avg_len,
+                            const hardware::MemoryHierarchy& hw);
 
 /// Cost-model-driven choice of the partial-cluster radix bits for a
 /// decluster-side projection: minimizes

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/column.h"
+#include "storage/varchar.h"
 
 namespace radix::storage {
 
@@ -46,9 +47,15 @@ class DsmRelation {
 };
 
 /// Result of a DSM post-projection query: columns in join-result order.
+/// Fixed-width and varchar projections coexist — row i of the result is
+/// ({left,right}_columns[*][i], {left,right}_varchars[*].at(i)).
 struct DsmResult {
   std::vector<Column<value_t>> left_columns;
   std::vector<Column<value_t>> right_columns;
+  /// Variable-size projection outputs (paper §5): offsets-into-heap
+  /// columns in the same result order as the fixed columns.
+  std::vector<VarcharColumn> left_varchars;
+  std::vector<VarcharColumn> right_varchars;
   size_t cardinality = 0;
 };
 

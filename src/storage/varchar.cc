@@ -4,13 +4,7 @@ namespace radix::storage {
 
 VarcharColumn PositionalJoinVarchar(std::span<const oid_t> ids,
                                     const VarcharColumn& values) {
-  VarcharColumn out;
-  // First pass: total heap size so the output heap allocates once.
-  size_t total = 0;
-  for (oid_t id : ids) total += values.length(id);
-  out.Reserve(ids.size(), total);
-  for (oid_t id : ids) out.Append(values.at(id));
-  return out;
+  return GatherVarchar(ids.size(), [&](size_t i) { return ids[i]; }, values);
 }
 
 }  // namespace radix::storage

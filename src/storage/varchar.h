@@ -54,6 +54,21 @@ class VarcharColumn {
   std::vector<uint8_t> heap_;
 };
 
+/// The varchar gather kernel shared by every positional-join flavour:
+/// two passes (sum the lengths, reserve once, append) over `n` ids
+/// produced by `id_at(i)`. Kept in one place so the oid-span and
+/// join-index-side gathers cannot drift apart.
+template <typename GetId>
+VarcharColumn GatherVarchar(size_t n, GetId&& id_at,
+                            const VarcharColumn& values) {
+  VarcharColumn out;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += values.length(id_at(i));
+  out.Reserve(n, total);
+  for (size_t i = 0; i < n; ++i) out.Append(values.at(id_at(i)));
+  return out;
+}
+
 /// Positional-Join for varchar columns: out gathers values[ids[i]] into a
 /// fresh column. The offset-array access pattern is the same as a
 /// fixed-width positional join; the heap adds a second, correlated stream.

@@ -17,6 +17,55 @@ value_t PayloadValue(value_t key, size_t attr) {
   return static_cast<value_t>(h & 0x7fffffff);
 }
 
+std::string PayloadString(value_t key, size_t attr,
+                          const VarcharColumnSpec& spec) {
+  // Salted separately from PayloadValue so the string stream never
+  // correlates with the fixed payloads of the same (key, attr).
+  uint64_t h =
+      HashInt64((static_cast<uint64_t>(static_cast<uint32_t>(key)) |
+                 (static_cast<uint64_t>(attr) << 32)) ^
+                0x7661726368617221ULL);  // "varchar!"
+
+  // Length: one uniform draw decides emptiness, a second (skewable) draw
+  // picks from [min_len, max_len]. pow(u, 1 + skew) pushes mass toward 0,
+  // i.e. toward min_len — many short values, a thinning tail of long ones.
+  double u_empty = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u_empty < spec.empty_fraction) return {};
+  uint64_t h2 = HashInt64(h);
+  double u = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (spec.zipf_skew > 0) u = std::pow(u, 1.0 + spec.zipf_skew);
+  size_t lo = spec.min_len;
+  size_t hi = std::max(spec.max_len, spec.min_len);
+  size_t len = lo + static_cast<size_t>(u * static_cast<double>(hi - lo + 1));
+  if (len > hi) len = hi;
+
+  // Content: 6 printable chars per hash refresh, keyed by (h, position).
+  static constexpr char kAlphabet[65] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve(len);
+  uint64_t g = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (i % 6 == 0) g = HashInt64(h2 ^ (i + 1));
+    out.push_back(kAlphabet[g & 63]);
+    g >>= 6;
+  }
+  return out;
+}
+
+size_t AverageVarcharBytes(std::span<const storage::VarcharColumn> cols,
+                           size_t first_k) {
+  first_k = std::min(first_k, cols.size());
+  if (first_k == 0) return 0;
+  size_t values = 0, heap = 0;
+  for (size_t c = 0; c < first_k; ++c) {
+    values += cols[c].size();
+    heap += cols[c].heap_bytes();
+  }
+  if (values == 0) return 0;
+  return std::max<size_t>(1, heap / values);
+}
+
 namespace {
 
 /// Generate the two key arrays per the hit-rate scheme documented in the
@@ -110,6 +159,22 @@ JoinWorkload MakeJoinWorkload(const JoinWorkloadSpec& spec) {
       if (spec.build_nsm) {
         w.nsm_left.record(i)[a] = lv;
         w.nsm_right.record(i)[a] = rv;
+      }
+    }
+  }
+  if (spec.varchar.num_cols > 0) {
+    const VarcharColumnSpec& vs = spec.varchar;
+    // Mean of the length distribution, for the one-shot heap reservation.
+    size_t avg = (vs.min_len + std::max(vs.max_len, vs.min_len) + 1) / 2;
+    w.left_varchars.resize(vs.num_cols);
+    w.right_varchars.resize(vs.num_cols);
+    for (size_t c = 0; c < vs.num_cols; ++c) {
+      w.left_varchars[c].Reserve(n, n * avg);
+      w.right_varchars[c].Reserve(n, n * avg);
+      for (size_t i = 0; i < n; ++i) {
+        w.left_varchars[c].Append(PayloadString(left_keys[i], c, vs));
+        w.right_varchars[c].Append(
+            PayloadString(right_keys[i], kRightVarcharAttrOffset + c, vs));
       }
     }
   }

@@ -2,14 +2,35 @@
 #define RADIX_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "storage/dsm.h"
 #include "storage/nsm.h"
+#include "storage/varchar.h"
 
 namespace radix::workload {
+
+/// Variable-size (varchar) payload columns for the experimental query
+/// (paper §5's workload): each side gets `num_cols` string columns whose
+/// value is a deterministic function of the tuple's join key, so result
+/// verifiers can recompute every string from the keys alone (the varchar
+/// analogue of PayloadValue). Lengths follow a configurable distribution.
+struct VarcharColumnSpec {
+  size_t num_cols = 0;  ///< varchar columns generated per side
+  size_t min_len = 4;   ///< shortest non-empty value, bytes
+  size_t max_len = 20;  ///< longest value, bytes
+  /// 0 = uniform lengths over [min_len, max_len]; > 0 skews the mass
+  /// toward min_len Zipf-style (many short strings, a long tail of long
+  /// ones), exercising imbalanced heap traffic in the paged decluster.
+  double zipf_skew = 0.0;
+  /// Fraction of values that are the empty string "" (edge case of the
+  /// three-phase decluster: zero-length records still need slots).
+  double empty_fraction = 0.0;
+};
 
 /// Parameters of the paper's experimental query (§1.1, §4):
 ///   SELECT larger.a1..aY, smaller.b1..bZ
@@ -33,6 +54,10 @@ struct JoinWorkloadSpec {
   /// only π matters, not ω" (paper §4.1) — and the NSM copies would double
   /// or quadruple the memory footprint.
   bool build_nsm = true;
+
+  /// Variable-size payload columns per side (paper §5's workload); see
+  /// VarcharColumnSpec. num_cols == 0 (default) generates none.
+  VarcharColumnSpec varchar;
 };
 
 /// A generated pair of join inputs, in both storage models, built from the
@@ -42,8 +67,19 @@ struct JoinWorkload {
   storage::DsmRelation dsm_right;  ///< "smaller"
   storage::NsmRelation nsm_left;
   storage::NsmRelation nsm_right;
+  /// Variable-size payload columns (spec.varchar.num_cols per side); the
+  /// varchar analogue of dsm_*.attr(). Column c of the left side holds
+  /// PayloadString(key, c, spec.varchar); the right side holds
+  /// PayloadString(key, kRightVarcharAttrOffset + c, spec.varchar).
+  std::vector<storage::VarcharColumn> left_varchars;
+  std::vector<storage::VarcharColumn> right_varchars;
   size_t expected_result_size = 0;
 };
+
+/// Attribute-space offset separating right-side varchar payloads from left
+/// ones, mirroring PayloadValue's `attr + 1000` convention for the right
+/// side's fixed columns.
+inline constexpr size_t kRightVarcharAttrOffset = 1000;
 
 /// Keys are constructed so that
 ///  * h == 1 : left keys are a random permutation of right keys
@@ -60,6 +96,20 @@ JoinWorkload MakeJoinWorkload(const JoinWorkloadSpec& spec);
 /// Deterministic payload value for attribute `attr` of the tuple with the
 /// given key; used by generators and by result verification in tests.
 value_t PayloadValue(value_t key, size_t attr);
+
+/// Deterministic varchar payload for attribute `attr` of the tuple with
+/// the given key (content *and* length are pure functions of (key, attr,
+/// spec)), so scalar reference verifiers can recompute every string
+/// without replaying any RNG stream. Left varchar column c uses attr = c;
+/// right column c uses attr = kRightVarcharAttrOffset + c.
+std::string PayloadString(value_t key, size_t attr,
+                          const VarcharColumnSpec& spec);
+
+/// Mean value length in bytes over the first `first_k` columns (total heap
+/// bytes / total values, >= 1 unless empty); the avg_len the planner and
+/// cost model use for heap-traffic terms. 0 when first_k == 0.
+size_t AverageVarcharBytes(std::span<const storage::VarcharColumn> cols,
+                           size_t first_k);
 
 /// Build a sparse positional-join input (Fig. 11): `n` distinct oids into a
 /// base column of cardinality n / selectivity, in random order. With

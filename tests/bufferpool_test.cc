@@ -56,27 +56,39 @@ TEST(BufferManagerTest, AllocatesConsecutiveIds) {
   EXPECT_EQ(bm.payload_capacity(), 4096 - sizeof(Page::Header));
 }
 
-/// Shared fixture: a clustered permutation (as produced by the partial
-/// radix-cluster ahead of a decluster).
+/// Shared fixture: clustered result positions as the projection pipeline
+/// really produces them — (foreign key, result position) pairs stably
+/// clustered on the key, so positions ascend within each cluster (the
+/// §3.2 precondition the decluster kernels check in debug builds) while
+/// spreading over the whole result range.
 struct ClusteredIds {
   std::vector<oid_t> ids;
   cluster::ClusterBorders borders;
 };
 
 ClusteredIds MakeIds(size_t n, radix_bits_t bits, uint64_t seed) {
-  ClusteredIds c;
-  c.ids.resize(n);
-  std::iota(c.ids.begin(), c.ids.end(), 0u);
+  struct KeyPos {
+    oid_t key, pos;
+  };
   Rng rng(seed);
-  workload::Shuffle(c.ids.data(), n, rng);
+  std::vector<KeyPos> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<oid_t>(rng.Below(n)), static_cast<oid_t>(i)};
+  }
   radix_bits_t sig = SignificantBits(n);
   radix_bits_t b = std::min(bits, sig);
   cluster::ClusterSpec spec{
       .total_bits = b,
       .ignore_bits = static_cast<radix_bits_t>(sig - b),
       .passes = 1};
-  c.borders = cluster::RadixCluster(std::span<oid_t>(c.ids),
-                                    [](oid_t v) { return uint64_t{v}; }, spec);
+  std::vector<KeyPos> scratch(n);
+  simcache::NoTracer tracer;
+  auto radix_of = [](const KeyPos& p) -> uint64_t { return p.key; };
+  ClusteredIds c;
+  c.borders = cluster::RadixClusterMultiPass(pairs.data(), scratch.data(), n,
+                                             radix_of, spec, tracer);
+  c.ids.resize(n);
+  for (size_t i = 0; i < n; ++i) c.ids[i] = pairs[i].pos;
   return c;
 }
 

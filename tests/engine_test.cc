@@ -348,6 +348,118 @@ TEST(EngineTest, ExplainStreamingCostUsesStreamingModel) {
   EXPECT_GE(ex.decluster_cost.seconds, materializing);
 }
 
+workload::JoinWorkload MakeVarcharW(size_t n, uint64_t seed,
+                                    size_t num_cols = 2) {
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 3;
+  spec.hit_rate = 1.0;
+  spec.seed = seed;
+  spec.varchar.num_cols = num_cols;
+  return workload::MakeJoinWorkload(spec);
+}
+
+TEST(EngineTest, VarcharExplainReportsPagedDeclusterTerm) {
+  // 2^18 tuples outgrow the P4's 512 KB L2, so the planner runs the right
+  // side as d; a varchar projection must then surface the Fig. 12
+  // three-phase paged-decluster cost term in Explain, before anything runs.
+  Engine eng(P4Config());
+  workload::JoinWorkload w = MakeVarcharW(1 << 18, 13);
+  QuerySpec spec;
+  spec.pi_left = 1;
+  spec.pi_right = 1;
+  spec.pi_varchar_left = 1;
+  spec.pi_varchar_right = 1;
+  const Explanation& ex = eng.Prepare(w, spec).Explain();
+  EXPECT_EQ(ex.side_options.right, SideStrategy::kDecluster);
+  EXPECT_EQ(ex.varchar_cols, 2u);
+  EXPECT_GT(ex.avg_varchar_len, 0u);
+  EXPECT_GT(ex.varchar_decluster_cost.seconds, 0.0);
+  // The term participates in the total.
+  EXPECT_GE(ex.modeled_seconds,
+            ex.join_cost.seconds + ex.cluster_cost.seconds +
+                ex.projection_cost.seconds + ex.decluster_cost.seconds +
+                ex.varchar_decluster_cost.seconds - 1e-12);
+  // And it is reported in the rendered plan.
+  EXPECT_NE(ex.ToString().find("paged-decluster"), std::string::npos);
+
+  // Without varchar columns the term is zero.
+  QuerySpec fixed_only = spec;
+  fixed_only.pi_varchar_left = 0;
+  fixed_only.pi_varchar_right = 0;
+  const Explanation& fx = eng.Prepare(w, fixed_only).Explain();
+  EXPECT_EQ(fx.varchar_cols, 0u);
+  EXPECT_EQ(fx.varchar_decluster_cost.seconds, 0.0);
+}
+
+TEST(EngineTest, VarcharQueriesNeverStream) {
+  // The pipeline has no variable-size chunk path yet: even an explicit
+  // kStream policy must plan (and execute) a varchar query materializing,
+  // mirroring the executor's fallback — Explain may not claim otherwise.
+  Engine eng(P4Config());
+  workload::JoinWorkload w = MakeVarcharW(1 << 16, 29);
+  QuerySpec spec;
+  spec.pi_left = 1;
+  spec.pi_right = 1;
+  spec.pi_varchar_right = 1;
+  spec.plan_sides = false;
+  spec.left = SideStrategy::kClustered;
+  spec.right = SideStrategy::kDecluster;
+  spec.chunking = ChunkingPolicy::kStream;
+  const Explanation& ex = eng.Prepare(w, spec).Explain();
+  EXPECT_FALSE(ex.streaming);
+  EXPECT_EQ(ex.chunk_rows, 0u);
+
+  QuerySpec no_var = spec;
+  no_var.pi_varchar_right = 0;
+  EXPECT_TRUE(eng.Prepare(w, no_var).Explain().streaming);
+
+  // Same honesty on the *unsorted* right side (where no-varchar kStream
+  // legitimately streams the gathers): a varchar query must not claim it.
+  QuerySpec u_right = spec;
+  u_right.right = SideStrategy::kUnsorted;
+  EXPECT_FALSE(eng.Prepare(w, u_right).Explain().streaming);
+  QuerySpec u_right_no_var = u_right;
+  u_right_no_var.pi_varchar_right = 0;
+  EXPECT_TRUE(eng.Prepare(w, u_right_no_var).Explain().streaming);
+}
+
+TEST(EngineTest, VarcharExecuteMatchesLegacyAndIsThreadInvariant) {
+  // Engine Execute with varchar columns must agree with the legacy entry
+  // point, and a threaded session must produce the identical checksum.
+  auto hw = P4();
+  workload::JoinWorkload w = MakeVarcharW(1 << 13, 37);
+  QuerySpec spec;
+  spec.pi_left = 2;
+  spec.pi_right = 1;
+  spec.pi_varchar_left = 1;
+  spec.pi_varchar_right = 2;
+  project::QueryOptions legacy;
+  legacy.pi_left = 2;
+  legacy.pi_right = 1;
+  legacy.pi_varchar_left = 1;
+  legacy.pi_varchar_right = 2;
+
+  for (JoinStrategy s :
+       {JoinStrategy::kDsmPostDecluster, JoinStrategy::kDsmPrePhash,
+        JoinStrategy::kNsmPreHash, JoinStrategy::kNsmPrePhash,
+        JoinStrategy::kNsmPostDecluster, JoinStrategy::kNsmPostJive}) {
+    QuerySpec qs = spec;
+    qs.strategy = s;
+    project::QueryRun ref = project::RunQuery(w, s, legacy, hw);
+    Engine serial(P4Config());
+    project::QueryRun run = serial.Execute(w, qs);
+    ASSERT_EQ(run.checksum, ref.checksum) << project::JoinStrategyName(s);
+    ASSERT_EQ(run.result_cardinality, ref.result_cardinality);
+  }
+
+  Engine threaded(P4Config(/*threads=*/4));
+  project::QueryRun threaded_run = threaded.Execute(w, spec);
+  project::QueryRun serial_ref = project::RunQuery(
+      w, JoinStrategy::kDsmPostDecluster, legacy, hw);
+  EXPECT_EQ(threaded_run.checksum, serial_ref.checksum);
+}
+
 TEST(EngineTest, DefaultEngineIsUsableAndSerial) {
   Engine& eng = Engine::Default();
   EXPECT_EQ(eng.num_threads(), 1u);

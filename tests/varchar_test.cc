@@ -144,5 +144,80 @@ TEST(VarcharDeclusterTest, AllEmptyStrings) {
   for (size_t i = 0; i < 64; ++i) EXPECT_EQ(out.at(i), "");
 }
 
+// ---- paged decluster contract & edge cases (PR 2 hardening style) ------
+
+TEST(PagedDeclusterContractTest, ValidateRejectsBadInputs) {
+  Fixture f = MakeFixture(64, 3, 13);
+  // Well-formed input validates.
+  EXPECT_TRUE(decluster::ValidatePagedDecluster(64, f.ids, f.borders, 16)
+                  .ok());
+  // Size mismatch between values and ids.
+  EXPECT_FALSE(decluster::ValidatePagedDecluster(63, f.ids, f.borders, 16)
+                   .ok());
+  // A zero insertion window would sweep forever without retiring a tuple.
+  EXPECT_FALSE(decluster::ValidatePagedDecluster(64, f.ids, f.borders, 0)
+                   .ok());
+  // Borders that do not cover the input.
+  cluster::ClusterBorders bad = f.borders;
+  bad.offsets.back() = 63;
+  EXPECT_FALSE(decluster::ValidatePagedDecluster(64, f.ids, bad, 16).ok());
+  // Non-monotone borders.
+  cluster::ClusterBorders nonmono = f.borders;
+  if (nonmono.offsets.size() >= 3) {
+    std::swap(nonmono.offsets[0], nonmono.offsets[1]);
+    EXPECT_FALSE(
+        decluster::ValidatePagedDecluster(64, f.ids, nonmono, 16).ok());
+  }
+  // Empty input with empty borders is fine (declusters to nothing).
+  EXPECT_TRUE(decluster::ValidatePagedDecluster(0, {}, {}, 0).ok());
+}
+
+TEST(PagedDeclusterEdgeTest, EmptyInputAllocatesNoPages) {
+  bufferpool::BufferManager bm(512);
+  decluster::VarValues values;
+  decluster::PagedResult var = decluster::PagedDeclusterVar(
+      values, {}, cluster::ClusterBorders{}, 16, &bm);
+  EXPECT_EQ(var.num_pages, 0u);
+  EXPECT_TRUE(var.directory.empty());
+  decluster::PagedResult fixed = decluster::PagedDeclusterFixed(
+      {}, {}, cluster::ClusterBorders{}, 16, &bm);
+  EXPECT_EQ(fixed.num_pages, 0u);
+  EXPECT_EQ(bm.num_pages(), 0u);
+
+  VarcharColumn col;
+  VarcharColumn out = decluster::RadixDeclusterVarchar(
+      col, {}, cluster::ClusterBorders{}, 16);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(PagedDeclusterEdgeTest, AllEmptyStringsPaged) {
+  // Zero-length records still claim slots; every Read must return "".
+  Fixture f = MakeFixture(128, 3, 17);
+  decluster::VarValues values;
+  for (size_t i = 0; i < 128; ++i) values.Append("");
+  bufferpool::BufferManager bm(512);
+  decluster::PagedResult result =
+      decluster::PagedDeclusterVar(values, f.ids, f.borders, 16, &bm);
+  ASSERT_EQ(result.directory.size(), 128u);
+  EXPECT_GE(result.num_pages, 1u);
+  for (size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(result.Read(bm, i), "") << "result position " << i;
+  }
+}
+
+TEST(PagedDeclusterEdgeTest, SinglePageHoldsEverything) {
+  // Input small enough that one page suffices; the directory must agree.
+  Fixture f = MakeFixture(16, 2, 19);
+  decluster::VarValues values;
+  for (size_t i = 0; i < 16; ++i) values.Append(f.clustered_values.at(i));
+  bufferpool::BufferManager bm(8192);
+  decluster::PagedResult result =
+      decluster::PagedDeclusterVar(values, f.ids, f.borders, 8, &bm);
+  EXPECT_EQ(result.num_pages, 1u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(result.Read(bm, i), f.expected[i]) << "result position " << i;
+  }
+}
+
 }  // namespace
 }  // namespace radix::storage
