@@ -1,0 +1,357 @@
+// Multi-client serving benchmark for engine::Engine: N client threads
+// drive a point-heavy mix of join queries through ONE shared session
+// engine (morsel scheduler + admission control + plan cache) and every
+// result is checksum-verified. Reports throughput and latency percentiles
+// against a serialized back-to-back baseline of the exact same query
+// sequence — the speedup_vs_serial figure is the concurrency win of
+// overlapping queries on the session's resources.
+//
+// Standalone driver (not a google-benchmark harness: the unit of
+// measurement is a whole serving phase, not an iteration). Honours
+// RADIX_BENCH_QUICK / RADIX_BENCH_HW like the figure harnesses.
+//
+//   bench_serve [--clients=N] [--threads=N] [--rate=QPS] [--quick]
+//               [--json=PATH]
+//
+// Default is closed-loop (every client fires its next query as soon as the
+// previous one returns; latency = service time). --rate=QPS switches to
+// open-loop: arrivals are scheduled on a fixed grid at the offered rate,
+// clients sleep until each query's arrival time, and latency is measured
+// from the *scheduled arrival* — so queue build-up under overload shows up
+// in the tail percentiles instead of being hidden by client back-pressure.
+//
+// JSON output follows the google-benchmark report shape ({context,
+// benchmarks[]}) so scripts/merge_bench_json.py folds it into BENCH_ci.json
+// next to the figure harness numbers.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/executor.h"
+#include "workload/generator.h"
+
+namespace {
+
+using radix::engine::ChunkingPolicy;
+using radix::engine::Engine;
+using radix::engine::EngineConfig;
+using radix::engine::EngineStats;
+using radix::engine::PreparedQuery;
+using radix::engine::QuerySpec;
+using radix::hardware::MemoryHierarchy;
+using radix::project::JoinStrategy;
+using radix::workload::JoinWorkload;
+using radix::workload::JoinWorkloadSpec;
+
+bool QuickMode(int argc, char** argv) {
+  const char* env = std::getenv("RADIX_BENCH_QUICK");
+  if (env != nullptr && env[0] == '1') return true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+MemoryHierarchy BenchHw() {
+  const char* env = std::getenv("RADIX_BENCH_HW");
+  if (env != nullptr && std::string(env) == "p4") {
+    return MemoryHierarchy::Pentium4();
+  }
+  return MemoryHierarchy::Detect();
+}
+
+size_t FlagValue(int argc, char** argv, const char* name, size_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<size_t>(std::atoll(argv[i] + prefix.size()));
+    }
+  }
+  return def;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return "";
+}
+
+JoinWorkload MakeW(size_t n, uint64_t seed, size_t varchar_cols) {
+  JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 4;
+  spec.hit_rate = 1.0;
+  spec.seed = seed;
+  spec.varchar.num_cols = varchar_cols;
+  return radix::workload::MakeJoinWorkload(spec);
+}
+
+/// One shape of the serving mix, with its serial ground truth filled in by
+/// the baseline phase.
+struct MixEntry {
+  const char* name;
+  const JoinWorkload* workload;
+  QuerySpec spec;
+  uint64_t checksum = 0;
+  size_t cardinality = 0;
+};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[idx];
+}
+
+struct PhaseResult {
+  double seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  size_t mismatches = 0;
+  size_t errors = 0;
+};
+
+PhaseResult Summarize(double seconds, std::vector<double>& latencies_ms,
+                      size_t mismatches, size_t errors) {
+  PhaseResult r;
+  r.seconds = seconds;
+  r.qps = seconds > 0 ? static_cast<double>(latencies_ms.size()) / seconds : 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.p50_ms = Percentile(latencies_ms, 0.50);
+  r.p99_ms = Percentile(latencies_ms, 0.99);
+  r.p999_ms = Percentile(latencies_ms, 0.999);
+  r.mismatches = mismatches;
+  r.errors = errors;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const size_t clients = FlagValue(argc, argv, "clients", 8);
+  const size_t threads = FlagValue(argc, argv, "threads", 2);
+  const size_t rate_qps = FlagValue(argc, argv, "rate", 0);  // 0 = closed loop
+  const size_t per_client =
+      FlagValue(argc, argv, "queries", quick ? 30 : 150);
+  const std::string json_path = StringFlag(argc, argv, "json");
+
+  // The serving mix: mostly point queries, a band of medium scans, a few
+  // heavy varchar projections — the workload the morsel scheduler's
+  // priorities are for.
+  const size_t point_n = quick ? (size_t{1} << 12) : (size_t{1} << 14);
+  const size_t medium_n = quick ? (size_t{1} << 14) : (size_t{1} << 16);
+  const size_t heavy_n = quick ? (size_t{1} << 12) : (size_t{1} << 14);
+  const JoinWorkload point_w = MakeW(point_n, /*seed=*/7, /*varchar_cols=*/0);
+  const JoinWorkload medium_w = MakeW(medium_n, /*seed=*/19, 0);
+  const JoinWorkload heavy_w = MakeW(heavy_n, /*seed=*/31, /*varchar_cols=*/1);
+
+  std::vector<MixEntry> mix;
+  {
+    MixEntry e{"point", &point_w, QuerySpec{}};
+    mix.push_back(e);
+  }
+  {
+    MixEntry e{"medium", &medium_w, QuerySpec{}};
+    e.spec.pi_left = 2;
+    e.spec.pi_right = 2;
+    mix.push_back(e);
+  }
+  {
+    MixEntry e{"heavy_varchar", &heavy_w, QuerySpec{}};
+    e.spec.pi_right = 1;
+    e.spec.pi_varchar_right = 1;
+    mix.push_back(e);
+  }
+  // ~70% point / 25% medium / 5% heavy+varchar.
+  const int weights[20] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                           0, 0, 0, 0, 1, 1, 1, 1, 1, 2};
+
+  // The full query sequence, fixed up front so the serialized baseline and
+  // the concurrent phase execute the SAME work.
+  const size_t total = clients * per_client;
+  std::vector<size_t> schedule(total);
+  std::mt19937_64 rng(0xBE7C);
+  for (size_t i = 0; i < total; ++i) schedule[i] = weights[rng() % 20];
+
+  EngineConfig cfg;
+  cfg.hierarchy = BenchHw();
+  cfg.num_threads = threads;
+  cfg.point_query_rows_threshold = point_n;  // point shape = high priority
+  Engine eng(cfg);
+
+  std::fprintf(stderr,
+               "bench_serve: clients=%zu threads=%zu queries=%zu "
+               "(point=%zu medium=%zu heavy=%zu rows)%s\n",
+               clients, threads, total, point_n, medium_n, heavy_n,
+               quick ? " [quick]" : "");
+
+  // -------------------------------------------------------------------------
+  // Phase 1: serialized back-to-back baseline — one thread runs the whole
+  // sequence, recording ground-truth checksums and the serial throughput.
+  // -------------------------------------------------------------------------
+  for (MixEntry& e : mix) {
+    radix::project::QueryRun run = eng.Execute(*e.workload, e.spec);
+    e.checksum = run.checksum;
+    e.cardinality = run.result_cardinality;
+  }
+  std::vector<double> serial_lat_ms;
+  serial_lat_ms.reserve(total);
+  size_t serial_bad = 0;
+  const uint64_t serial_start = NowNanos();
+  for (size_t i = 0; i < total; ++i) {
+    const MixEntry& e = mix[schedule[i]];
+    const uint64_t q_start = NowNanos();
+    radix::project::QueryRun run = eng.Execute(*e.workload, e.spec);
+    serial_lat_ms.push_back(
+        static_cast<double>(NowNanos() - q_start) / 1e6);
+    if (run.checksum != e.checksum || run.result_cardinality != e.cardinality)
+      ++serial_bad;
+  }
+  const double serial_seconds =
+      static_cast<double>(NowNanos() - serial_start) / 1e9;
+  PhaseResult serial = Summarize(serial_seconds, serial_lat_ms, serial_bad, 0);
+
+  // -------------------------------------------------------------------------
+  // Phase 2: concurrent serving — `clients` threads drain the same
+  // sequence off a shared arrival index. Closed-loop by default; with
+  // --rate, arrivals sit on a fixed open-loop grid and latency counts from
+  // the scheduled arrival (queueing delay included).
+  // -------------------------------------------------------------------------
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> conc_bad{0};
+  std::atomic<size_t> conc_err{0};
+  std::vector<double> conc_lat_ms(total, 0);
+  const uint64_t arrival_step_nanos =
+      rate_qps > 0 ? static_cast<uint64_t>(1e9 / static_cast<double>(rate_qps))
+                   : 0;
+
+  std::vector<std::thread> workers;
+  const uint64_t conc_start = NowNanos();
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        uint64_t arrival = NowNanos();
+        if (arrival_step_nanos > 0) {
+          const uint64_t scheduled = conc_start + i * arrival_step_nanos;
+          while (NowNanos() < scheduled) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          arrival = scheduled;  // open loop: latency from scheduled arrival
+        }
+        const MixEntry& e = mix[schedule[i]];
+        radix::project::QueryRun run;
+        radix::Status status =
+            eng.Prepare(*e.workload, e.spec).Execute(&run);
+        if (!status.ok()) {
+          conc_err.fetch_add(1);
+          continue;
+        }
+        conc_lat_ms[i] = static_cast<double>(NowNanos() - arrival) / 1e6;
+        if (run.checksum != e.checksum ||
+            run.result_cardinality != e.cardinality) {
+          conc_bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double conc_seconds =
+      static_cast<double>(NowNanos() - conc_start) / 1e9;
+  PhaseResult conc =
+      Summarize(conc_seconds, conc_lat_ms, conc_bad.load(), conc_err.load());
+
+  const double speedup = conc.qps > 0 && serial.qps > 0
+                             ? conc.qps / serial.qps
+                             : 0;
+  EngineStats stats = eng.Stats();
+
+  std::printf("phase            qps      p50_ms     p99_ms    p999_ms\n");
+  std::printf("serial    %10.1f  %9.3f  %9.3f  %9.3f\n", serial.qps,
+              serial.p50_ms, serial.p99_ms, serial.p999_ms);
+  std::printf("concurrent%10.1f  %9.3f  %9.3f  %9.3f\n", conc.qps,
+              conc.p50_ms, conc.p99_ms, conc.p999_ms);
+  std::printf("speedup_vs_serial: %.2fx  (checksums: %zu serial / %zu "
+              "concurrent mismatches, %zu errors)\n",
+              speedup, serial.mismatches, conc.mismatches, conc.errors);
+  std::printf("plan cache: %llu hits / %llu misses; admission: %llu queued\n",
+              static_cast<unsigned long long>(stats.plan_cache_hits),
+              static_cast<unsigned long long>(stats.plan_cache_misses),
+              static_cast<unsigned long long>(stats.admission.queued));
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    // Google-benchmark report shape, one entry per phase plus the speedup,
+    // so merge_bench_json.py treats this like any figure harness.
+    std::fprintf(f,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"executable\": \"bench_serve\",\n"
+                 "    \"clients\": %zu,\n"
+                 "    \"threads\": %zu,\n"
+                 "    \"queries\": %zu,\n"
+                 "    \"quick\": %s\n"
+                 "  },\n"
+                 "  \"benchmarks\": [\n",
+                 clients, threads, total, quick ? "true" : "false");
+    auto emit = [&](const char* name, const PhaseResult& r, bool comma) {
+      std::fprintf(f,
+                   "    {\"name\": \"BM_Serve/%s\", \"run_type\": "
+                   "\"aggregate\", \"qps\": %.3f, \"p50_ms\": %.4f, "
+                   "\"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+                   "\"real_time\": %.0f, \"time_unit\": \"ns\"}%s\n",
+                   name, r.qps, r.p50_ms, r.p99_ms, r.p999_ms,
+                   r.seconds * 1e9, comma ? "," : "");
+    };
+    emit("serial", serial, true);
+    emit("concurrent", conc, true);
+    std::fprintf(f,
+                 "    {\"name\": \"BM_Serve/speedup_vs_serial\", "
+                 "\"run_type\": \"aggregate\", \"speedup\": %.4f, "
+                 "\"real_time\": %.0f, \"time_unit\": \"ns\"}\n"
+                 "  ]\n}\n",
+                 speedup, conc.seconds * 1e9);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_serve: wrote %s\n", json_path.c_str());
+  }
+
+  // Correctness is the contract: any mismatch or unexpected error fails
+  // the run (CI treats this binary as a smoke test too).
+  if (serial.mismatches != 0 || conc.mismatches != 0 || conc.errors != 0) {
+    std::fprintf(stderr, "bench_serve: FAILED verification\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef RADIX_COMMON_CLOCK_H_
+#define RADIX_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace radix {
+
+/// Injectable time source for schedulers and queue-wait accounting.
+/// Production code uses Clock::Steady(); concurrency tests inject a
+/// FakeClock so wait-time assertions are exact instead of sleep-based —
+/// the deterministic half of the fake-clock scheduler harness.
+///
+/// Deliberately NOT used by Timer (kernel benchmarking stays on the raw
+/// steady clock): Clock meters *scheduling* time — how long a query sat in
+/// the admission queue — not kernel time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowNanos() const = 0;
+
+  /// Process-wide wall source backed by std::chrono::steady_clock.
+  static Clock* Steady();
+};
+
+/// Real time.
+class SteadyClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+inline Clock* Clock::Steady() {
+  static SteadyClock instance;
+  return &instance;
+}
+
+/// Manually-advanced time for deterministic scheduler tests: time moves
+/// only when the test says so, so a recorded queue wait equals exactly the
+/// nanoseconds the test advanced while the waiter was parked.
+class FakeClock final : public Clock {
+ public:
+  FakeClock() = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(FakeClock);
+
+  uint64_t NowNanos() const override {
+    return now_nanos_.load(std::memory_order_seq_cst);
+  }
+  void AdvanceNanos(uint64_t delta) {
+    now_nanos_.fetch_add(delta, std::memory_order_seq_cst);
+  }
+  void AdvanceMillis(uint64_t ms) { AdvanceNanos(ms * 1'000'000ull); }
+
+ private:
+  std::atomic<uint64_t> now_nanos_{0};
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_CLOCK_H_

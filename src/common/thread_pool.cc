@@ -1,10 +1,27 @@
 #include "common/thread_pool.h"
 
+#include <memory>
+#include <utility>
+
 namespace radix {
 
 namespace {
 std::atomic<uint64_t> g_pools_constructed{0};
+
+/// Ambient scheduling class of this thread; tasks inherit it at Submit
+/// time and workers adopt a task's class while running it, so chained
+/// submissions stay in the originating query's class.
+thread_local ThreadPool::Priority tl_priority = ThreadPool::Priority::kNormal;
 }  // namespace
+
+ThreadPool::Priority ThreadPool::CurrentPriority() { return tl_priority; }
+
+ThreadPool::ScopedPriority::ScopedPriority(Priority priority)
+    : previous_(tl_priority) {
+  tl_priority = priority;
+}
+
+ThreadPool::ScopedPriority::~ScopedPriority() { tl_priority = previous_; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   g_pools_constructed.fetch_add(1, std::memory_order_relaxed);
@@ -24,17 +41,33 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::RunTask(Task& task) {
+  Priority previous = tl_priority;
+  tl_priority = task.priority;
+  task.fn();
+  tl_priority = previous;
+}
+
+bool ThreadPool::PopTaskLocked(Task* task) {
+  for (auto& queue : queues_) {
+    if (!queue.empty()) {
+      *task = std::move(queue.front());
+      queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stop_ || !QueuesEmptyLocked(); });
+      if (!PopTaskLocked(&task)) return;  // stop_ and drained
     }
-    task();
+    RunTask(task);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -44,27 +77,31 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(tl_priority, std::move(task));
+}
+
+void ThreadPool::Submit(Priority priority, std::function<void()> task) {
   if (workers_.empty()) {
-    task();  // size-1 pool: inline, in submission order
+    Task t{std::move(task), priority};
+    RunTask(t);  // size-1 pool: inline, in submission order
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queues_[static_cast<size_t>(priority)].push_back(
+        Task{std::move(task), priority});
     ++in_flight_;
   }
   work_cv_.notify_one();
 }
 
 bool ThreadPool::TryRunOneTask() {
-  std::function<void()> task;
+  Task task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
+    if (!PopTaskLocked(&task)) return false;
   }
-  task();
+  RunTask(task);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
@@ -79,27 +116,68 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  // Shared index counter: each participant claims the next unclaimed item,
-  // so expensive items (large clusters) do not serialize behind a static
-  // partition.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto drain = [next, n, &body] {
-    for (;;) {
-      size_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      body(i);
+
+  // Per-call completion group. Queued helpers are *grains*: each claims
+  // exactly one index, runs it, re-enqueues itself if indices remain, and
+  // yields the queue in between — so the FIFO interleaves grains of
+  // concurrent ParallelFor calls and a long phase cannot occupy a worker
+  // beyond one grain. The group outlives the call via shared_ptr: a
+  // straggler grain that runs after completion claims an index >= total
+  // and returns without touching `body` (which lives on the caller's
+  // stack and is only dereferenced for indices < total, all of which
+  // complete before the caller returns).
+  struct Group {
+    std::atomic<size_t> next{0};
+    size_t total = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+    std::function<void()> grain;
+  };
+  auto group = std::make_shared<Group>();
+  group->total = n;
+  group->body = &body;
+  const Priority priority = tl_priority;
+  group->grain = [this, group, priority] {
+    size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= group->total) return;
+    (*group->body)(i);
+    // Re-enqueue before counting the index done: the pool strictly
+    // outlives the queries running on it, so a Submit racing the caller's
+    // return is safe, and this order keeps a helper slot alive until the
+    // index space is drained.
+    if (group->next.load(std::memory_order_relaxed) < group->total) {
+      Submit(priority, group->grain);
+    }
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (++group->done == group->total) group->cv.notify_all();
     }
   };
-  size_t helpers = std::min(workers_.size(), n - 1);
-  for (size_t t = 0; t < helpers; ++t) Submit(drain);
-  drain();  // the calling thread participates
-  Wait();
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t t = 0; t < helpers; ++t) Submit(priority, group->grain);
+
+  // The calling thread claims indices directly (no queue round-trip): its
+  // query makes progress — and completes — even when every worker is busy
+  // with other queries' grains.
+  for (;;) {
+    size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= group->total) break;
+    body(i);
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (++group->done == group->total) group->cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->cv.wait(lock, [&group] { return group->done == group->total; });
 }
 
 size_t ThreadPool::DefaultThreads() {

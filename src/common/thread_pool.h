@@ -1,6 +1,7 @@
 #ifndef RADIX_COMMON_THREAD_POOL_H_
 #define RADIX_COMMON_THREAD_POOL_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -15,18 +16,42 @@
 
 namespace radix {
 
-/// Fixed-size worker pool with a FIFO task queue, built for the parallel
-/// radix kernels: the unit of work is a cluster (or a window range of the
-/// result), and threads pull work items off a shared queue so skewed
-/// cluster sizes self-balance.
+/// Fixed-size worker pool with a two-level FIFO task queue, built for the
+/// parallel radix kernels *and* for many concurrent queries sharing one
+/// pool: the unit of work is a bounded grain (one cluster, one window range,
+/// one streamed chunk stage), and threads pull grains off the shared queue
+/// so skewed grain sizes self-balance and no query can monopolise a worker
+/// for longer than one grain.
 ///
 /// A pool of size 1 spawns no threads at all: every task and ParallelFor
 /// body runs inline on the calling thread, in submission/index order. This
 /// makes `num_threads == 1` exactly the serial code path (same instruction
 /// stream, tracer-safe), which is what lets the property tests assert the
 /// parallel kernels bit-identical against it.
+///
+/// Concurrency contract (the morsel scheduler underneath engine::Engine):
+///  * Submit / ParallelFor / TryRunOneTask may be called from any number of
+///    threads concurrently.
+///  * ParallelFor is a per-call completion group: it returns when *its own*
+///    n bodies finished, regardless of what other callers queued — under
+///    concurrent queries the old pool-wide Wait() could block forever.
+///  * Each queued ParallelFor grain runs exactly one body index and then
+///    re-enqueues itself, yielding the FIFO queue between grains, so grains
+///    of concurrent queries interleave instead of one 8M-row phase draining
+///    to completion first.
+///  * The calling thread always participates in its own ParallelFor by
+///    claiming indices directly; a query therefore completes even when
+///    every worker is busy with other queries (no starvation of admitted
+///    work).
 class ThreadPool {
  public:
+  /// Scheduling class of a task. kHigh drains strictly before kNormal, so
+  /// point-ish queries overtake the queued grains of heavy queries at every
+  /// grain boundary (they never preempt a *running* grain — grains are
+  /// bounded instead).
+  enum class Priority : uint8_t { kHigh = 0, kNormal = 1 };
+  static constexpr size_t kNumPriorities = 2;
+
   /// Spawns `num_threads - 1` workers (the calling thread is the remaining
   /// participant in ParallelFor). num_threads == 0 is clamped to 1.
   explicit ThreadPool(size_t num_threads);
@@ -36,27 +61,57 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size() + 1; }
 
-  /// Enqueue one task. Tasks may run on any worker (or on the calling
-  /// thread for a size-1 pool, in which case Submit runs it inline).
+  /// Enqueue one task at the calling thread's ambient priority (see
+  /// ScopedPriority). Tasks may run on any worker (or on the calling thread
+  /// for a size-1 pool, in which case Submit runs it inline).
   void Submit(std::function<void()> task);
 
-  /// Block until every task submitted so far has finished.
+  /// Enqueue one task at an explicit priority.
+  void Submit(Priority priority, std::function<void()> task);
+
+  /// Block until every task submitted so far — by anyone — has finished.
+  /// Pool-wide; prefer ParallelFor's built-in per-call completion under
+  /// concurrent queries.
   void Wait();
 
-  /// Pop and run one queued task on the calling thread, if any; returns
-  /// whether a task ran. Lets a coordinator thread that is otherwise
-  /// blocked waiting on Submit-driven work (e.g. the streaming executor's
-  /// ring) contribute instead of idling, so all num_threads participate.
+  /// Pop and run one queued task (highest priority first) on the calling
+  /// thread, if any; returns whether a task ran. Lets a coordinator thread
+  /// that is otherwise blocked waiting on Submit-driven work (e.g. the
+  /// streaming executor's ring) contribute instead of idling, so all
+  /// num_threads participate.
   bool TryRunOneTask();
 
   /// Run body(i) for every i in [0, n). Work items are claimed dynamically
   /// off a shared counter (a work queue over indices), so uneven item costs
   /// — e.g. skewed cluster sizes — balance across threads. The calling
-  /// thread participates. Blocks until all n items are done.
+  /// thread participates. Blocks until all n items are done — and only
+  /// this call's items: concurrent ParallelFor calls from other threads
+  /// each track their own completion.
   ///
   /// Not reentrant: do not call ParallelFor (or Submit+Wait) from inside a
   /// body running on this pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// The ambient priority of the calling thread: what Submit(task) and
+  /// ParallelFor enqueue at. Defaults to kNormal; set with ScopedPriority.
+  /// Worker threads inherit the priority of the task they are running, so
+  /// chained submissions (a gather task enqueueing its sink) stay in the
+  /// query's class.
+  static Priority CurrentPriority();
+
+  /// RAII ambient-priority override for the calling thread. The engine
+  /// wraps a query's execution in one of these; every grain the query's
+  /// kernels enqueue then carries the query's class without threading a
+  /// priority argument through every kernel signature.
+  class ScopedPriority {
+   public:
+    explicit ScopedPriority(Priority priority);
+    ~ScopedPriority();
+    RADIX_DISALLOW_COPY_AND_ASSIGN(ScopedPriority);
+
+   private:
+    Priority previous_;
+  };
 
   /// Default parallelism for callers that pass num_threads == 0: the
   /// hardware concurrency, or 1 when it cannot be determined.
@@ -68,13 +123,25 @@ class ThreadPool {
   static uint64_t TotalConstructed();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    Priority priority = Priority::kNormal;
+  };
+
   void WorkerLoop();
+  /// Run one task with the worker's ambient priority set to the task's.
+  static void RunTask(Task& task);
+  /// Pop the front task, highest priority first. Caller holds mu_.
+  bool PopTaskLocked(Task* task);
+  bool QueuesEmptyLocked() const {
+    return queues_[0].empty() && queues_[1].empty();
+  }
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;   ///< signalled when tasks arrive / stop
   std::condition_variable idle_cv_;   ///< signalled when a task completes
-  std::deque<std::function<void()>> queue_;
+  std::array<std::deque<Task>, kNumPriorities> queues_;
   size_t in_flight_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;
 };

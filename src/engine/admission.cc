@@ -1,0 +1,71 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace radix::engine {
+
+Status AdmissionController::Admit(size_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (budget_ == 0) {
+    // Gating disabled: admit immediately but keep the books, so Stats()
+    // reports real reservation pressure even on an unlimited engine.
+    ++stats_.admitted;
+    stats_.reserved_bytes += bytes;
+    stats_.peak_reserved_bytes =
+        std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+    return Status::OK();
+  }
+  if (bytes > budget_) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "query needs " + std::to_string(bytes) +
+        " bytes of intermediates but the admission budget is only " +
+        std::to_string(budget_) +
+        " bytes; it could never be admitted (raise "
+        "EngineConfig::admission_budget_bytes or stream with a smaller "
+        "chunk)");
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  bool waited = false;
+  uint64_t parked_at = 0;
+  while (ticket != serving_ || stats_.reserved_bytes + bytes > budget_) {
+    if (!waited) {
+      waited = true;
+      parked_at = clock_->NowNanos();
+      ++stats_.queued;
+      ++stats_.waiting;
+    }
+    cv_.wait(lock);
+  }
+  if (waited) {
+    --stats_.waiting;
+    stats_.total_queue_wait_nanos += clock_->NowNanos() - parked_at;
+  }
+  ++serving_;  // hand the head of the queue to the next arrival
+  ++stats_.admitted;
+  stats_.reserved_bytes += bytes;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+  // The next ticket may already fit (e.g. a zero-byte reservation): wake
+  // the queue so it can check.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RADIX_CHECK(stats_.reserved_bytes >= bytes);
+    stats_.reserved_bytes -= bytes;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace radix::engine

@@ -1,0 +1,77 @@
+#ifndef RADIX_ENGINE_ADMISSION_H_
+#define RADIX_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace radix::engine {
+
+/// Snapshot of the admission controller's counters (Engine::Stats()).
+struct AdmissionStats {
+  uint64_t admitted = 0;   ///< queries that passed admission (incl. waiters)
+  uint64_t queued = 0;     ///< queries that had to wait for budget/turn
+  uint64_t rejected = 0;   ///< fail-fast: reservation larger than the budget
+  size_t waiting = 0;      ///< queries parked in the queue right now
+  size_t reserved_bytes = 0;       ///< bytes reserved by running queries
+  size_t peak_reserved_bytes = 0;  ///< high-water mark of reserved_bytes
+  uint64_t total_queue_wait_nanos = 0;  ///< summed park time of all waiters
+};
+
+/// Memory-budget admission gate in front of Engine::Execute(): each query
+/// reserves its modeled peak intermediate bytes before running and releases
+/// them after, so the sum of in-flight intermediates — the thing the
+/// streaming MemoryGauge measures — never exceeds the budget no matter how
+/// many client threads call Execute() concurrently.
+///
+/// Queueing is strict FIFO on arrival order (ticket numbers): a query waits
+/// until it is the head of the queue AND its reservation fits, so small
+/// queries cannot starve a large one indefinitely (fairness) and a large
+/// one cannot be overtaken forever (no livelock). Deadlock-free by
+/// construction: admitted queries always complete — the pool's per-call
+/// ParallelFor groups guarantee the admitting thread can drive its own
+/// work to completion — so reservations always come back and the head of
+/// the queue always eventually fits (a reservation that can *never* fit,
+/// i.e. bytes > budget, is rejected immediately with ResourceExhausted
+/// instead of queueing forever).
+///
+/// budget_bytes == 0 disables gating: everything admits immediately
+/// (reservations are still counted, so Stats() stays meaningful).
+class AdmissionController {
+ public:
+  explicit AdmissionController(size_t budget_bytes, Clock* clock = nullptr)
+      : budget_(budget_bytes),
+        clock_(clock != nullptr ? clock : Clock::Steady()) {}
+  RADIX_DISALLOW_COPY_AND_ASSIGN(AdmissionController);
+
+  /// Reserve `bytes` against the budget; blocks (FIFO) until it fits.
+  /// Fails fast with kResourceExhausted — without queueing — when bytes
+  /// alone exceed the whole budget: such a query could otherwise park at
+  /// the head of the queue forever and deadlock everyone behind it.
+  Status Admit(size_t bytes);
+
+  /// Return a previous Admit()'s reservation and wake the queue.
+  void Release(size_t bytes);
+
+  size_t budget_bytes() const { return budget_; }
+  AdmissionStats Stats() const;
+
+ private:
+  const size_t budget_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;  ///< arrival order
+  uint64_t serving_ = 0;      ///< ticket currently allowed to admit
+  AdmissionStats stats_;
+};
+
+}  // namespace radix::engine
+
+#endif  // RADIX_ENGINE_ADMISSION_H_

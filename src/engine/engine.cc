@@ -9,6 +9,7 @@
 #include "common/bits.h"
 #include "common/thread_pool.h"
 #include "decluster/window.h"
+#include "engine/plan_cache.h"
 #include "project/planner.h"
 
 namespace radix::engine {
@@ -31,7 +32,9 @@ const char* ModeName(bool streaming) {
 
 }  // namespace
 
-Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      admission_(config_.admission_budget_bytes, config_.clock) {
   hw_ = config_.hierarchy.caches.empty()
             ? hardware::MemoryHierarchy::Detect()
             : config_.hierarchy;
@@ -45,6 +48,7 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   size_t threads = config_.num_threads;
   if (threads == 0) threads = ThreadPool::DefaultThreads();
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_capacity);
 }
 
 Engine::~Engine() = default;
@@ -60,6 +64,14 @@ Engine& Engine::Default() {
 
 PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                               const QuerySpec& spec) const {
+  // A repeated plan-affecting shape (see PlanCacheKey) skips planning,
+  // cost-model evaluation and hardware-profile lookups entirely: every
+  // other Prepare() input is fixed for the life of this engine.
+  const std::string cache_key = PlanCacheKey(workload, spec);
+  Explanation cached;
+  if (plan_cache_->Lookup(cache_key, &cached)) {
+    return PreparedQuery(this, &workload, spec, std::move(cached));
+  }
   const hardware::MemoryHierarchy& hw = hw_;
   const costmodel::CpuCosts& cpu = config_.cpu_costs;
   const size_t n_left = workload.dsm_left.cardinality();
@@ -82,6 +94,12 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
   Explanation ex;
   ex.strategy = spec.strategy;
   ex.threads = num_threads();
+  ex.estimated_result_rows = n_index;
+  // Point-ish queries (small inputs and result) run their grains at high
+  // priority on the shared pool, overtaking heavy queries' queued grains
+  // at every grain boundary.
+  ex.high_priority = std::max({n_left, n_right, n_index}) <=
+                     config_.point_query_rows_threshold;
   ex.varchar_cols = var_l + var_r;
   if (ex.varchar_cols > 0) {
     size_t values = var_l + var_r;
@@ -387,6 +405,7 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
   ex.modeled_seconds = ex.join_cost.seconds + ex.cluster_cost.seconds +
                        ex.projection_cost.seconds + ex.decluster_cost.seconds +
                        ex.varchar_decluster_cost.seconds;
+  plan_cache_->Insert(cache_key, ex);
   return PreparedQuery(this, &workload, spec, std::move(ex));
 }
 
@@ -447,11 +466,39 @@ project::QueryRun Engine::Execute(const workload::JoinWorkload& workload,
   return Prepare(workload, spec).Execute();
 }
 
-project::QueryRun PreparedQuery::Execute() const {
-  const Explanation& ex = explanation_;
+EngineStats Engine::Stats() const {
+  EngineStats s;
+  s.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+  PlanCacheStats pc = plan_cache_->Stats();
+  s.plan_cache_hits = pc.hits;
+  s.plan_cache_misses = pc.misses;
+  s.plan_cache_entries = pc.entries;
+  s.admission = admission_.Stats();
+  return s;
+}
+
+Status Engine::ExecutePrepared(const PreparedQuery& query,
+                               project::QueryRun* out) const {
+  const Explanation& ex = query.explanation_;
+  const QuerySpec& spec = query.spec_;
+
+  // Admission: reserve the plan's peak intermediate bytes before touching
+  // any shared resource. Blocks FIFO behind earlier arrivals when the
+  // budget is full; admitted queries always complete (the calling thread
+  // drives its own grains), so the reservation always comes back.
+  const size_t admission_bytes = ex.modeled_intermediate_bytes;
+  Status admit = admission_.Admit(admission_bytes);
+  if (!admit.ok()) return admit;
+
+  // Grains this query enqueues on the shared pool — kernel ParallelFor
+  // morsels and streamed chunk stages alike — inherit its class.
+  ThreadPool::ScopedPriority priority(ex.high_priority
+                                          ? ThreadPool::Priority::kHigh
+                                          : ThreadPool::Priority::kNormal);
+
   project::QueryOptions options;
-  options.pi_left = spec_.pi_left;
-  options.pi_right = spec_.pi_right;
+  options.pi_left = spec.pi_left;
+  options.pi_right = spec.pi_right;
   // The prepared plan's sides, execution mode and chunk size execute
   // verbatim, so Explain() and the run can never disagree on them. The
   // radix bits and insertion window are forwarded as the spec gave them
@@ -460,23 +507,40 @@ project::QueryRun PreparedQuery::Execute() const {
   // the workload's estimate — pinning Explain's values instead would
   // diverge from the legacy executors whenever estimate != actual,
   // breaking byte-identity for no planning benefit.
-  options.pi_varchar_left = spec_.pi_varchar_left;
-  options.pi_varchar_right = spec_.pi_varchar_right;
+  options.pi_varchar_left = spec.pi_varchar_left;
+  options.pi_varchar_right = spec.pi_varchar_right;
   options.plan_sides = false;
   options.left = ex.side_options.left;
   options.right = ex.side_options.right;
   options.left_bits = ex.side_options.left_bits;
   options.right_bits = ex.side_options.right_bits;
   options.window_elems = ex.side_options.window_elems;
-  options.num_threads = engine_->num_threads();
-  options.pool = engine_->pool();
+  options.num_threads = num_threads();
+  options.pool = pool_.get();
   options.chunk_rows = ex.chunk_rows;
-  project::QueryRun run =
-      ex.streaming
-          ? project::RunQueryStreaming(*workload_, spec_.strategy, options,
-                                       engine_->hierarchy())
-          : project::RunQuery(*workload_, spec_.strategy, options,
-                              engine_->hierarchy());
+  options.gauge = config_.gauge;
+  *out = ex.streaming
+             ? project::RunQueryStreaming(*query.workload_, spec.strategy,
+                                          options, hw_)
+             : project::RunQuery(*query.workload_, spec.strategy, options,
+                                 hw_);
+  admission_.Release(admission_bytes);
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PreparedQuery::Execute(project::QueryRun* out) const {
+  return engine_->ExecutePrepared(*this, out);
+}
+
+project::QueryRun PreparedQuery::Execute() const {
+  project::QueryRun run;
+  Status status = engine_->ExecutePrepared(*this, &run);
+  if (!status.ok()) {
+    std::fprintf(stderr, "Engine::Execute failed: %s\n",
+                 status.ToString().c_str());
+  }
+  RADIX_CHECK(status.ok());
   return run;
 }
 
@@ -494,6 +558,8 @@ std::string Explanation::ToString() const {
   }
   s += ", threads=";
   s += std::to_string(threads);
+  s += ", priority=";
+  s += high_priority ? "high" : "normal";
   if (decluster_bits != 0) {
     s += "\nradix plan: B=";
     s += std::to_string(decluster_bits);

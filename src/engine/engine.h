@@ -1,14 +1,18 @@
 #ifndef RADIX_ENGINE_ENGINE_H_
 #define RADIX_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "common/clock.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "costmodel/models.h"
+#include "engine/admission.h"
 #include "hardware/calibrator.h"
 #include "hardware/memory_hierarchy.h"
 #include "project/dsm_post.h"
@@ -19,6 +23,10 @@
 namespace radix {
 class ThreadPool;
 }  // namespace radix
+
+namespace radix::pipeline {
+class MemoryGauge;
+}  // namespace radix::pipeline
 
 /// The session-scoped public entry point of the library (paper §1.1's
 /// architecture): a process builds one Engine from an EngineConfig — which
@@ -74,6 +82,50 @@ struct EngineConfig {
   /// where StreamingRadixDeclusterCost says the overhead turns into a
   /// cliff). 0 (default) = unlimited, i.e. kAuto materializes.
   size_t streaming_budget_bytes = 0;
+
+  /// Concurrent-serving knobs. Execute() is safe to call from any number
+  /// of client threads; these control how the shared session resources are
+  /// arbitrated between them.
+
+  /// Admission budget for Execute(): each query reserves its modeled peak
+  /// intermediate bytes (Explanation::modeled_intermediate_bytes) before
+  /// running and concurrent queries queue FIFO when the sum would exceed
+  /// this. A query whose reservation alone exceeds the whole budget fails
+  /// fast with kResourceExhausted instead of deadlocking the queue.
+  /// 0 (default) = no gating. Pairs naturally with streaming_budget_bytes:
+  /// that knob shrinks a single query's footprint, this one bounds the sum
+  /// of all in-flight footprints.
+  size_t admission_budget_bytes = 0;
+  /// Plan-cache entries (LRU): repeated Prepare() calls with the same
+  /// plan-affecting (workload, spec) shape skip planning and cost-model
+  /// evaluation. 0 disables the cache.
+  size_t plan_cache_capacity = 64;
+  /// Queries whose workload (and estimated result) stay at or under this
+  /// many rows run their grains at ThreadPool::Priority::kHigh, so
+  /// point-ish queries overtake the queued grains of heavy queries at
+  /// grain boundaries instead of waiting behind whole phases.
+  size_t point_query_rows_threshold = size_t{1} << 16;
+  /// Gauge the streaming pipelines of this engine's queries register their
+  /// ring-buffer bytes with; nullptr = the process-wide
+  /// pipeline::MemoryGauge::Instance(). Inject a private gauge to assert
+  /// (as the admission tests do) that measured intermediate bytes never
+  /// exceed admission_budget_bytes.
+  pipeline::MemoryGauge* gauge = nullptr;
+  /// Time source for admission queue-wait accounting; nullptr = the real
+  /// steady clock. Tests inject a FakeClock for deterministic wait-time
+  /// assertions.
+  Clock* clock = nullptr;
+};
+
+/// Counters of the concurrent-serving machinery, snapshot via
+/// Engine::Stats(). All monotonic except the gauges noted in
+/// AdmissionStats.
+struct EngineStats {
+  uint64_t queries_executed = 0;  ///< Execute() calls that ran to completion
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  size_t plan_cache_entries = 0;
+  AdmissionStats admission;
 };
 
 /// What a query asks for; cardinalities come from the workload at
@@ -136,6 +188,12 @@ struct Explanation {
   bool streaming = false;
   size_t chunk_rows = 0;
   size_t threads = 1;
+  /// Estimated result rows (the workload's expectation at Prepare time).
+  size_t estimated_result_rows = 0;
+  /// Point-ish classification: this query's grains run at
+  /// ThreadPool::Priority::kHigh on the shared pool (see
+  /// EngineConfig::point_query_rows_threshold).
+  bool high_priority = false;
   /// Peak bytes of the projection phase's value intermediates under the
   /// chosen mode (0 when the strategy materializes no side intermediate).
   size_t modeled_intermediate_bytes = 0;
@@ -177,7 +235,20 @@ class PreparedQuery {
   /// execution mode and chunk size run verbatim; radix bits and window
   /// re-derive at execution from the actual join cardinality (Explain()
   /// models them from the workload's estimate) under the same rules.
+  ///
+  /// Thread-safe: any number of client threads may Execute() prepared
+  /// queries of the same engine concurrently. Each call passes the
+  /// engine's admission gate (FIFO memory-budget queue — it may block
+  /// until earlier queries release their reservations), then runs with
+  /// its grains scheduled on the shared session pool at the plan's
+  /// priority. Aborts the process if admission rejects the query; use the
+  /// Status overload when a rejection must be handled.
   project::QueryRun Execute() const;
+
+  /// Status-returning Execute: *out receives the result on OK. Returns
+  /// kResourceExhausted — quickly, without queueing — when the engine has
+  /// an admission budget and this query's reservation alone exceeds it.
+  Status Execute(project::QueryRun* out) const;
 
  private:
   friend class Engine;
@@ -193,6 +264,8 @@ class PreparedQuery {
   QuerySpec spec_;
   Explanation explanation_;
 };
+
+class PlanCache;
 
 class Engine {
  public:
@@ -214,6 +287,8 @@ class Engine {
 
   /// Plan the query: resolve side strategies, radix/chunk parameters and
   /// execution mode, and model their cost — all before anything runs.
+  /// Thread-safe; consults the plan cache first, so a repeated
+  /// plan-affecting shape costs one lookup instead of a planning pass.
   PreparedQuery Prepare(const workload::JoinWorkload& workload,
                         const QuerySpec& spec) const;
 
@@ -221,11 +296,21 @@ class Engine {
   project::QueryRun Execute(const workload::JoinWorkload& workload,
                             const QuerySpec& spec) const;
 
+  /// Counters of the serving machinery: plan-cache hits/misses, admission
+  /// queue/rejection/reservation stats, executed-query count. Thread-safe
+  /// snapshot.
+  EngineStats Stats() const;
+
   /// The process-wide default engine backing one-shot callers: serial,
   /// detected hardware, no calibration. Constructed on first use.
   static Engine& Default();
 
  private:
+  friend class PreparedQuery;
+
+  /// The admission-gated execution path behind both Execute overloads.
+  Status ExecutePrepared(const PreparedQuery& query,
+                         project::QueryRun* out) const;
   /// Resolve materializing vs streaming (and the chunk size) for a
   /// decluster-side plan from the resolved chunking policy, the streaming
   /// budget and StreamingRadixDeclusterCost; fills the mode fields of `ex`.
@@ -236,6 +321,12 @@ class Engine {
   EngineConfig config_;
   hardware::MemoryHierarchy hw_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Serving state; mutable because Prepare()/Execute() are logically
+  /// const (they do not change what any query computes) but count and
+  /// arbitrate. Each is internally synchronized.
+  mutable AdmissionController admission_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  mutable std::atomic<uint64_t> queries_executed_{0};
 };
 
 }  // namespace radix::engine

@@ -1,0 +1,81 @@
+#include "engine/plan_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace radix::engine {
+
+std::string PlanCacheKey(const workload::JoinWorkload& workload,
+                         const QuerySpec& spec) {
+  // The workload quantities Prepare() reads: cardinalities and the result
+  // estimate feed every cost term, num_attrs() sets the NSM record width,
+  // and the varchar columns' availability and average lengths drive the
+  // §5 paged-decluster terms. Average lengths are keyed per requested
+  // column count because that is exactly what AverageVarcharBytes folds.
+  const size_t avg_var_l = workload::AverageVarcharBytes(
+      workload.left_varchars, spec.pi_varchar_left);
+  const size_t avg_var_r = workload::AverageVarcharBytes(
+      workload.right_varchars, spec.pi_varchar_right);
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "nl=%zu;nr=%zu;ni=%zu;w=%zu;vl=%zu;vr=%zu;avl=%zu;avr=%zu|"
+      "s=%u;pl=%zu;pr=%zu;pvl=%zu;pvr=%zu;ps=%u;l=%u;r=%u;lb=%" PRIu32
+      ";rb=%" PRIu32 ";we=%zu;ch=%u;cr=%zu",
+      workload.dsm_left.cardinality(), workload.dsm_right.cardinality(),
+      workload.expected_result_size, workload.dsm_left.num_attrs(),
+      workload.left_varchars.size(), workload.right_varchars.size(),
+      avg_var_l, avg_var_r, static_cast<unsigned>(spec.strategy),
+      spec.pi_left, spec.pi_right, spec.pi_varchar_left,
+      spec.pi_varchar_right, static_cast<unsigned>(spec.plan_sides),
+      static_cast<unsigned>(spec.left), static_cast<unsigned>(spec.right),
+      static_cast<uint32_t>(spec.left_bits),
+      static_cast<uint32_t>(spec.right_bits), spec.window_elems,
+      static_cast<unsigned>(spec.chunking), spec.chunk_rows);
+  return std::string(buf);
+}
+
+bool PlanCache::Lookup(const std::string& key, Explanation* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  *out = it->second->second;
+  return true;
+}
+
+void PlanCache::Insert(const std::string& key, const Explanation& explanation) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent Prepare of the same shape raced us here; refresh.
+    it->second->second = explanation;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, explanation);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace radix::engine

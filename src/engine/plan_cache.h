@@ -1,0 +1,74 @@
+#ifndef RADIX_ENGINE_PLAN_CACHE_H_
+#define RADIX_ENGINE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+#include "engine/engine.h"
+
+namespace radix::engine {
+
+/// Snapshot of the plan cache's counters (Engine::Stats()).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// The cache key of one Prepare() call: every plan-affecting input, i.e.
+/// every QuerySpec field plus the workload quantities the planner and cost
+/// model read (cardinalities, estimated result size, record width, varchar
+/// column counts and average lengths). Everything *else* Prepare() depends
+/// on — hierarchy, thread count, chunking policy, streaming budget — is
+/// fixed at Engine construction, and the cache is per-engine, so it is
+/// deliberately not in the key.
+///
+/// Exposed so the property tests can assert the contract directly: two
+/// (workload, spec) pairs differing in any plan-affecting field map to
+/// different keys.
+std::string PlanCacheKey(const workload::JoinWorkload& workload,
+                         const QuerySpec& spec);
+
+/// Thread-safe LRU map PlanCacheKey -> Explanation, sitting under
+/// Engine::Prepare() so a repeated query shape skips planning, cost-model
+/// evaluation and hardware-profile lookups entirely. capacity == 0
+/// disables caching (every Prepare is a counted miss and nothing is
+/// stored).
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  RADIX_DISALLOW_COPY_AND_ASSIGN(PlanCache);
+
+  /// On hit, copies the cached Explanation into *out, refreshes LRU order
+  /// and counts a hit; counts a miss otherwise.
+  bool Lookup(const std::string& key, Explanation* out);
+
+  /// Insert (or refresh) the plan for `key`, evicting the least recently
+  /// used entry when over capacity. No-op when the cache is disabled.
+  void Insert(const std::string& key, const Explanation& explanation);
+
+  PlanCacheStats Stats() const;
+
+ private:
+  using Entry = std::pair<std::string, Explanation>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace radix::engine
+
+#endif  // RADIX_ENGINE_PLAN_CACHE_H_

@@ -56,16 +56,19 @@ ChunkPlan MakeRowChunks(size_t n, size_t target_rows) {
 }
 
 ChunkArena::~ChunkArena() {
-  MemoryGauge::Instance().Sub(data_.size_bytes());
+  if (gauge_ != nullptr) gauge_->Sub(data_.size_bytes());
 }
 
-void ChunkArena::Reset(size_t columns, size_t capacity_rows) {
-  MemoryGauge& gauge = MemoryGauge::Instance();
-  gauge.Sub(data_.size_bytes());
+void ChunkArena::Reset(size_t columns, size_t capacity_rows,
+                       MemoryGauge* gauge) {
+  if (gauge == nullptr) gauge = &MemoryGauge::Instance();
+  // A re-Reset against a different gauge moves the existing bytes over.
+  if (gauge_ != nullptr) gauge_->Sub(data_.size_bytes());
+  gauge_ = gauge;
   columns_ = columns;
   capacity_rows_ = capacity_rows;
   data_.Resize(columns * capacity_rows);
-  gauge.Add(data_.size_bytes());
+  gauge_->Add(data_.size_bytes());
 }
 
 }  // namespace radix::pipeline

@@ -11,6 +11,8 @@
 
 namespace radix::pipeline {
 
+class MemoryGauge;
+
 /// One unit of streamed work: a contiguous range of the (clustered) input
 /// arrays. For cluster-aligned plans, rows [row_begin, row_end) are exactly
 /// clusters [cluster_begin, cluster_end) of the borders the plan was built
@@ -58,8 +60,13 @@ class ChunkArena {
   ~ChunkArena();
   RADIX_DISALLOW_COPY_AND_ASSIGN(ChunkArena);
 
-  /// (Re)allocate; registers the byte delta with MemoryGauge::Instance().
-  void Reset(size_t columns, size_t capacity_rows);
+  /// (Re)allocate; registers the byte delta with `gauge`, or with the
+  /// process-wide MemoryGauge::Instance() when gauge is nullptr. The arena
+  /// remembers the gauge so the destructor unregisters against the same
+  /// one — which is how an engine's private admission gauge sees exactly
+  /// its own queries' ring buffers.
+  void Reset(size_t columns, size_t capacity_rows,
+             MemoryGauge* gauge = nullptr);
 
   value_t* column(size_t a) {
     RADIX_DCHECK(a < columns_);
@@ -77,6 +84,7 @@ class ChunkArena {
   storage::Column<value_t> data_;
   size_t columns_ = 0;
   size_t capacity_rows_ = 0;
+  MemoryGauge* gauge_ = nullptr;  ///< resolved at Reset; Instance() default
 };
 
 /// What a stage receives: the chunk descriptor plus the slot's arena.

@@ -28,7 +28,8 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
 
   std::vector<WorkChunk> ring(slots);
   for (WorkChunk& c : ring) {
-    c.arena.Reset(options_.buffer_columns, options_.buffer_rows);
+    c.arena.Reset(options_.buffer_columns, options_.buffer_rows,
+                  options_.gauge);
   }
 
   if (!threaded) {

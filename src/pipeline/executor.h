@@ -41,6 +41,11 @@ struct ExecutorOptions {
   /// nullptr (or a size-1 pool) runs every stage inline on the calling
   /// thread, in chunk order — the exact reference pipeline.
   ThreadPool* pool = nullptr;
+  /// Gauge the ring arenas register their bytes with; nullptr = the
+  /// process-wide MemoryGauge::Instance(). An engine serving concurrent
+  /// queries injects its admission gauge here so the budget it gates
+  /// Execute() on is the same instrument the buffers report to.
+  MemoryGauge* gauge = nullptr;
 };
 
 /// The pull-based chunked executor at the heart of src/pipeline/: pulls

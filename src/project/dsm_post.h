@@ -12,6 +12,10 @@
 #include "storage/dsm.h"
 #include "storage/varchar.h"
 
+namespace radix::pipeline {
+class MemoryGauge;
+}  // namespace radix::pipeline
+
 namespace radix::project {
 
 /// DSM post-projection (paper §3): given a join index, materialize the
@@ -39,6 +43,10 @@ struct DsmPostOptions {
   /// constructed inside the projector; a size-1 pool selects the exact
   /// serial kernels. nullptr (default) = derive a pool from num_threads.
   ThreadPool* pool = nullptr;
+  /// Gauge the streaming projector's ring arenas register with; nullptr =
+  /// the process-wide pipeline::MemoryGauge::Instance(). The materializing
+  /// projector ignores it.
+  pipeline::MemoryGauge* gauge = nullptr;
 };
 
 /// Variable-size columns riding along a DSM post-projection (paper §5):

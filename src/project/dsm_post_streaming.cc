@@ -49,6 +49,7 @@ storage::DsmResult DsmPostProjectStreaming(
 
   pipeline::ExecutorOptions xopts;
   xopts.pool = pool;
+  xopts.gauge = options.gauge;
 
   // Left projections preserve the (reordered) index order, so each chunk
   // gathers straight into its row range of the result — no intermediates.

@@ -182,6 +182,7 @@ join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
   popts->right_bits = options.right_bits;
   popts->window_elems = options.window_elems;
   popts->pool = pool;
+  popts->gauge = options.gauge;
   // An injected pool owns the thread count outright: pin num_threads to its
   // size so a size-1 injected pool (pool == nullptr after resolution) can
   // never fall back to MakePool(num_threads) downstream and silently run

@@ -13,6 +13,10 @@ namespace radix {
 class ThreadPool;
 }  // namespace radix
 
+namespace radix::pipeline {
+class MemoryGauge;
+}  // namespace radix::pipeline
+
 namespace radix::project {
 
 /// End-to-end run of the paper's project-join query under one overall
@@ -78,6 +82,11 @@ struct QueryOptions {
   /// Chunk size (rows) for RunQueryStreaming's pipeline; 0 = auto, a
   /// cache-sized chunk per column (DefaultChunkRows). RunQuery ignores it.
   size_t chunk_rows = 0;
+  /// Gauge the streaming pipeline's ring buffers register their bytes
+  /// with; nullptr = the process-wide pipeline::MemoryGauge::Instance().
+  /// The engine's admission controller injects its own gauge here so the
+  /// memory it meters is the memory it admitted against.
+  pipeline::MemoryGauge* gauge = nullptr;
 };
 
 /// DEPRECATED — prefer radix::engine::Engine (Prepare/Explain/Execute),
@@ -117,8 +126,12 @@ namespace detail {
 /// life of the process, so repeated RunQuery calls stop paying thread
 /// spawn/teardown. Returns nullptr for num_threads <= 1 (exact serial
 /// kernels); num_threads == 0 resolves to ThreadPool::DefaultThreads().
-/// The pools are not reentrant: like the legacy per-call pools they assume
-/// one query executes at a time per process (see ThreadPool docs).
+/// Thread-safe: the cache itself is mutex-guarded, and the returned pool
+/// may be shared by concurrent legacy callers — ThreadPool::ParallelFor
+/// tracks completion per call (the pool-wide Wait() the old scheduler
+/// used could block a query behind every other query's tasks), so
+/// concurrent RunQuery calls interleave at grain granularity instead of
+/// corrupting or starving each other.
 ThreadPool* SharedPoolFor(size_t num_threads);
 
 }  // namespace detail

@@ -1,0 +1,315 @@
+// Admission-control tests: the AdmissionController directly (FIFO order,
+// fail-fast, fake-clock wait accounting) and through the Engine with an
+// injected tiny budget and a private MemoryGauge, asserting the headline
+// invariant — measured in-flight intermediate bytes never exceed the
+// admission budget, and queries queue instead of over-allocating.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/admission.h"
+#include "engine/engine.h"
+#include "hardware/memory_hierarchy.h"
+#include "pipeline/memory_gauge.h"
+#include "project/executor.h"
+#include "workload/generator.h"
+
+namespace radix::engine {
+namespace {
+
+EngineConfig P4Config(size_t threads) {
+  EngineConfig cfg;
+  cfg.hierarchy = hardware::MemoryHierarchy::Pentium4();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+workload::JoinWorkload MakeW(size_t n, uint64_t seed = 42) {
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = n;
+  spec.num_attrs = 4;
+  spec.hit_rate = 1.0;
+  spec.seed = seed;
+  return workload::MakeJoinWorkload(spec);
+}
+
+/// A spec with the right side pinned to decluster: the plan that carries a
+/// value intermediate (modeled_intermediate_bytes > 0), which is the
+/// currency admission reserves in. At these test sizes the planner would
+/// otherwise classify the columns cache-resident and pick the
+/// intermediate-free clustered plan.
+QuerySpec DeclusterSpec() {
+  QuerySpec spec;
+  spec.plan_sides = false;
+  spec.left = project::SideStrategy::kClustered;
+  spec.right = project::SideStrategy::kDecluster;
+  return spec;
+}
+
+/// Spin until `pred` holds, with a generous deadline so a logic bug fails
+/// the test instead of hanging the suite.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(AdmissionControllerTest, ZeroBudgetAdmitsEverythingButKeepsBooks) {
+  AdmissionController ctl(/*budget_bytes=*/0);
+  EXPECT_TRUE(ctl.Admit(1 << 30).ok());
+  EXPECT_TRUE(ctl.Admit(1 << 30).ok());
+  AdmissionStats s = ctl.Stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.reserved_bytes, size_t{2} << 30);
+  EXPECT_EQ(s.peak_reserved_bytes, size_t{2} << 30);
+  ctl.Release(1 << 30);
+  ctl.Release(1 << 30);
+  EXPECT_EQ(ctl.Stats().reserved_bytes, 0u);
+}
+
+TEST(AdmissionControllerTest, OversizedReservationFailsFast) {
+  AdmissionController ctl(/*budget_bytes=*/100);
+  Status status = ctl.Admit(101);
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  AdmissionStats s = ctl.Stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.admitted, 0u);
+  EXPECT_EQ(s.reserved_bytes, 0u);
+  // An exact-budget reservation is admissible.
+  EXPECT_TRUE(ctl.Admit(100).ok());
+  ctl.Release(100);
+}
+
+TEST(AdmissionControllerTest, WaitersAdmitFifoOnRelease) {
+  AdmissionController ctl(/*budget_bytes=*/100);
+  ASSERT_TRUE(ctl.Admit(60).ok());  // A holds 60
+
+  std::atomic<bool> b_admitted{false};
+  std::atomic<bool> c_admitted{false};
+  std::thread b([&] {
+    ASSERT_TRUE(ctl.Admit(50).ok());  // 60+50 > 100: must wait for A
+    b_admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 1; }));
+
+  std::thread c([&] {
+    ASSERT_TRUE(ctl.Admit(60).ok());  // queued behind B
+    c_admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 2; }));
+  EXPECT_FALSE(b_admitted.load());
+  EXPECT_FALSE(c_admitted.load());
+
+  ctl.Release(60);  // A done: B (50) fits, C (60) must keep waiting
+  ASSERT_TRUE(WaitFor([&] { return b_admitted.load(); }));
+  EXPECT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 1; }));
+  EXPECT_FALSE(c_admitted.load());
+
+  ctl.Release(50);  // B done: C fits
+  ASSERT_TRUE(WaitFor([&] { return c_admitted.load(); }));
+  ctl.Release(60);
+
+  b.join();
+  c.join();
+  AdmissionStats s = ctl.Stats();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.queued, 2u);
+  EXPECT_EQ(s.waiting, 0u);
+  EXPECT_EQ(s.reserved_bytes, 0u);
+  // A released before B could fit, so reservations never overlapped.
+  EXPECT_EQ(s.peak_reserved_bytes, 60u);
+}
+
+TEST(AdmissionControllerTest, StrictFifoSmallQueryWaitsBehindLargeOne) {
+  // C's 10 bytes would fit immediately, but B arrived first and is still
+  // parked — strict FIFO means C waits its turn, which is what keeps a
+  // large query from being overtaken forever.
+  AdmissionController ctl(/*budget_bytes=*/100);
+  ASSERT_TRUE(ctl.Admit(60).ok());  // A
+
+  std::atomic<bool> b_admitted{false};
+  std::atomic<bool> c_admitted{false};
+  std::thread b([&] {
+    ASSERT_TRUE(ctl.Admit(50).ok());
+    b_admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 1; }));
+
+  std::thread c([&] {
+    ASSERT_TRUE(ctl.Admit(10).ok());  // fits, but B is ahead
+    c_admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 2; }));
+  // Bounded negative check: C stays parked while B is parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(c_admitted.load());
+
+  ctl.Release(60);  // B admits, then C right behind it (50+10 <= 100)
+  ASSERT_TRUE(WaitFor([&] { return b_admitted.load(); }));
+  ASSERT_TRUE(WaitFor([&] { return c_admitted.load(); }));
+  ctl.Release(50);
+  ctl.Release(10);
+  b.join();
+  c.join();
+  EXPECT_EQ(ctl.Stats().reserved_bytes, 0u);
+}
+
+TEST(AdmissionControllerTest, FakeClockMetersQueueWaitExactly) {
+  FakeClock clock;
+  AdmissionController ctl(/*budget_bytes=*/100, &clock);
+  ASSERT_TRUE(ctl.Admit(80).ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(ctl.Admit(40).ok());
+    admitted.store(true);
+  });
+  // The waiter records its park timestamp in the same critical section
+  // that increments `waiting`, so once we observe waiting == 1 the park
+  // time is fixed at the current fake now — advancing afterwards meters
+  // exactly the advanced nanos, no sleeps involved.
+  ASSERT_TRUE(WaitFor([&] { return ctl.Stats().waiting == 1; }));
+  clock.AdvanceMillis(7);
+  ctl.Release(80);
+  waiter.join();
+  ASSERT_TRUE(admitted.load());
+
+  AdmissionStats s = ctl.Stats();
+  EXPECT_EQ(s.total_queue_wait_nanos, 7u * 1'000'000u);
+  EXPECT_EQ(s.queued, 1u);
+  ctl.Release(40);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level admission.
+// ---------------------------------------------------------------------------
+
+TEST(EngineAdmissionTest, OversizedQueryFailsFastWithClearStatus) {
+  EngineConfig cfg = P4Config(/*threads=*/1);
+  cfg.admission_budget_bytes = 1 << 12;  // 4 KiB: any real join exceeds it
+  Engine eng(cfg);
+
+  workload::JoinWorkload w = MakeW(1 << 14);
+  QuerySpec spec = DeclusterSpec();  // materializing: intermediate ~ N
+  spec.chunking = ChunkingPolicy::kMaterialize;
+  PreparedQuery q = eng.Prepare(w, spec);
+  ASSERT_GT(q.Explain().modeled_intermediate_bytes, cfg.admission_budget_bytes);
+
+  project::QueryRun run;
+  Status status = q.Execute(&run);
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  // The message should tell the operator what to do about it.
+  EXPECT_NE(status.message().find("admission budget"), std::string::npos);
+  EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.admission.rejected, 1u);
+  EXPECT_EQ(stats.queries_executed, 0u);
+}
+
+TEST(EngineAdmissionTest, GaugePeakNeverExceedsBudgetUnderConcurrency) {
+  // Instrumented-allocator check of the whole chain: a private MemoryGauge
+  // measures the streaming rings' actual bytes while 4 clients push
+  // streamed queries through a budget sized for ~2 queries. The measured
+  // peak must stay under the budget; with more clients than budget slots,
+  // at least one query must have queued.
+  pipeline::MemoryGauge gauge;
+
+  EngineConfig cfg = P4Config(/*threads=*/2);
+  cfg.gauge = &gauge;
+  Engine probe(cfg);
+
+  workload::JoinWorkload w = MakeW(1 << 14);
+  QuerySpec spec = DeclusterSpec();
+  spec.chunking = ChunkingPolicy::kStream;
+  spec.chunk_rows = 1024;
+  spec.right_bits = 6;  // ~256 rows/cluster << chunk_rows: no overflow chunks
+  const size_t per_query =
+      probe.Prepare(w, spec).Explain().modeled_intermediate_bytes;
+  ASSERT_GT(per_query, 0u);
+
+  cfg.admission_budget_bytes = 2 * per_query + per_query / 8;  // ~2 slots
+  Engine eng(cfg);
+  const uint64_t expect_sum = probe.Execute(w, spec).checksum;
+
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 2; ++i) {
+        project::QueryRun run;
+        Status status = eng.Prepare(w, spec).Execute(&run);
+        if (!status.ok() || run.checksum != expect_sum) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.queries_executed, 8u);
+  EXPECT_EQ(stats.admission.reserved_bytes, 0u);
+  EXPECT_LE(stats.admission.peak_reserved_bytes, cfg.admission_budget_bytes);
+  // The instrumented allocator agrees with the model: measured ring bytes
+  // never exceeded what admission allowed in flight.
+  EXPECT_LE(gauge.peak_bytes(), cfg.admission_budget_bytes);
+  EXPECT_GT(gauge.peak_bytes(), 0u);
+  EXPECT_EQ(gauge.current_bytes(), 0u);  // every ring buffer was returned
+}
+
+TEST(EngineAdmissionTest, QueriesQueueInsteadOfFailingWhenBudgetIsTight) {
+  // Budget for exactly one in-flight query: 4 concurrent clients must all
+  // succeed by taking turns, never by erroring out.
+  EngineConfig cfg = P4Config(/*threads=*/1);
+  Engine probe(cfg);
+
+  workload::JoinWorkload w = MakeW(1 << 13);
+  QuerySpec spec = DeclusterSpec();
+  spec.chunking = ChunkingPolicy::kStream;
+  spec.chunk_rows = 512;
+  const size_t per_query =
+      probe.Prepare(w, spec).Explain().modeled_intermediate_bytes;
+  ASSERT_GT(per_query, 0u);
+
+  cfg.admission_budget_bytes = per_query;  // one slot
+  Engine eng(cfg);
+  const uint64_t expect_sum = probe.Execute(w, spec).checksum;
+
+  // Each client runs a burst of queries so the single admission slot is
+  // contended over a long window: whenever the scheduler parks a client
+  // mid-query (reservation held), the others pile up in the FIFO queue.
+  constexpr size_t kPerClient = 25;
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        project::QueryRun run;
+        Status status = eng.Prepare(w, spec).Execute(&run);
+        if (!status.ok() || run.checksum != expect_sum) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.queries_executed, 4 * kPerClient);
+  EXPECT_GE(stats.admission.queued, 1u);  // one slot: somebody waited
+  EXPECT_EQ(stats.admission.rejected, 0u);
+  // The one-slot budget really bounded concurrency: reservations never
+  // stacked past a single query's bytes.
+  EXPECT_LE(stats.admission.peak_reserved_bytes, cfg.admission_budget_bytes);
+}
+
+}  // namespace
+}  // namespace radix::engine

@@ -1,0 +1,296 @@
+// Plan-cache tests: hit/miss accounting through Engine::Stats(), the
+// contract that a cached Explain() is indistinguishable from a fresh
+// Prepare(), and a property test that the cache key covers every
+// plan-affecting input — perturbing any QuerySpec field or planner-visible
+// workload quantity must change the key.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/plan_cache.h"
+#include "hardware/memory_hierarchy.h"
+#include "project/dsm_post.h"
+#include "project/strategy.h"
+#include "workload/generator.h"
+
+namespace radix::engine {
+namespace {
+
+using project::JoinStrategy;
+using project::SideStrategy;
+
+EngineConfig P4Config() {
+  EngineConfig cfg;
+  cfg.hierarchy = hardware::MemoryHierarchy::Pentium4();
+  return cfg;
+}
+
+workload::JoinWorkloadSpec BaseSpec() {
+  workload::JoinWorkloadSpec spec;
+  spec.cardinality = 1 << 12;
+  spec.num_attrs = 4;
+  spec.hit_rate = 1.0;
+  spec.seed = 42;
+  spec.varchar.num_cols = 1;
+  return spec;
+}
+
+TEST(PlanCacheTest, RepeatedPrepareHitsTheCache) {
+  Engine eng(P4Config());
+  workload::JoinWorkload w = workload::MakeJoinWorkload(BaseSpec());
+  QuerySpec spec;
+
+  (void)eng.Prepare(w, spec);
+  EngineStats s1 = eng.Stats();
+  EXPECT_EQ(s1.plan_cache_misses, 1u);
+  EXPECT_EQ(s1.plan_cache_hits, 0u);
+  EXPECT_EQ(s1.plan_cache_entries, 1u);
+
+  (void)eng.Prepare(w, spec);
+  EngineStats s2 = eng.Stats();
+  EXPECT_EQ(s2.plan_cache_misses, 1u);
+  EXPECT_EQ(s2.plan_cache_hits, 1u);
+  EXPECT_EQ(s2.plan_cache_entries, 1u);
+}
+
+TEST(PlanCacheTest, CachedExplainEqualsFreshPrepare) {
+  // The cache must be invisible: the Explanation served from it on the
+  // second Prepare() equals what a never-cached engine would plan for the
+  // same inputs, field for field.
+  workload::JoinWorkload w = workload::MakeJoinWorkload(BaseSpec());
+  QuerySpec spec;
+  spec.pi_left = 2;
+  spec.pi_right = 2;
+  spec.pi_varchar_right = 1;
+
+  Engine cached_eng(P4Config());
+  (void)cached_eng.Prepare(w, spec);                     // populates
+  Explanation cached = cached_eng.Prepare(w, spec).Explain();  // serves hit
+  ASSERT_EQ(cached_eng.Stats().plan_cache_hits, 1u);
+
+  Engine fresh_eng(P4Config());
+  Explanation fresh = fresh_eng.Prepare(w, spec).Explain();
+
+  EXPECT_EQ(cached.ToString(), fresh.ToString());
+  EXPECT_EQ(cached.strategy, fresh.strategy);
+  EXPECT_EQ(cached.plan_code, fresh.plan_code);
+  EXPECT_EQ(cached.easy, fresh.easy);
+  EXPECT_EQ(cached.decluster_bits, fresh.decluster_bits);
+  EXPECT_EQ(cached.decluster_passes, fresh.decluster_passes);
+  EXPECT_EQ(cached.window_elems, fresh.window_elems);
+  EXPECT_EQ(cached.streaming, fresh.streaming);
+  EXPECT_EQ(cached.chunk_rows, fresh.chunk_rows);
+  EXPECT_EQ(cached.threads, fresh.threads);
+  EXPECT_EQ(cached.estimated_result_rows, fresh.estimated_result_rows);
+  EXPECT_EQ(cached.high_priority, fresh.high_priority);
+  EXPECT_EQ(cached.modeled_intermediate_bytes,
+            fresh.modeled_intermediate_bytes);
+  EXPECT_EQ(cached.varchar_cols, fresh.varchar_cols);
+  EXPECT_EQ(cached.avg_varchar_len, fresh.avg_varchar_len);
+  EXPECT_DOUBLE_EQ(cached.modeled_seconds, fresh.modeled_seconds);
+}
+
+TEST(PlanCacheTest, KeyCoversEveryPlanAffectingField) {
+  // Property: every single-field perturbation of (workload, spec) yields a
+  // key distinct from the base AND from every other perturbation. A field
+  // missing from the key shows up as a duplicate here — exactly the bug
+  // class (stale plan served for a different query) the key must prevent.
+  workload::JoinWorkload base_w = workload::MakeJoinWorkload(BaseSpec());
+  QuerySpec base;
+  // Project one varchar column in the base shape so the average-length
+  // key component is live (AverageVarcharBytes folds only the *requested*
+  // columns) and the string-length workload perturbation below is
+  // observable.
+  base.pi_varchar_right = 1;
+
+  std::vector<std::pair<std::string, std::string>> keys;
+  keys.emplace_back("base", PlanCacheKey(base_w, base));
+
+  auto add_spec = [&](const char* name, QuerySpec s) {
+    keys.emplace_back(name, PlanCacheKey(base_w, s));
+  };
+  {
+    QuerySpec s = base;
+    s.strategy = JoinStrategy::kDsmPrePhash;
+    add_spec("strategy", s);
+  }
+  {
+    QuerySpec s = base;
+    s.pi_left = 2;
+    add_spec("pi_left", s);
+  }
+  {
+    QuerySpec s = base;
+    s.pi_right = 2;
+    add_spec("pi_right", s);
+  }
+  {
+    QuerySpec s = base;
+    s.pi_varchar_left = 1;
+    add_spec("pi_varchar_left", s);
+  }
+  {
+    QuerySpec s = base;
+    s.pi_varchar_right = 0;
+    add_spec("pi_varchar_right", s);
+  }
+  {
+    QuerySpec s = base;
+    s.plan_sides = false;
+    add_spec("plan_sides", s);
+  }
+  {
+    QuerySpec s = base;
+    s.left = SideStrategy::kDecluster;
+    add_spec("left", s);
+  }
+  {
+    QuerySpec s = base;
+    s.right = SideStrategy::kClustered;
+    add_spec("right", s);
+  }
+  {
+    QuerySpec s = base;
+    s.left_bits = 5;
+    add_spec("left_bits", s);
+  }
+  {
+    QuerySpec s = base;
+    s.right_bits = 5;
+    add_spec("right_bits", s);
+  }
+  {
+    QuerySpec s = base;
+    s.window_elems = 4096;
+    add_spec("window_elems", s);
+  }
+  {
+    QuerySpec s = base;
+    s.chunking = ChunkingPolicy::kStream;
+    add_spec("chunking", s);
+  }
+  {
+    QuerySpec s = base;
+    s.chunk_rows = 2048;
+    add_spec("chunk_rows", s);
+  }
+
+  auto add_workload = [&](const char* name,
+                          const workload::JoinWorkloadSpec& ws) {
+    workload::JoinWorkload w = workload::MakeJoinWorkload(ws);
+    keys.emplace_back(name, PlanCacheKey(w, base));
+  };
+  {
+    workload::JoinWorkloadSpec ws = BaseSpec();
+    ws.cardinality = 1 << 13;
+    add_workload("cardinality", ws);
+  }
+  {
+    workload::JoinWorkloadSpec ws = BaseSpec();
+    ws.num_attrs = 6;
+    add_workload("num_attrs", ws);
+  }
+  {
+    workload::JoinWorkloadSpec ws = BaseSpec();
+    ws.hit_rate = 0.5;  // halves the expected result size
+    add_workload("hit_rate", ws);
+  }
+  {
+    workload::JoinWorkloadSpec ws = BaseSpec();
+    ws.varchar.num_cols = 0;  // no varchar columns at all
+    add_workload("varchar_cols", ws);
+  }
+  {
+    workload::JoinWorkloadSpec ws = BaseSpec();
+    ws.varchar.min_len = 16;  // longer strings: the mean length moves,
+    ws.varchar.max_len = 64;  // which the paged-decluster cost terms read
+    add_workload("varchar_avg_len", ws);
+  }
+
+  std::set<std::string> distinct;
+  for (const auto& [name, key] : keys) {
+    EXPECT_TRUE(distinct.insert(key).second)
+        << "perturbation '" << name << "' collides with an earlier key: "
+        << key;
+  }
+}
+
+TEST(PlanCacheTest, SeedDoesNotChangeTheKey) {
+  // The seed changes the data, not the plan: cardinalities, widths and the
+  // result estimate are identical, so the plan (and the key) must be too.
+  workload::JoinWorkloadSpec ws = BaseSpec();
+  workload::JoinWorkload w1 = workload::MakeJoinWorkload(ws);
+  ws.seed = 43;
+  workload::JoinWorkload w2 = workload::MakeJoinWorkload(ws);
+  QuerySpec spec;
+  EXPECT_EQ(PlanCacheKey(w1, spec), PlanCacheKey(w2, spec));
+}
+
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  EngineConfig cfg = P4Config();
+  cfg.plan_cache_capacity = 0;
+  Engine eng(cfg);
+  workload::JoinWorkload w = workload::MakeJoinWorkload(BaseSpec());
+  QuerySpec spec;
+  (void)eng.Prepare(w, spec);
+  (void)eng.Prepare(w, spec);
+  EngineStats s = eng.Stats();
+  EXPECT_EQ(s.plan_cache_hits, 0u);
+  EXPECT_EQ(s.plan_cache_misses, 2u);
+  EXPECT_EQ(s.plan_cache_entries, 0u);
+}
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  PlanCache cache(/*capacity=*/2);
+  Explanation ex;
+  Explanation out;
+
+  cache.Insert("a", ex);
+  cache.Insert("b", ex);
+  ASSERT_TRUE(cache.Lookup("a", &out));  // refresh a: LRU order is b, a
+  cache.Insert("c", ex);                 // evicts b
+
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  PlanCacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(PlanCacheTest, EngineEvictionKeepsServingCorrectPlans) {
+  EngineConfig cfg = P4Config();
+  cfg.plan_cache_capacity = 2;
+  Engine eng(cfg);
+  workload::JoinWorkload w = workload::MakeJoinWorkload(BaseSpec());
+
+  QuerySpec a;  // three distinct shapes
+  QuerySpec b;
+  b.pi_left = 2;
+  QuerySpec c;
+  c.pi_right = 2;
+
+  Explanation fresh_a = eng.Prepare(w, a).Explain();
+  (void)eng.Prepare(w, b);
+  (void)eng.Prepare(w, c);  // evicts a (capacity 2)
+
+  EngineStats s1 = eng.Stats();
+  EXPECT_EQ(s1.plan_cache_misses, 3u);
+  EXPECT_EQ(s1.plan_cache_entries, 2u);
+
+  // a was evicted: re-preparing it is a miss but plans identically.
+  Explanation replanned_a = eng.Prepare(w, a).Explain();
+  EngineStats s2 = eng.Stats();
+  EXPECT_EQ(s2.plan_cache_misses, 4u);
+  EXPECT_EQ(replanned_a.ToString(), fresh_a.ToString());
+}
+
+}  // namespace
+}  // namespace radix::engine

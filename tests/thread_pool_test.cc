@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -96,6 +98,135 @@ TEST(ThreadPoolTest, DestructorJoinsWithQueuedWork) {
     pool.Wait();
   }  // destructor must join cleanly
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, HighPriorityTasksDrainBeforeNormal) {
+  // Block the single worker of a 2-pool behind a latch task, queue normal
+  // tasks then high ones, release: the high tasks must run first even
+  // though they were submitted last.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit(ThreadPool::Priority::kNormal, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(tag);
+  };
+  pool.Submit(ThreadPool::Priority::kNormal, [&] { record(1); });
+  pool.Submit(ThreadPool::Priority::kNormal, [&] { record(2); });
+  pool.Submit(ThreadPool::Priority::kHigh, [&] { record(-1); });
+  pool.Submit(ThreadPool::Priority::kHigh, [&] { record(-2); });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{-1, -2, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ScopedPrioritySetsAmbientPriorityForSubmit) {
+  EXPECT_EQ(ThreadPool::CurrentPriority(), ThreadPool::Priority::kNormal);
+  {
+    ThreadPool::ScopedPriority high(ThreadPool::Priority::kHigh);
+    EXPECT_EQ(ThreadPool::CurrentPriority(), ThreadPool::Priority::kHigh);
+    {
+      ThreadPool::ScopedPriority normal(ThreadPool::Priority::kNormal);
+      EXPECT_EQ(ThreadPool::CurrentPriority(),
+                ThreadPool::Priority::kNormal);
+    }
+    EXPECT_EQ(ThreadPool::CurrentPriority(), ThreadPool::Priority::kHigh);
+  }
+  EXPECT_EQ(ThreadPool::CurrentPriority(), ThreadPool::Priority::kNormal);
+}
+
+TEST(ThreadPoolTest, WorkersInheritTaskPriorityForChainedSubmits) {
+  // A task submitted at kHigh that itself Submits must stay in the high
+  // class — the streaming executor chains gather -> sink submissions and
+  // the whole chain has to keep the query's priority.
+  ThreadPool pool(2);
+  std::atomic<int> observed{-1};
+  {
+    ThreadPool::ScopedPriority high(ThreadPool::Priority::kHigh);
+    pool.Submit([&] {
+      // Running on a worker now; ambient priority must be the task's.
+      observed.store(
+          static_cast<int>(ThreadPool::CurrentPriority()));
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(observed.load(),
+            static_cast<int>(ThreadPool::Priority::kHigh));
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsCompleteIndependently) {
+  // The per-call completion-group contract under engine-style sharing:
+  // several client threads run their own ParallelFor on ONE pool at once;
+  // each call must return exactly when its own indices are done, with the
+  // right per-call sum — the old pool-wide Wait() would deadlock or
+  // over-wait here.
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kN = 257;  // odd, larger than any worker count
+  std::vector<uint64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::atomic<uint64_t> sum{0};
+      pool.ParallelFor(kN, [&](size_t i) {
+        sum.fetch_add(i + 1, std::memory_order_relaxed);
+      });
+      sums[c] = sum.load();
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], uint64_t{kN} * (kN + 1) / 2) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolTest, MixedPriorityParallelForCallsAllComplete) {
+  // A heavy normal-priority loop and repeated high-priority loops race on
+  // one pool: everything completes with correct sums (no class starves the
+  // other — high drains first but normal grains still run on the heavy
+  // caller's own thread).
+  ThreadPool pool(2);
+  std::atomic<uint64_t> heavy_sum{0};
+  std::thread heavy([&] {
+    ThreadPool::ScopedPriority normal(ThreadPool::Priority::kNormal);
+    pool.ParallelFor(2000, [&](size_t i) {
+      heavy_sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  });
+  std::atomic<uint64_t> point_sum{0};
+  std::thread point([&] {
+    ThreadPool::ScopedPriority high(ThreadPool::Priority::kHigh);
+    for (int rep = 0; rep < 20; ++rep) {
+      pool.ParallelFor(50, [&](size_t i) {
+        point_sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    }
+  });
+  heavy.join();
+  point.join();
+  EXPECT_EQ(heavy_sum.load(), uint64_t{2000} * 1999 / 2);
+  EXPECT_EQ(point_sum.load(), uint64_t{20} * (50 * 49 / 2));
+}
+
+TEST(ThreadPoolTest, TotalConstructedCountsEveryPool) {
+  const uint64_t before = ThreadPool::TotalConstructed();
+  {
+    ThreadPool a(1);
+    ThreadPool b(2);
+  }
+  EXPECT_EQ(ThreadPool::TotalConstructed(), before + 2);
 }
 
 }  // namespace
