@@ -49,7 +49,13 @@ void ThreadPool::RunTask(Task& task) {
 }
 
 bool ThreadPool::PopTaskLocked(Task* task) {
-  for (auto& queue : queues_) {
+  // Mostly-strict priority with aging: every kAgingPeriod-th dequeue scans
+  // lowest class first, so a sustained kHigh stream cannot starve queued
+  // kNormal grains — they are guaranteed at least 1/kAgingPeriod of the
+  // dequeue bandwidth under saturation.
+  const bool aged = ++pop_ticks_ % kAgingPeriod == 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    auto& queue = queues_[aged ? queues_.size() - 1 - i : i];
     if (!queue.empty()) {
       *task = std::move(queue.front());
       queue.pop_front();
@@ -178,6 +184,13 @@ void ThreadPool::ParallelFor(size_t n,
   }
   std::unique_lock<std::mutex> lock(group->mu);
   group->cv.wait(lock, [&group] { return group->done == group->total; });
+  // Break the grain -> group -> grain shared_ptr cycle, or every call
+  // would leak one Group once the queued copies drain. Safe here: a grain
+  // re-enqueues *before* counting its index done, so done == total means
+  // no Submit can still be reading `grain` (its read is mutex-ordered
+  // before this clear via that grain's ++done), and straggler copies in
+  // the queue own their own shared_ptr and return without touching it.
+  group->grain = nullptr;
 }
 
 size_t ThreadPool::DefaultThreads() {

@@ -45,10 +45,14 @@ namespace radix {
 ///    work).
 class ThreadPool {
  public:
-  /// Scheduling class of a task. kHigh drains strictly before kNormal, so
+  /// Scheduling class of a task. kHigh drains ahead of kNormal, so
   /// point-ish queries overtake the queued grains of heavy queries at every
   /// grain boundary (they never preempt a *running* grain — grains are
-  /// bounded instead).
+  /// bounded instead). Not strict: every kAgingPeriod-th dequeue serves the
+  /// lowest non-empty class first, bounding starvation — a sustained kHigh
+  /// stream still leaves kNormal grains >= 1/kAgingPeriod of the dequeue
+  /// bandwidth (heavy queries additionally progress on their own calling
+  /// thread regardless of queue pressure).
   enum class Priority : uint8_t { kHigh = 0, kNormal = 1 };
   static constexpr size_t kNumPriorities = 2;
 
@@ -128,10 +132,14 @@ class ThreadPool {
     Priority priority = Priority::kNormal;
   };
 
+  /// One dequeue in kAgingPeriod inverts the priority scan (see Priority).
+  static constexpr uint64_t kAgingPeriod = 8;
+
   void WorkerLoop();
   /// Run one task with the worker's ambient priority set to the task's.
   static void RunTask(Task& task);
-  /// Pop the front task, highest priority first. Caller holds mu_.
+  /// Pop the front task, highest priority first with aging. Caller holds
+  /// mu_.
   bool PopTaskLocked(Task* task);
   bool QueuesEmptyLocked() const {
     return queues_[0].empty() && queues_[1].empty();
@@ -142,6 +150,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   ///< signalled when tasks arrive / stop
   std::condition_variable idle_cv_;   ///< signalled when a task completes
   std::array<std::deque<Task>, kNumPriorities> queues_;
+  uint64_t pop_ticks_ = 0;  ///< dequeues so far, drives priority aging
   size_t in_flight_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;
 };

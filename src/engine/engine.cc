@@ -489,6 +489,15 @@ Status Engine::ExecutePrepared(const PreparedQuery& query,
   const size_t admission_bytes = ex.modeled_intermediate_bytes;
   Status admit = admission_.Admit(admission_bytes);
   if (!admit.ok()) return admit;
+  // Scope-exit release: the reservation must come back on *every* exit
+  // path — an exception escaping the run (e.g. std::bad_alloc) would
+  // otherwise shrink the effective budget forever and wedge the FIFO
+  // admission queue for all clients.
+  struct ReservationGuard {
+    AdmissionController& admission;
+    size_t bytes;
+    ~ReservationGuard() { admission.Release(bytes); }
+  } release_on_exit{admission_, admission_bytes};
 
   // Grains this query enqueues on the shared pool — kernel ParallelFor
   // morsels and streamed chunk stages alike — inherit its class.
@@ -524,7 +533,6 @@ Status Engine::ExecutePrepared(const PreparedQuery& query,
                                           options, hw_)
              : project::RunQuery(*query.workload_, spec.strategy, options,
                                  hw_);
-  admission_.Release(admission_bytes);
   queries_executed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -17,7 +17,7 @@ std::string PlanCacheKey(const workload::JoinWorkload& workload,
   const size_t avg_var_r = workload::AverageVarcharBytes(
       workload.right_varchars, spec.pi_varchar_right);
   char buf[320];
-  std::snprintf(
+  const int len = std::snprintf(
       buf, sizeof(buf),
       "nl=%zu;nr=%zu;ni=%zu;w=%zu;vl=%zu;vr=%zu;avl=%zu;avr=%zu|"
       "s=%u;pl=%zu;pr=%zu;pvl=%zu;pvr=%zu;ps=%u;l=%u;r=%u;lb=%" PRIu32
@@ -32,7 +32,11 @@ std::string PlanCacheKey(const workload::JoinWorkload& workload,
       static_cast<uint32_t>(spec.left_bits),
       static_cast<uint32_t>(spec.right_bits), spec.window_elems,
       static_cast<unsigned>(spec.chunking), spec.chunk_rows);
-  return std::string(buf);
+  // A truncated key would let two distinct plan shapes share an entry and
+  // execute the wrong cached plan; the buffer is sized for 21 full 64-bit
+  // fields, so truncation is a programmer error, not an input condition.
+  RADIX_CHECK(len > 0 && static_cast<size_t>(len) < sizeof(buf));
+  return std::string(buf, static_cast<size_t>(len));
 }
 
 bool PlanCache::Lookup(const std::string& key, Explanation* out) {

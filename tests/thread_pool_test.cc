@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -130,6 +131,47 @@ TEST(ThreadPoolTest, HighPriorityTasksDrainBeforeNormal) {
   cv.notify_all();
   pool.Wait();
   EXPECT_EQ(order, (std::vector<int>{-1, -2, 1, 2}));
+}
+
+TEST(ThreadPoolTest, AgingPreventsNormalPriorityStarvation) {
+  // Block the single worker of a 2-pool, queue one normal task behind a
+  // deep backlog of high tasks, release: strict priority would run the
+  // normal task dead last, but the aging pop must serve it somewhere in
+  // the middle of the high stream.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit(ThreadPool::Priority::kNormal, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(tag);
+  };
+  constexpr int kHighTasks = 24;
+  pool.Submit(ThreadPool::Priority::kNormal, [&] { record(0); });
+  for (int i = 1; i <= kHighTasks; ++i) {
+    pool.Submit(ThreadPool::Priority::kHigh, [&, i] { record(i); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kHighTasks) + 1);
+  const auto normal_pos = static_cast<size_t>(
+      std::find(order.begin(), order.end(), 0) - order.begin());
+  // Not starved to the back of the queue: some high tasks still run after
+  // the normal one.
+  EXPECT_LT(normal_pos, static_cast<size_t>(kHighTasks));
+  // But high priority still dominates: the normal task does not run first.
+  EXPECT_GT(normal_pos, 0u);
 }
 
 TEST(ThreadPoolTest, ScopedPrioritySetsAmbientPriorityForSubmit) {
