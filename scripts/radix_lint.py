@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the radix engine (src/ only).
+
+Rules (each prints `file:line: [rule] message` and fails the run):
+
+  raw-primitive      std::mutex / std::condition_variable / std::thread /
+                     std::lock_guard / std::unique_lock / std::scoped_lock
+                     outside src/common/ — everything else must use the
+                     annotated radix::Mutex / MutexLock / CondVar wrappers
+                     (common/mutex.h) or the ThreadPool so Clang Thread
+                     Safety Analysis sees every lock.
+  raw-new-array      `new T[...]` anywhere in src/ — the repo allocates
+                     through containers and AlignedBuffer.
+  notify-outside-lock  CondVar::Notify{One,All} must be called while a
+                     MutexLock is live in the same scope. Notifying after
+                     unlock races destruction of the waiting side (the
+                     TSan-caught executor destroy race); see
+                     docs/CONCURRENCY.md.
+  unchecked-snprintf std::snprintf as a bare statement — check (or
+                     explicitly (void)) the return value (cert-err33-c).
+  tsa-escape         RADIX_NO_THREAD_SAFETY_ANALYSIS anywhere except
+                     src/common/thread_pool.cc (the only sanctioned home,
+                     and only with a justification comment).
+  layer-violation    #include "<layer>/..." that is not in the including
+                     layer's transitive dependency closure (the DAG
+                     documented in src/CMakeLists.txt). Catches include
+                     cycles and upward includes at review time instead of
+                     link time.
+
+`--self-test` runs every rule against embedded seeded violations and fails
+unless each one is caught — proving the gate actually gates.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# The layer DAG of src/CMakeLists.txt: direct dependencies per layer.
+LAYER_DEPS = {
+    "common": set(),
+    "hardware": {"common"},
+    "bufferpool": {"common"},
+    "storage": {"common"},
+    "simcache": {"common", "hardware"},
+    "workload": {"common", "storage"},
+    "cluster": {"common", "hardware", "simcache", "storage"},
+    "costmodel": {"common", "hardware", "cluster"},
+    "join": {"cluster"},
+    "decluster": {"cluster", "bufferpool"},
+    "pipeline": {"join", "decluster"},
+    "project": {"costmodel", "decluster", "join", "pipeline", "workload"},
+    "engine": {"project"},
+}
+
+
+def transitive_closure(deps):
+    closure = {}
+
+    def visit(layer, stack):
+        if layer in closure:
+            return closure[layer]
+        if layer in stack:
+            raise SystemExit(f"layer cycle through {layer!r}")
+        out = set()
+        for d in deps[layer]:
+            out.add(d)
+            out |= visit(d, stack | {layer})
+        closure[layer] = out
+        return out
+
+    for layer in deps:
+        visit(layer, frozenset())
+    return closure
+
+
+CLOSURE = transitive_closure(LAYER_DEPS)
+
+RAW_PRIMITIVE = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|"
+    r"scoped_lock|shared_mutex|shared_lock|recursive_mutex)\b"
+)
+# std::thread as a type/object, but not std::thread::hardware_concurrency
+# (a pure query, used by the pool itself for sizing).
+RAW_THREAD = re.compile(r"std::thread\b(?!::hardware_concurrency)")
+RAW_NEW_ARRAY = re.compile(r"\bnew\s+[A-Za-z_][\w:<>, ]*\[")
+NOTIFY = re.compile(r"\.Notify(One|All)\s*\(")
+MUTEX_LOCK_DECL = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+SNPRINTF_STMT = re.compile(r"^\s*(std::)?snprintf\s*\(")
+TSA_ESCAPE = re.compile(r"\bRADIX_NO_THREAD_SAFETY_ANALYSIS\b")
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+LINE_COMMENT = re.compile(r"//[^\n]*")
+TSA_ESCAPE_HOME = "common/thread_pool.cc"
+# Files allowed to name the escape macro without using it (definition and
+# the lint itself).
+TSA_ESCAPE_MENTIONS = {"common/thread_annotations.h"}
+
+
+def strip_comments_and_strings(line):
+    """Good-enough scrub: drop // comments and "..." string contents so the
+    regexes do not fire on prose. (Block comments are handled per-file.)"""
+    line = LINE_COMMENT.sub("", line)
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def strip_block_comments(text):
+    """Replace /* ... */ spans with spaces, preserving line structure."""
+    out = []
+    in_block = False
+    i = 0
+    while i < len(text):
+        if not in_block and text.startswith("/*", i):
+            in_block = True
+            i += 2
+            out.append("  ")
+        elif in_block and text.startswith("*/", i):
+            in_block = False
+            i += 2
+            out.append("  ")
+        elif in_block and text[i] != "\n":
+            out.append(" ")
+            i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def lint_file(rel, text):
+    """Lint one file; `rel` is the path relative to src/ with / separators.
+    Yields (lineno, rule, message)."""
+    layer = rel.split("/", 1)[0]
+    allowed_layers = {layer} | CLOSURE.get(layer, set())
+    lines = strip_block_comments(text).split("\n")
+
+    # Scope tracking for notify-outside-lock: a stack of brace depths at
+    # which a MutexLock was declared. A Notify is fine iff some live
+    # MutexLock sits at a depth <= the current one.
+    depth = 0
+    lock_depths = []
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = strip_comments_and_strings(raw)
+
+        # Match includes on the raw line: the string-stripper above blanks
+        # the quoted path.
+        m = INCLUDE.match(LINE_COMMENT.sub("", raw))
+        if m:
+            inc = m.group(1)
+            inc_layer = inc.split("/", 1)[0]
+            if inc_layer in LAYER_DEPS and inc_layer not in allowed_layers:
+                yield (lineno, "layer-violation",
+                       f'layer "{layer}" must not include "{inc}" '
+                       f'("{inc_layer}" is not in its dependency closure; '
+                       "see src/CMakeLists.txt)")
+
+        if layer != "common":
+            if RAW_PRIMITIVE.search(line):
+                yield (lineno, "raw-primitive",
+                       "raw std synchronization primitive outside common/; "
+                       "use radix::Mutex / MutexLock / CondVar "
+                       "(common/mutex.h)")
+            if RAW_THREAD.search(line):
+                yield (lineno, "raw-primitive",
+                       "raw std::thread outside common/; use the ThreadPool")
+
+        if RAW_NEW_ARRAY.search(line):
+            yield (lineno, "raw-new-array",
+                   "raw new[]; use std::vector or AlignedBuffer")
+
+        if SNPRINTF_STMT.match(line):
+            yield (lineno, "unchecked-snprintf",
+                   "snprintf result discarded; check the return value "
+                   "(or (void)-cast a deliberate ignore)")
+
+        if TSA_ESCAPE.search(line):
+            if rel != TSA_ESCAPE_HOME and rel not in TSA_ESCAPE_MENTIONS:
+                yield (lineno, "tsa-escape",
+                       "RADIX_NO_THREAD_SAFETY_ANALYSIS is only sanctioned "
+                       f"in {TSA_ESCAPE_HOME} (with a justification "
+                       "comment)")
+
+        # Update scope state in positional order: braces, MutexLock
+        # declarations and Notify calls interleave on one line, and a
+        # notify only counts as locked if a still-live MutexLock was
+        # declared before it.
+        events = [(m.start(), "{" if m.group() == "{" else "}")
+                  for m in re.finditer(r"[{}]", line)]
+        events += [(m.start(), "lock")
+                   for m in MUTEX_LOCK_DECL.finditer(line)]
+        events += [(m.start(), "notify") for m in NOTIFY.finditer(line)]
+        for _, kind in sorted(events):
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                while lock_depths and lock_depths[-1] > depth:
+                    lock_depths.pop()
+            elif kind == "lock":
+                lock_depths.append(depth)
+            elif not lock_depths:
+                yield (lineno, "notify-outside-lock",
+                       "CondVar notify with no MutexLock live in scope; "
+                       "notify under the lock (docs/CONCURRENCY.md)")
+
+
+def run(paths=None):
+    failures = []
+    files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
+    if paths:
+        files = [pathlib.Path(p) for p in paths]
+    for path in files:
+        rel = path.resolve().relative_to(SRC).as_posix()
+        for lineno, rule, msg in lint_file(rel, path.read_text()):
+            failures.append(f"src/{rel}:{lineno}: [{rule}] {msg}")
+    return failures
+
+
+SELF_TEST_CASES = [
+    # (relative-path-to-pretend, source, expected rule or None)
+    ("engine/bad.cc", "std::mutex mu_;\n", "raw-primitive"),
+    ("engine/bad.cc", "std::lock_guard<std::mutex> l(mu_);\n",
+     "raw-primitive"),
+    ("pipeline/bad.cc", "std::thread t([] {});\n", "raw-primitive"),
+    ("common/ok.cc", "std::mutex mu_;\n", None),  # common/ may wrap raws
+    ("cluster/bad.cc", "auto* p = new uint64_t[n];\n", "raw-new-array"),
+    ("engine/bad.cc", "  std::snprintf(buf, sizeof(buf), \"%d\", x);\n",
+     "unchecked-snprintf"),
+    ("engine/ok.cc",
+     "  const int n = std::snprintf(buf, sizeof(buf), \"%d\", x);\n", None),
+    ("cluster/bad.cc", "void F() RADIX_NO_THREAD_SAFETY_ANALYSIS;\n",
+     "tsa-escape"),
+    ("common/thread_pool.cc",
+     "void F() RADIX_NO_THREAD_SAFETY_ANALYSIS;\n", None),
+    ("bufferpool/bad.cc", '#include "engine/engine.h"\n', "layer-violation"),
+    ("storage/bad.cc", '#include "cluster/radix_cluster.h"\n',
+     "layer-violation"),
+    ("engine/ok.cc", '#include "cluster/radix_cluster.h"\n', None),
+    ("engine/bad.cc",
+     "void F() {\n  { MutexLock lock(mu_); x = 1; }\n  cv_.NotifyAll();\n}\n",
+     "notify-outside-lock"),
+    ("engine/ok.cc",
+     "void F() {\n  MutexLock lock(mu_);\n  x = 1;\n  cv_.NotifyAll();\n}\n",
+     None),
+    ("engine/ok.cc",
+     "void F() {\n  { MutexLock lock(mu_); cv_.NotifyOne(); }\n}\n", None),
+    # Comments and strings must not fire.
+    ("engine/ok.cc", "// std::mutex is banned here\n", None),
+    ("engine/ok.cc", 's += "std::mutex";\n', None),
+]
+
+
+def self_test():
+    bad = 0
+    for i, (rel, source, expected) in enumerate(SELF_TEST_CASES):
+        hits = [rule for (_, rule, _) in lint_file(rel, source)]
+        if expected is None:
+            if hits:
+                print(f"self-test case {i} ({rel}): expected clean, "
+                      f"got {hits}")
+                bad += 1
+        elif expected not in hits:
+            print(f"self-test case {i} ({rel}): seeded {expected} "
+                  f"violation NOT caught (got {hits})")
+            bad += 1
+    if bad:
+        print(f"radix_lint self-test: {bad} case(s) FAILED")
+        return 1
+    print(f"radix_lint self-test: all {len(SELF_TEST_CASES)} cases pass")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded seeded-violation suite")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: all of src/)")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    failures = run(args.paths)
+    for f in failures:
+        print(f)
+    if failures:
+        print(f"radix_lint: {len(failures)} violation(s)")
+        return 1
+    print("radix_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

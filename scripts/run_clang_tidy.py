@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Run clang-tidy (config: .clang-tidy) over the project's own sources.
+
+Reads compile_commands.json from the build directory (exported by default —
+CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists.txt),
+filters it to src/*.cc (third-party and test code excluded), and runs
+clang-tidy in parallel with --warnings-as-errors=* so any finding fails
+the run.
+
+When clang-tidy is not installed the script skips with a notice and exit
+code 0 so local GCC-only environments are not blocked; CI passes --strict
+to turn a missing tool into a failure.
+
+Usage:
+  python3 scripts/run_clang_tidy.py [--build-dir build] [--strict] [-j N]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build directory with compile_commands.json")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (instead of skip) when clang-tidy is "
+                             "missing — what CI uses")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="parallel clang-tidy processes (0 = #cpus)")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        msg = f"{args.clang_tidy} not found"
+        if args.strict:
+            print(f"run_clang_tidy: {msg} (--strict)", file=sys.stderr)
+            return 1
+        print(f"run_clang_tidy: {msg}; skipping (CI runs this with "
+              "--strict)")
+        return 0
+
+    build_dir = (REPO / args.build_dir).resolve()
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"run_clang_tidy: {db_path} not found — configure first "
+              "(compile_commands.json export is on by default)",
+              file=sys.stderr)
+        return 1
+
+    db = json.loads(db_path.read_text())
+    src = (REPO / "src").resolve()
+    files = sorted({
+        str(pathlib.Path(e["file"]).resolve())
+        for e in db
+        if pathlib.Path(e["file"]).resolve().is_relative_to(src)
+        and e["file"].endswith(".cc")
+    })
+    if not files:
+        print("run_clang_tidy: no src/*.cc entries in compile_commands.json",
+              file=sys.stderr)
+        return 1
+
+    jobs = args.jobs or (len(files) if len(files) < 32 else 32)
+
+    def run_one(path):
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet",
+             "--warnings-as-errors=*", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for path, rc, output in pool.map(run_one, files):
+            rel = pathlib.Path(path).relative_to(REPO)
+            if rc != 0:
+                failed += 1
+                print(f"FAIL {rel}\n{output}")
+            else:
+                print(f"ok   {rel}")
+
+    if failed:
+        print(f"run_clang_tidy: {failed}/{len(files)} files failed")
+        return 1
+    print(f"run_clang_tidy: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

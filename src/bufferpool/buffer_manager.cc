@@ -1,13 +1,44 @@
 #include "bufferpool/buffer_manager.h"
 
+#include "common/macros.h"
+
 namespace radix::bufferpool {
 
+size_t BufferManager::num_pages() const {
+  MutexLock lock(mu_);
+  return pages_.size();
+}
+
 page_id_t BufferManager::Allocate(size_t n) {
+  MutexLock lock(mu_);
   page_id_t first = static_cast<page_id_t>(pages_.size());
   for (size_t i = 0; i < n; ++i) {
     pages_.push_back(std::make_unique<Page>(page_bytes_));
   }
   return first;
+}
+
+Page& BufferManager::page(page_id_t id) {
+  MutexLock lock(mu_);
+  RADIX_DCHECK(id < pages_.size());
+  return *pages_[id];
+}
+
+const Page& BufferManager::page(page_id_t id) const {
+  MutexLock lock(mu_);
+  RADIX_DCHECK(id < pages_.size());
+  return *pages_[id];
+}
+
+std::vector<Page*> BufferManager::PageRange(page_id_t first, size_t n) {
+  MutexLock lock(mu_);
+  RADIX_DCHECK(first + n <= pages_.size());
+  std::vector<Page*> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(pages_[first + i].get());
+  }
+  return out;
 }
 
 }  // namespace radix::bufferpool

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "bufferpool/page.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace radix::bufferpool {
@@ -20,20 +22,38 @@ using page_id_t = uint32_t;
 /// (No eviction: the paper's scenario keeps the output pages resident and
 /// relies on sequential bulk I/O underneath; we model the addressing
 /// problem, not the disk.)
+///
+/// Concurrency: the page *directory* is guarded by mu_, so concurrent
+/// queries may Allocate() from one shared manager safely; Page objects
+/// themselves never move once allocated (unique_ptr stability), and each
+/// allocation's pages belong to exactly one caller, so page *contents*
+/// need no lock. Hot kernels take a PageRange() snapshot — one lock per
+/// phase — instead of paying a directory lock per record (see
+/// docs/CONCURRENCY.md).
 class BufferManager {
  public:
   explicit BufferManager(size_t page_bytes = Page::kDefaultPageBytes)
       : page_bytes_(page_bytes) {}
+  RADIX_DISALLOW_COPY_AND_ASSIGN(BufferManager);
 
   size_t page_bytes() const { return page_bytes_; }
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const RADIX_EXCLUDES(mu_);
 
   /// Allocate `n` fresh pages, returning the first new page id; the ids are
   /// consecutive (the "index array of start addresses" of Fig. 12).
-  page_id_t Allocate(size_t n);
+  page_id_t Allocate(size_t n) RADIX_EXCLUDES(mu_);
 
-  Page& page(page_id_t id) { return *pages_[id]; }
-  const Page& page(page_id_t id) const { return *pages_[id]; }
+  /// Directory lookup (one lock per call). The returned reference stays
+  /// valid for the manager's lifetime — pages are never moved or evicted —
+  /// but writing through it is only safe for the allocation's owner.
+  Page& page(page_id_t id) RADIX_EXCLUDES(mu_);
+  const Page& page(page_id_t id) const RADIX_EXCLUDES(mu_);
+
+  /// Stable pointers to pages [first, first + n): the per-phase snapshot
+  /// the paged-decluster kernels index in their hot loops, costing one
+  /// directory lock per phase instead of one per record.
+  std::vector<Page*> PageRange(page_id_t first, size_t n)
+      RADIX_EXCLUDES(mu_);
 
   /// Payload capacity per page, the P of the paper's
   /// page# = B / P, offset = B % P computation.
@@ -42,8 +62,11 @@ class BufferManager {
   }
 
  private:
-  size_t page_bytes_;
-  std::vector<std::unique_ptr<Page>> pages_;
+  const size_t page_bytes_;
+  /// mu_ guards the directory vector only (growth reallocates it); leaf
+  /// lock, never held while calling into Page.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Page>> pages_ RADIX_GUARDED_BY(mu_);
 };
 
 }  // namespace radix::bufferpool

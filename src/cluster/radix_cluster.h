@@ -72,7 +72,8 @@ struct ClusterSpec {
 ///     bits that do not exist (everything lands in cluster 0).
 /// The kernels RADIX_CHECK this; API boundaries that want a Status instead
 /// of an abort call it directly.
-Status ValidateClusterSpec(const ClusterSpec& spec, uint32_t value_bits = 64);
+[[nodiscard]] Status ValidateClusterSpec(const ClusterSpec& spec,
+                                         uint32_t value_bits = 64);
 
 /// One histogram+scatter pass over [in, in+n) into `out`, clustering on
 /// `pass_bits` bits of radix(v) starting at bit `shift`. `borders_out`, if

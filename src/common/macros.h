@@ -6,13 +6,13 @@
 
 /// Abort with a message when an internal invariant is violated. Used for
 /// programmer errors only; recoverable conditions return radix::Status.
-#define RADIX_CHECK(cond)                                                  \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "RADIX_CHECK failed at %s:%d: %s\n", __FILE__,  \
-                   __LINE__, #cond);                                       \
-      std::abort();                                                        \
-    }                                                                      \
+#define RADIX_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      (void)std::fprintf(stderr, "RADIX_CHECK failed at %s:%d: %s\n",    \
+                         __FILE__, __LINE__, #cond);                     \
+      std::abort();                                                      \
+    }                                                                    \
   } while (0)
 
 #ifndef NDEBUG

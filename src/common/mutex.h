@@ -1,0 +1,84 @@
+#ifndef RADIX_COMMON_MUTEX_H_
+#define RADIX_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace radix {
+
+/// The repo's lockable capability: a std::mutex the Clang Thread Safety
+/// Analysis can see. Every mutex in the tree is one of these (raw
+/// std::mutex is banned outside common/ by scripts/radix_lint.py), so
+/// RADIX_GUARDED_BY fields and RADIX_REQUIRES helpers are checked on every
+/// Clang build with -DRADIX_THREAD_SAFETY=ON.
+///
+/// Prefer MutexLock (RAII) over manual Lock()/Unlock(): the analysis then
+/// proves balance on every path, including early returns and exceptions.
+class RADIX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void Lock() RADIX_ACQUIRE() { mu_.lock(); }
+  void Unlock() RADIX_RELEASE() { mu_.unlock(); }
+  bool TryLock() RADIX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex. Holds a std::unique_lock underneath so
+/// CondVar::Wait can release/reacquire it; from the analysis' point of
+/// view the mutex is held for the whole MutexLock scope (which is exactly
+/// the guarantee wait() gives at every observable point: on entry and on
+/// every return, including spurious wakeups).
+class RADIX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RADIX_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RADIX_RELEASE() {}  // unique_lock unlocks
+  RADIX_DISALLOW_COPY_AND_ASSIGN(MutexLock);
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Deliberately has no
+/// predicate overload: waits are written as explicit
+/// `while (!pred) cv.Wait(lock);` loops so the predicate's guarded reads
+/// are visibly under the lock for the thread-safety analysis (a lambda
+/// predicate would be analyzed as an unannotated separate function).
+///
+/// Discipline (enforced by scripts/radix_lint.py): Notify* is called while
+/// holding the mutex that guards the predicate state. Notifying under the
+/// lock costs one extra wake/block handoff but makes destruction safe: a
+/// waiter that observes its predicate and destroys the CondVar's owner
+/// cannot race a notifier that already unlocked but has not yet signalled
+/// (the TSan-caught executor destroy race of PR 3).
+class CondVar {
+ public:
+  CondVar() = default;
+  RADIX_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  /// Atomically release `lock`'s mutex and sleep; reacquired on return.
+  /// Spurious wakeups happen — always wait in a predicate loop. The caller
+  /// must hold the lock (checked in debug builds).
+  void Wait(MutexLock& lock) {
+    RADIX_DCHECK(lock.lock_.owns_lock());
+    cv_.wait(lock.lock_);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_MUTEX_H_

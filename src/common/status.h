@@ -11,7 +11,12 @@ namespace radix {
 /// Error handling in the RocksDB/Arrow style: no exceptions; fallible
 /// operations return Status (or Result<T> below). Hot kernels never return
 /// Status — argument validation happens at the API boundary.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning Status by
+/// value makes silently dropping the result a compile error (under
+/// -Werror), so a caller must either branch on it or explicitly
+/// (void)-cast away a deliberate ignore.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -45,7 +50,7 @@ class Status {
     return Status(Code::kNotFound, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -60,16 +65,17 @@ class Status {
 };
 
 /// Either a value or an error Status. Accessing the value of an errored
-/// Result is a fatal programmer error (RADIX_CHECK).
+/// Result is a fatal programmer error (RADIX_CHECK). [[nodiscard]] like
+/// Status: a dropped Result hides both the error and the value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
     RADIX_CHECK(!status_.ok());
   }
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   T& value() {

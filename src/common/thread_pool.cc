@@ -34,10 +34,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    work_cv_.NotifyAll();
   }
-  work_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -69,16 +69,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !QueuesEmptyLocked(); });
+      MutexLock lock(mu_);
+      while (!stop_ && QueuesEmptyLocked()) work_cv_.Wait(lock);
       if (!PopTaskLocked(&task)) return;  // stop_ and drained
     }
     RunTask(task);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
+      idle_cv_.NotifyAll();
     }
-    idle_cv_.notify_all();
   }
 }
 
@@ -93,33 +93,33 @@ void ThreadPool::Submit(Priority priority, std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queues_[static_cast<size_t>(priority)].push_back(
         Task{std::move(task), priority});
     ++in_flight_;
+    work_cv_.NotifyOne();
   }
-  work_cv_.notify_one();
 }
 
 bool ThreadPool::TryRunOneTask() {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!PopTaskLocked(&task)) return false;
   }
   RunTask(task);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --in_flight_;
+    idle_cv_.NotifyAll();
   }
-  idle_cv_.notify_all();
   return true;
 }
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(lock);
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -143,9 +143,13 @@ void ThreadPool::ParallelFor(size_t n,
     std::atomic<size_t> next{0};
     size_t total = 0;
     const std::function<void(size_t)>* body = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t done = 0;
+    Mutex mu;
+    CondVar cv;
+    size_t done RADIX_GUARDED_BY(mu) = 0;
+    /// Deliberately NOT guarded_by(mu): written once before any grain is
+    /// queued (publication via Submit's internal lock), read by grains
+    /// without mu, and cleared only after done == total — the mutex-order
+    /// argument below proves no reader can still be live at that point.
     std::function<void()> grain;
   };
   auto group = std::make_shared<Group>();
@@ -164,8 +168,8 @@ void ThreadPool::ParallelFor(size_t n,
       Submit(priority, group->grain);
     }
     {
-      std::lock_guard<std::mutex> lock(group->mu);
-      if (++group->done == group->total) group->cv.notify_all();
+      MutexLock lock(group->mu);
+      if (++group->done == group->total) group->cv.NotifyAll();
     }
   };
 
@@ -179,11 +183,11 @@ void ThreadPool::ParallelFor(size_t n,
     size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= group->total) break;
     body(i);
-    std::lock_guard<std::mutex> lock(group->mu);
-    if (++group->done == group->total) group->cv.notify_all();
+    MutexLock lock(group->mu);
+    if (++group->done == group->total) group->cv.NotifyAll();
   }
-  std::unique_lock<std::mutex> lock(group->mu);
-  group->cv.wait(lock, [&group] { return group->done == group->total; });
+  MutexLock lock(group->mu);
+  while (group->done != group->total) group->cv.Wait(lock);
   // Break the grain -> group -> grain shared_ptr cycle, or every call
   // would leak one Group once the queued copies drain. Safe here: a grain
   // re-enqueues *before* counting its index done, so done == total means

@@ -3,16 +3,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace radix {
 
@@ -68,22 +68,23 @@ class ThreadPool {
   /// Enqueue one task at the calling thread's ambient priority (see
   /// ScopedPriority). Tasks may run on any worker (or on the calling thread
   /// for a size-1 pool, in which case Submit runs it inline).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RADIX_EXCLUDES(mu_);
 
   /// Enqueue one task at an explicit priority.
-  void Submit(Priority priority, std::function<void()> task);
+  void Submit(Priority priority, std::function<void()> task)
+      RADIX_EXCLUDES(mu_);
 
   /// Block until every task submitted so far — by anyone — has finished.
   /// Pool-wide; prefer ParallelFor's built-in per-call completion under
   /// concurrent queries.
-  void Wait();
+  void Wait() RADIX_EXCLUDES(mu_);
 
   /// Pop and run one queued task (highest priority first) on the calling
   /// thread, if any; returns whether a task ran. Lets a coordinator thread
   /// that is otherwise blocked waiting on Submit-driven work (e.g. the
   /// streaming executor's ring) contribute instead of idling, so all
   /// num_threads participate.
-  bool TryRunOneTask();
+  bool TryRunOneTask() RADIX_EXCLUDES(mu_);
 
   /// Run body(i) for every i in [0, n). Work items are claimed dynamically
   /// off a shared counter (a work queue over indices), so uneven item costs
@@ -94,7 +95,8 @@ class ThreadPool {
   ///
   /// Not reentrant: do not call ParallelFor (or Submit+Wait) from inside a
   /// body running on this pool.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      RADIX_EXCLUDES(mu_);
 
   /// The ambient priority of the calling thread: what Submit(task) and
   /// ParallelFor enqueue at. Defaults to kNormal; set with ScopedPriority.
@@ -135,24 +137,32 @@ class ThreadPool {
   /// One dequeue in kAgingPeriod inverts the priority scan (see Priority).
   static constexpr uint64_t kAgingPeriod = 8;
 
-  void WorkerLoop();
+  void WorkerLoop() RADIX_EXCLUDES(mu_);
   /// Run one task with the worker's ambient priority set to the task's.
   static void RunTask(Task& task);
-  /// Pop the front task, highest priority first with aging. Caller holds
-  /// mu_.
-  bool PopTaskLocked(Task* task);
-  bool QueuesEmptyLocked() const {
+  /// Pop the front task, highest priority first with aging.
+  bool PopTaskLocked(Task* task) RADIX_REQUIRES(mu_);
+  bool QueuesEmptyLocked() const RADIX_REQUIRES(mu_) {
     return queues_[0].empty() && queues_[1].empty();
   }
 
+  /// Immutable after construction (the ctor spawns, the dtor joins);
+  /// deliberately not guarded.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signalled when tasks arrive / stop
-  std::condition_variable idle_cv_;   ///< signalled when a task completes
-  std::array<std::deque<Task>, kNumPriorities> queues_;
-  uint64_t pop_ticks_ = 0;  ///< dequeues so far, drives priority aging
-  size_t in_flight_ = 0;  ///< queued + currently running tasks
-  bool stop_ = false;
+
+  /// mu_ guards every field below. It is a leaf lock: no thread ever
+  /// acquires another radix mutex while holding it (see
+  /// docs/CONCURRENCY.md), and per-call ParallelFor group mutexes are
+  /// never held across Submit.
+  Mutex mu_;
+  CondVar work_cv_;  ///< signalled (under mu_) when tasks arrive / stop
+  CondVar idle_cv_;  ///< signalled (under mu_) when a task completes
+  std::array<std::deque<Task>, kNumPriorities> queues_ RADIX_GUARDED_BY(mu_);
+  /// Dequeues so far, drives priority aging.
+  uint64_t pop_ticks_ RADIX_GUARDED_BY(mu_) = 0;
+  /// Queued + currently running tasks.
+  size_t in_flight_ RADIX_GUARDED_BY(mu_) = 0;
+  bool stop_ RADIX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace radix

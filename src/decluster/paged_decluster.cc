@@ -158,25 +158,29 @@ PagedResult PagedDeclusterVar(const VarValues& values,
 
   // Phase 3: re-execute the decluster, copying each value to its page and
   // offset; the random access is again confined to the insertion window.
+  // One PageRange snapshot (one directory lock) serves the whole phase —
+  // the hot loop must not pay a BufferManager lock per record.
+  std::vector<bufferpool::Page*> pages = bm->PageRange(first, num_pages);
   DeclusterLoop(ids, MakeCursors(borders), window_elems,
                 [&](uint64_t pos, oid_t result_pos) {
-                  bufferpool::page_id_t pid = first + rec_page[result_pos];
+                  uint32_t page_index = rec_page[result_pos];
                   uint32_t off = rec_off[result_pos];
                   uint32_t len = sizes[result_pos];
                   // Zero-length records still get a slot but copy nothing
                   // (an all-empty column's heap pointer may be null).
                   if (len != 0) {
-                    bm->page(pid).WriteAt(
+                    pages[page_index]->WriteAt(
                         off, values.bytes.data() + values.offsets[pos], len);
                   }
-                  result.directory[result_pos] = {pid, off, len};
+                  result.directory[result_pos] = {first + page_index, off,
+                                                  len};
                 });
   // Record the slot directory per page (record offsets at end of page).
   std::vector<uint32_t> slot_counter(num_pages, 0);
   for (size_t i = 0; i < n; ++i) {
     const PagedLocation& loc = result.directory[i];
     size_t page_index = loc.page - first;
-    bm->page(loc.page).SetSlot(slot_counter[page_index]++,
+    pages[page_index]->SetSlot(slot_counter[page_index]++,
                                static_cast<uint16_t>(
                                    sizeof(bufferpool::Page::Header) + loc.offset),
                                static_cast<uint16_t>(loc.length));
@@ -248,20 +252,21 @@ PagedResult PagedDeclusterFixed(std::span<const value_t> values,
   result.directory.resize(n);
 
   // Fixed width: page and offset derive from the result oid directly; one
-  // decluster pass suffices (paper §5, final remark).
+  // decluster pass suffices (paper §5, final remark). Snapshot the page
+  // range once so the hot loop never touches the directory lock.
+  std::vector<bufferpool::Page*> pages = bm->PageRange(first, num_pages);
   DeclusterLoop(ids, MakeCursors(borders), window_elems,
                 [&](uint64_t pos, oid_t result_pos) {
                   size_t page_index = result_pos / per_page;
                   uint32_t off = static_cast<uint32_t>(
                       (result_pos % per_page) * sizeof(value_t));
-                  bufferpool::page_id_t pid =
-                      first + static_cast<bufferpool::page_id_t>(page_index);
                   value_t v = values[pos];
-                  bm->page(pid).WriteAt(off,
-                                        reinterpret_cast<const uint8_t*>(&v),
-                                        sizeof(value_t));
+                  pages[page_index]->WriteAt(
+                      off, reinterpret_cast<const uint8_t*>(&v),
+                      sizeof(value_t));
                   result.directory[result_pos] = {
-                      pid, off, static_cast<uint32_t>(sizeof(value_t))};
+                      first + static_cast<bufferpool::page_id_t>(page_index),
+                      off, static_cast<uint32_t>(sizeof(value_t))};
                 });
   return result;
 }

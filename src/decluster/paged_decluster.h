@@ -60,9 +60,9 @@ struct PagedResult {
 /// borders must be a monotone partition of exactly that range starting at
 /// 0, and the insertion window must be non-empty (a zero window would make
 /// the merge loop spin forever without retiring a tuple).
-Status ValidatePagedDecluster(size_t num_values, std::span<const oid_t> ids,
-                              const cluster::ClusterBorders& borders,
-                              size_t window_elems);
+[[nodiscard]] Status ValidatePagedDecluster(
+    size_t num_values, std::span<const oid_t> ids,
+    const cluster::ClusterBorders& borders, size_t window_elems);
 
 /// Section 5 of the paper: Radix-Decluster into buffer-manager pages for
 /// variable-sized values, where "insert by position" cannot address a page

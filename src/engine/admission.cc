@@ -6,7 +6,7 @@
 namespace radix::engine {
 
 Status AdmissionController::Admit(size_t bytes) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (budget_ == 0) {
     // Gating disabled: admit immediately but keep the books, so Stats()
     // reports real reservation pressure even on an unlimited engine.
@@ -37,7 +37,7 @@ Status AdmissionController::Admit(size_t bytes) {
       ++stats_.queued;
       ++stats_.waiting;
     }
-    cv_.wait(lock);
+    cv_.Wait(lock);
   }
   if (waited) {
     --stats_.waiting;
@@ -50,21 +50,23 @@ Status AdmissionController::Admit(size_t bytes) {
       std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
   // The next ticket may already fit (e.g. a zero-byte reservation): wake
   // the queue so it can check.
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void AdmissionController::Release(size_t bytes) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    RADIX_CHECK(stats_.reserved_bytes >= bytes);
-    stats_.reserved_bytes -= bytes;
-  }
-  cv_.notify_all();
+  // Notify under the lock: a waiter that admits and lets the controller be
+  // destroyed must not race a notifier that unlocked but had not yet
+  // signalled (same destroy-race discipline as the streaming executor;
+  // regression: AdmissionControllerTest.ReleaseDoesNotRaceControllerDestruction).
+  MutexLock lock(mu_);
+  RADIX_CHECK(stats_.reserved_bytes >= bytes);
+  stats_.reserved_bytes -= bytes;
+  cv_.NotifyAll();
 }
 
 AdmissionStats AdmissionController::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

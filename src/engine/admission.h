@@ -1,14 +1,14 @@
 #ifndef RADIX_ENGINE_ADMISSION_H_
 #define RADIX_ENGINE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace radix::engine {
 
@@ -53,23 +53,30 @@ class AdmissionController {
   /// Fails fast with kResourceExhausted — without queueing — when bytes
   /// alone exceed the whole budget: such a query could otherwise park at
   /// the head of the queue forever and deadlock everyone behind it.
-  Status Admit(size_t bytes);
+  /// Dropping the returned Status is a compile error: an unchecked
+  /// rejection would run the query without a reservation.
+  [[nodiscard]] Status Admit(size_t bytes) RADIX_EXCLUDES(mu_);
 
   /// Return a previous Admit()'s reservation and wake the queue.
-  void Release(size_t bytes);
+  void Release(size_t bytes) RADIX_EXCLUDES(mu_);
 
   size_t budget_bytes() const { return budget_; }
-  AdmissionStats Stats() const;
+  AdmissionStats Stats() const RADIX_EXCLUDES(mu_);
 
  private:
   const size_t budget_;
   Clock* const clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_ticket_ = 0;  ///< arrival order
-  uint64_t serving_ = 0;      ///< ticket currently allowed to admit
-  AdmissionStats stats_;
+  /// mu_ guards the ticket queue and counters; it is a leaf lock (never
+  /// held while acquiring any other radix mutex — docs/CONCURRENCY.md).
+  /// cv_ is notified under mu_ whenever serving_ advances or reservations
+  /// shrink, so a parked Admit() re-checks its FIFO turn and budget fit.
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t next_ticket_ RADIX_GUARDED_BY(mu_) = 0;  ///< arrival order
+  /// Ticket currently allowed to admit.
+  uint64_t serving_ RADIX_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ RADIX_GUARDED_BY(mu_);
 };
 
 }  // namespace radix::engine

@@ -545,8 +545,8 @@ project::QueryRun PreparedQuery::Execute() const {
   project::QueryRun run;
   Status status = engine_->ExecutePrepared(*this, &run);
   if (!status.ok()) {
-    std::fprintf(stderr, "Engine::Execute failed: %s\n",
-                 status.ToString().c_str());
+    (void)std::fprintf(stderr, "Engine::Execute failed: %s\n",
+                       status.ToString().c_str());
   }
   RADIX_CHECK(status.ok());
   return run;
@@ -593,19 +593,22 @@ std::string Explanation::ToString() const {
     s += std::to_string(avg_varchar_len);
     s += " B";
     char vbuf[64];
-    std::snprintf(vbuf, sizeof(vbuf), ", paged-decluster %.3f ms",
-                  varchar_decluster_cost.seconds * 1e3);
+    const int vlen = std::snprintf(vbuf, sizeof(vbuf),
+                                   ", paged-decluster %.3f ms",
+                                   varchar_decluster_cost.seconds * 1e3);
+    RADIX_CHECK(vlen > 0 && static_cast<size_t>(vlen) < sizeof(vbuf));
     s += vbuf;
   }
   s += "\nmodeled cost: ";
   char buf[200];
-  std::snprintf(buf, sizeof(buf),
-                "%.3f ms  (join %.3f + cluster %.3f + project %.3f + "
-                "decluster %.3f + varchar %.3f)",
-                modeled_seconds * 1e3, join_cost.seconds * 1e3,
-                cluster_cost.seconds * 1e3, projection_cost.seconds * 1e3,
-                decluster_cost.seconds * 1e3,
-                varchar_decluster_cost.seconds * 1e3);
+  const int len = std::snprintf(
+      buf, sizeof(buf),
+      "%.3f ms  (join %.3f + cluster %.3f + project %.3f + "
+      "decluster %.3f + varchar %.3f)",
+      modeled_seconds * 1e3, join_cost.seconds * 1e3,
+      cluster_cost.seconds * 1e3, projection_cost.seconds * 1e3,
+      decluster_cost.seconds * 1e3, varchar_decluster_cost.seconds * 1e3);
+  RADIX_CHECK(len > 0 && static_cast<size_t>(len) < sizeof(buf));
   s += buf;
   return s;
 }

@@ -248,7 +248,9 @@ class PreparedQuery {
   /// Status-returning Execute: *out receives the result on OK. Returns
   /// kResourceExhausted — quickly, without queueing — when the engine has
   /// an admission budget and this query's reservation alone exceeds it.
-  Status Execute(project::QueryRun* out) const;
+  /// [[nodiscard]]: ignoring a rejection here would read *out as if the
+  /// query had run.
+  [[nodiscard]] Status Execute(project::QueryRun* out) const;
 
  private:
   friend class Engine;
@@ -309,8 +311,8 @@ class Engine {
   friend class PreparedQuery;
 
   /// The admission-gated execution path behind both Execute overloads.
-  Status ExecutePrepared(const PreparedQuery& query,
-                         project::QueryRun* out) const;
+  [[nodiscard]] Status ExecutePrepared(const PreparedQuery& query,
+                                       project::QueryRun* out) const;
   /// Resolve materializing vs streaming (and the chunk size) for a
   /// decluster-side plan from the resolved chunking policy, the streaming
   /// budget and StreamingRadixDeclusterCost; fills the mode fields of `ex`.

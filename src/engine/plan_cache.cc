@@ -40,7 +40,7 @@ std::string PlanCacheKey(const workload::JoinWorkload& workload,
 }
 
 bool PlanCache::Lookup(const std::string& key, Explanation* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -54,7 +54,7 @@ bool PlanCache::Lookup(const std::string& key, Explanation* out) {
 
 void PlanCache::Insert(const std::string& key, const Explanation& explanation) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // A concurrent Prepare of the same shape raced us here; refresh.
@@ -72,7 +72,7 @@ void PlanCache::Insert(const std::string& key, const Explanation& explanation) {
 }
 
 PlanCacheStats PlanCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PlanCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

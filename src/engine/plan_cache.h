@@ -4,12 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 
 namespace radix::engine {
@@ -49,24 +50,29 @@ class PlanCache {
 
   /// On hit, copies the cached Explanation into *out, refreshes LRU order
   /// and counts a hit; counts a miss otherwise.
-  bool Lookup(const std::string& key, Explanation* out);
+  bool Lookup(const std::string& key, Explanation* out) RADIX_EXCLUDES(mu_);
 
   /// Insert (or refresh) the plan for `key`, evicting the least recently
   /// used entry when over capacity. No-op when the cache is disabled.
-  void Insert(const std::string& key, const Explanation& explanation);
+  void Insert(const std::string& key, const Explanation& explanation)
+      RADIX_EXCLUDES(mu_);
 
-  PlanCacheStats Stats() const;
+  PlanCacheStats Stats() const RADIX_EXCLUDES(mu_);
 
  private:
   using Entry = std::pair<std::string, Explanation>;
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  /// mu_ guards the LRU list, its index and the counters as one unit (the
+  /// list and map must never disagree). Leaf lock — docs/CONCURRENCY.md.
+  mutable Mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_ RADIX_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      RADIX_GUARDED_BY(mu_);
+  uint64_t hits_ RADIX_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ RADIX_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ RADIX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace radix::engine

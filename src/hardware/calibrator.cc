@@ -42,7 +42,7 @@ double Calibrator::MeasureChaseLatency(size_t working_set_bytes) const {
   for (size_t i = 0; i < steps; ++i) p = reinterpret_cast<uint64_t*>(*p);
   double seconds = timer.ElapsedSeconds();
   // Defeat dead-code elimination.
-  if (reinterpret_cast<uint64_t>(p) == 1) std::fprintf(stderr, "?");
+  if (reinterpret_cast<uint64_t>(p) == 1) (void)std::fprintf(stderr, "?");
   return seconds * 1e9 / static_cast<double>(steps);
 }
 
@@ -51,8 +51,8 @@ std::vector<Calibrator::LatencyPoint> Calibrator::MeasureLatencyCurve() const {
   for (size_t ws = 4 * 1024; ws <= options_.max_working_set_bytes; ws *= 2) {
     curve.push_back({ws, MeasureChaseLatency(ws)});
     if (options_.verbose) {
-      std::fprintf(stderr, "calibrate: ws=%zuKB latency=%.2fns\n", ws / 1024,
-                   curve.back().ns_per_access);
+      (void)std::fprintf(stderr, "calibrate: ws=%zuKB latency=%.2fns\n",
+                         ws / 1024, curve.back().ns_per_access);
     }
   }
   return curve;
@@ -72,7 +72,7 @@ double Calibrator::MeasureSequentialBandwidthGbs() const {
     for (size_t i = 0; i < words; ++i) sink += data[i];
   }
   double seconds = timer.ElapsedSeconds();
-  if (sink == 0x12345) std::fprintf(stderr, "?");
+  if (sink == 0x12345) (void)std::fprintf(stderr, "?");
   return static_cast<double>(bytes) * kRounds / seconds / 1e9;
 }
 

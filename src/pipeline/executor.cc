@@ -1,10 +1,10 @@
 #include "pipeline/executor.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace radix::pipeline {
@@ -57,25 +57,31 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
   // slot. The ring bound doubles as backpressure: when no slot is free the
   // coordinator blocks here instead of queueing unbounded work.
   struct Ctx {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<size_t> free_slots;
-    size_t in_flight = 0;
-    double gather_busy = 0;
-    double sink_busy = 0;
+    /// mu guards every field below; cv is notified under it. Leaf lock:
+    /// stage tasks lock it only in finish_chunk, never while holding (or
+    /// acquiring) the pool's queue mutex.
+    Mutex mu;
+    CondVar cv;
+    std::vector<size_t> free_slots RADIX_GUARDED_BY(mu);
+    size_t in_flight RADIX_GUARDED_BY(mu) = 0;
+    double gather_busy RADIX_GUARDED_BY(mu) = 0;
+    double sink_busy RADIX_GUARDED_BY(mu) = 0;
   } ctx;
-  ctx.free_slots.reserve(slots);
-  for (size_t s = 0; s < slots; ++s) ctx.free_slots.push_back(s);
+  {
+    MutexLock lock(ctx.mu);
+    ctx.free_slots.reserve(slots);
+    for (size_t s = 0; s < slots; ++s) ctx.free_slots.push_back(s);
+  }
 
   auto finish_chunk = [&ctx](size_t slot, double gather_s, double sink_s) {
     // Notify under the lock: once in_flight hits 0 the coordinator may
     // return and destroy ctx, so the cv must not be touched after unlock.
-    std::lock_guard<std::mutex> lock(ctx.mu);
+    MutexLock lock(ctx.mu);
     ctx.gather_busy += gather_s;
     ctx.sink_busy += sink_s;
     ctx.free_slots.push_back(slot);
     --ctx.in_flight;
-    ctx.cv.notify_all();
+    ctx.cv.NotifyAll();
   };
 
   // While the ring is full (or during the final drain) the coordinator
@@ -84,7 +90,7 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
   auto acquire_slot = [&ctx, pool]() {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(ctx.mu);
+        MutexLock lock(ctx.mu);
         if (!ctx.free_slots.empty()) {
           size_t slot = ctx.free_slots.back();
           ctx.free_slots.pop_back();
@@ -93,8 +99,8 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
         }
       }
       if (!pool->TryRunOneTask()) {
-        std::unique_lock<std::mutex> lock(ctx.mu);
-        ctx.cv.wait(lock, [&ctx] { return !ctx.free_slots.empty(); });
+        MutexLock lock(ctx.mu);
+        while (ctx.free_slots.empty()) ctx.cv.Wait(lock);
       }
     }
   };
@@ -121,7 +127,7 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
   }
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       if (ctx.in_flight == 0) {
         local.gather_busy_seconds = ctx.gather_busy;
         local.sink_busy_seconds = ctx.sink_busy;
@@ -129,10 +135,10 @@ double StreamingExecutor::Run(const ChunkPlan& plan, ChunkStage& gather,
       }
     }
     if (!pool->TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       // A woken coordinator re-checks the queue first; in_flight only ever
       // falls, so waiting on any completion is enough for progress.
-      if (ctx.in_flight != 0) ctx.cv.wait(lock);
+      if (ctx.in_flight != 0) ctx.cv.Wait(lock);
     }
   }
   if (stats != nullptr) *stats = local;

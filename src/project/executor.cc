@@ -2,10 +2,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "join/partitioned_hash_join.h"
@@ -201,9 +201,11 @@ namespace detail {
 ThreadPool* SharedPoolFor(size_t num_threads) {
   if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
   if (num_threads <= 1) return nullptr;
-  static std::mutex mu;
+  // The pool registry mutex is a leaf lock; ThreadPool construction under
+  // it spawns workers but never blocks on them.
+  static Mutex mu;
   static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   std::unique_ptr<ThreadPool>& pool = pools[num_threads];
   if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
   return pool.get();

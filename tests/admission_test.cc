@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -194,6 +195,29 @@ TEST(AdmissionControllerTest, FakeClockMetersQueueWaitExactly) {
 // ---------------------------------------------------------------------------
 // Engine-level admission.
 // ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, ReleaseDoesNotRaceControllerDestruction) {
+  // Regression test for a latent destroy race found by the thread-safety
+  // annotation pass: Release() used to notify cv_ *after* unlocking mu_,
+  // so a waiter could admit, finish, and let the controller be destroyed
+  // while the releasing thread still had a cv_.notify_all() in flight —
+  // a use-after-free on the condition variable. With notify-under-lock
+  // the waiter cannot observe the release before the signal is issued.
+  // Timing-dependent: the old code trips TSan/ASan here (this suite runs
+  // under both in CI) and can crash outright under enough iterations.
+  for (int round = 0; round < 200; ++round) {
+    auto ctl = std::make_unique<AdmissionController>(/*budget_bytes=*/100);
+    ASSERT_TRUE(ctl->Admit(100).ok());  // fill the budget
+    // Releaser thread returns A's reservation while this thread waits.
+    std::thread releaser([&] { ctl->Release(100); });
+    ASSERT_TRUE(ctl->Admit(100).ok());  // parks until the release
+    ctl->Release(100);
+    // Destroy while the releaser may still be inside Release(): with the
+    // old code its pending notify lands on a freed condition variable.
+    ctl.reset();
+    releaser.join();
+  }
+}
 
 TEST(EngineAdmissionTest, OversizedQueryFailsFastWithClearStatus) {
   EngineConfig cfg = P4Config(/*threads=*/1);

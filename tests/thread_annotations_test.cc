@@ -1,0 +1,172 @@
+// Tests for the annotated synchronization wrappers (common/mutex.h) and
+// the thread-annotation macros (common/thread_annotations.h).
+//
+// Two jobs:
+//  1. Runtime semantics: Mutex/MutexLock/CondVar must behave exactly like
+//     the std primitives they wrap — mutual exclusion, scoped release,
+//     TryLock, wait/notify — under real contention. This suite carries the
+//     `threaded` label, so the TSan CI job runs it under
+//     -fsanitize=thread: a wrapper that silently dropped the underlying
+//     lock would surface as a data race here.
+//  2. Macro surface: off Clang, every RADIX_* annotation macro must expand
+//     to nothing a compiler objects to — this file compiling under GCC
+//     with -Werror IS that test (AnnotatedEverywhere below uses every
+//     macro in a class definition).
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace radix {
+namespace {
+
+// Every annotation macro in one class: if any expands to something
+// ill-formed off Clang (or on it), this translation unit fails to build.
+class RADIX_CAPABILITY("mutex") AnnotatedMutexSurface {
+ public:
+  void Lock() RADIX_ACQUIRE() {}
+  void Unlock() RADIX_RELEASE() {}
+  bool TryLock() RADIX_TRY_ACQUIRE(true) { return true; }
+};
+
+class AnnotatedEverywhere {
+ public:
+  void Guarded() RADIX_EXCLUDES(mu_) {}
+  void Locked() RADIX_REQUIRES(mu_) {}
+  void SharedLocked() RADIX_REQUIRES_SHARED(mu_) {}
+  void Acquire() RADIX_ACQUIRE(mu_) {}
+  void Release() RADIX_RELEASE(mu_) {}
+  void Assert() RADIX_ASSERT_CAPABILITY(mu_) {}
+  Mutex* GetMu() RADIX_RETURN_CAPABILITY(mu_) { return &mu_; }
+  void Escape() RADIX_NO_THREAD_SAFETY_ANALYSIS {}
+
+ private:
+  Mutex mu_ RADIX_ACQUIRED_BEFORE(other_mu_);
+  Mutex other_mu_ RADIX_ACQUIRED_AFTER(mu_);
+  int guarded_ RADIX_GUARDED_BY(mu_) = 0;
+  int* pt_guarded_ RADIX_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+TEST(ThreadAnnotationsTest, MacrosCompileToValidCode) {
+  AnnotatedMutexSurface surface;
+  surface.Lock();
+  surface.Unlock();
+  // Stored-bool branching is the TSA-recognized try-acquire shape.
+  bool acquired = surface.TryLock();
+  if (acquired) surface.Unlock();
+  EXPECT_TRUE(acquired);
+  AnnotatedEverywhere everywhere;
+  everywhere.Guarded();
+  EXPECT_NE(everywhere.GetMu(), nullptr);
+}
+
+TEST(MutexTest, GuardedCounterIsExactUnderContention) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrements = 20'000;
+  Mutex mu;
+  size_t counter = 0;  // guarded by mu (by convention in this test)
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<int> observed{-1};
+  // TryLock from another thread: contended try_lock must fail (same-thread
+  // try_lock on a held std::mutex is UB, so probe cross-thread).
+  std::thread probe([&] {
+    bool acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+    observed = acquired ? 1 : 0;
+  });
+  probe.join();
+  EXPECT_EQ(observed, 0);
+  mu.Unlock();
+  bool reacquired = mu.TryLock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockReleasesOnScopeExit) {
+  Mutex mu;
+  { MutexLock lock(mu); }
+  // If the scoped lock leaked, this TryLock would fail.
+  bool acquired = mu.TryLock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.Unlock();
+}
+
+TEST(CondVarTest, ProducerConsumerHandshake) {
+  // The repo's canonical wait shape: explicit while-loop predicates, all
+  // notifies under the lock (docs/CONCURRENCY.md).
+  constexpr int kItems = 1'000;
+  Mutex mu;
+  CondVar cv;
+  int ready = 0;     // guarded by mu
+  int consumed = 0;  // guarded by mu
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(mu);
+      ++ready;
+      cv.NotifyAll();
+    }
+  });
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (consumed < kItems) {
+      while (ready == consumed) cv.Wait(lock);
+      ++consumed;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr size_t kWaiters = 6;
+  Mutex mu;
+  CondVar cv;
+  bool go = false;       // guarded by mu
+  size_t parked = 0;     // guarded by mu
+  std::atomic<size_t> woke{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (size_t i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      ++parked;
+      cv.NotifyAll();  // tell the releaser we are in the wait loop
+      while (!go) cv.Wait(lock);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    while (parked != kWaiters) cv.Wait(lock);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke, kWaiters);
+}
+
+}  // namespace
+}  // namespace radix
