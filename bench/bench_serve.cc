@@ -38,7 +38,11 @@
 
 #include "engine/engine.h"
 #include "hardware/memory_hierarchy.h"
+#include "ops/executor.h"
+#include "ops/plan.h"
+#include "ops/table.h"
 #include "project/executor.h"
+#include "workload/chain.h"
 #include "workload/generator.h"
 
 namespace {
@@ -102,11 +106,14 @@ JoinWorkload MakeW(size_t n, uint64_t seed, size_t varchar_cols) {
 }
 
 /// One shape of the serving mix, with its serial ground truth filled in by
-/// the baseline phase.
+/// the baseline phase. Two-sided entries set (workload, spec); plan-tree
+/// entries set (catalog, plan) instead and run through the operator layer.
 struct MixEntry {
   const char* name;
   const JoinWorkload* workload;
   QuerySpec spec;
+  const radix::ops::Catalog* catalog = nullptr;
+  const radix::ops::LogicalPlan* plan = nullptr;
   uint64_t checksum = 0;
   size_t cardinality = 0;
 };
@@ -188,9 +195,42 @@ int main(int argc, char** argv) {
     e.spec.pi_varchar_right = 1;
     mix.push_back(e);
   }
-  // ~70% point / 25% medium / 5% heavy+varchar.
+  // A multi-operator plan tree in the same mix: select -> 2-edge join
+  // chain -> grouped aggregate through the ops/ layer, sharing the
+  // session's pool, admission gate and plan cache with the two-sided
+  // queries around it.
+  radix::workload::ChainWorkloadSpec chain_spec;
+  chain_spec.cardinalities = {medium_n, medium_n / 2, medium_n};
+  chain_spec.num_attrs = 4;
+  chain_spec.seed = 47;
+  const radix::workload::ChainWorkload chain_w =
+      radix::workload::MakeChainWorkload(chain_spec);
+  const radix::ops::Catalog chain_catalog =
+      radix::ops::CatalogFromChainWorkload(chain_w);
+  radix::ops::LogicalPlan chain_plan;
+  {
+    radix::ops::Predicate pred;
+    pred.col = {0, 1, false};
+    pred.op = radix::ops::CmpOp::kLt;
+    // PayloadValue is uniform over [0, 2^31); midpoint keeps ~half the rows.
+    pred.value = radix::value_t{1} << 30;
+    chain_plan.root = radix::ops::Aggregate(
+        radix::ops::Join(
+            radix::ops::Join(
+                radix::ops::Select(radix::ops::Scan(0), pred),
+                radix::ops::Scan(1), 0, 1),
+            radix::ops::Scan(2), 1, 2),
+        {{2, 1, false}},
+        {{radix::ops::AggFn::kSum, {0, 1, false}},
+         {radix::ops::AggFn::kCount, {}}});
+    MixEntry e{"plan_tree_chain", nullptr, QuerySpec{}};
+    e.catalog = &chain_catalog;
+    e.plan = &chain_plan;
+    mix.push_back(e);
+  }
+  // ~65% point / 20% medium / 5% heavy+varchar / 10% plan-tree chain.
   const int weights[20] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
-                           0, 0, 0, 0, 1, 1, 1, 1, 1, 2};
+                           0, 0, 0, 1, 1, 1, 1, 2, 3, 3};
 
   // The full query sequence, fixed up front so the serialized baseline and
   // the concurrent phase execute the SAME work.
@@ -211,14 +251,37 @@ int main(int argc, char** argv) {
                clients, threads, total, point_n, medium_n, heavy_n,
                quick ? " [quick]" : "");
 
+  // Run one mix entry through whichever engine entry point it names,
+  // normalizing (checksum, cardinality) across the two result types.
+  auto run_query = [&eng](const MixEntry& e, uint64_t* checksum,
+                          size_t* cardinality) -> radix::Status {
+    if (e.plan != nullptr) {
+      radix::ops::PlanRun run;
+      radix::Status status = eng.Execute(*e.catalog, *e.plan, &run);
+      if (!status.ok()) return status;
+      *checksum = run.checksum;
+      *cardinality = run.result_rows;
+      return status;
+    }
+    radix::project::QueryRun run;
+    radix::Status status = eng.Prepare(*e.workload, e.spec).Execute(&run);
+    if (!status.ok()) return status;
+    *checksum = run.checksum;
+    *cardinality = run.result_cardinality;
+    return status;
+  };
+
   // -------------------------------------------------------------------------
   // Phase 1: serialized back-to-back baseline — one thread runs the whole
   // sequence, recording ground-truth checksums and the serial throughput.
   // -------------------------------------------------------------------------
   for (MixEntry& e : mix) {
-    radix::project::QueryRun run = eng.Execute(*e.workload, e.spec);
-    e.checksum = run.checksum;
-    e.cardinality = run.result_cardinality;
+    radix::Status status = run_query(e, &e.checksum, &e.cardinality);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_serve: ground truth for %s failed: %s\n",
+                   e.name, status.ToString().c_str());
+      return 1;
+    }
   }
   std::vector<double> serial_lat_ms;
   serial_lat_ms.reserve(total);
@@ -227,10 +290,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < total; ++i) {
     const MixEntry& e = mix[schedule[i]];
     const uint64_t q_start = NowNanos();
-    radix::project::QueryRun run = eng.Execute(*e.workload, e.spec);
+    uint64_t checksum = 0;
+    size_t cardinality = 0;
+    radix::Status status = run_query(e, &checksum, &cardinality);
     serial_lat_ms.push_back(
         static_cast<double>(NowNanos() - q_start) / 1e6);
-    if (run.checksum != e.checksum || run.result_cardinality != e.cardinality)
+    if (!status.ok() || checksum != e.checksum ||
+        cardinality != e.cardinality)
       ++serial_bad;
   }
   const double serial_seconds =
@@ -267,16 +333,15 @@ int main(int argc, char** argv) {
           arrival = scheduled;  // open loop: latency from scheduled arrival
         }
         const MixEntry& e = mix[schedule[i]];
-        radix::project::QueryRun run;
-        radix::Status status =
-            eng.Prepare(*e.workload, e.spec).Execute(&run);
+        uint64_t checksum = 0;
+        size_t cardinality = 0;
+        radix::Status status = run_query(e, &checksum, &cardinality);
         if (!status.ok()) {
           conc_err.fetch_add(1);
           continue;
         }
         conc_lat_ms[i] = static_cast<double>(NowNanos() - arrival) / 1e6;
-        if (run.checksum != e.checksum ||
-            run.result_cardinality != e.cardinality) {
+        if (checksum != e.checksum || cardinality != e.cardinality) {
           conc_bad.fetch_add(1);
         }
       }

@@ -53,7 +53,8 @@ LAYER_DEPS = {
     "decluster": {"cluster", "bufferpool"},
     "pipeline": {"join", "decluster"},
     "project": {"costmodel", "decluster", "join", "pipeline", "workload"},
-    "engine": {"project"},
+    "ops": {"project", "pipeline"},
+    "engine": {"project", "ops"},
 }
 
 
@@ -239,6 +240,13 @@ SELF_TEST_CASES = [
     ("storage/bad.cc", '#include "cluster/radix_cluster.h"\n',
      "layer-violation"),
     ("engine/ok.cc", '#include "cluster/radix_cluster.h"\n', None),
+    # ops sits below engine: an upward include must be caught...
+    ("ops/bad.cc", '#include "engine/engine.h"\n', "layer-violation"),
+    # ...while its sanctioned deps (project + closure) are clean, and
+    # engine may reach down into ops.
+    ("ops/ok.cc", '#include "project/dsm_post.h"\n', None),
+    ("ops/ok.cc", '#include "join/positional_join.h"\n', None),
+    ("engine/ok.cc", '#include "ops/plan.h"\n', None),
     ("engine/bad.cc",
      "void F() {\n  { MutexLock lock(mu_); x = 1; }\n  cv_.NotifyAll();\n}\n",
      "notify-outside-lock"),

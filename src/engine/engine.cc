@@ -237,6 +237,13 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
         if (ex.streaming) {
           ex.chunk_rows = spec.chunk_rows != 0 ? spec.chunk_rows
                                                : project::DefaultChunkRows(hw);
+          ex.mode_reason = "policy: stream";
+        } else if (policy == ChunkingPolicy::kStream) {
+          ex.mode_reason =
+              "varchar columns force materializing (no streaming path for "
+              "variable-size chunks)";
+        } else {
+          ex.mode_reason = "u right side materializes no value intermediates";
         }
       } else {
         cluster::ClusterSpec right_spec = project::detail::SpecFor(
@@ -275,6 +282,9 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
           ex.streaming = false;
           ex.chunk_rows = 0;
           ex.modeled_intermediate_bytes = n_index * sizeof(value_t);
+          ex.mode_reason =
+              "varchar columns force materializing (no streaming path for "
+              "variable-size chunks)";
         }
         const CostEstimate decluster_once =
             ex.streaming
@@ -402,11 +412,89 @@ PreparedQuery Engine::Prepare(const workload::JoinWorkload& workload,
                static_cast<double>(var_r));
   }
 
+  if (ex.mode_reason.empty()) {
+    // The Fig. 10 comparison strategies have no streaming variant at all.
+    ex.mode_reason = "comparison strategy: materializing only";
+  }
   ex.modeled_seconds = ex.join_cost.seconds + ex.cluster_cost.seconds +
                        ex.projection_cost.seconds + ex.decluster_cost.seconds +
                        ex.varchar_decluster_cost.seconds;
   plan_cache_->Insert(cache_key, ex);
   return PreparedQuery(this, &workload, spec, std::move(ex));
+}
+
+Status Engine::Prepare(const ops::Catalog& catalog,
+                       const ops::LogicalPlan& plan,
+                       PreparedPlan* out) const {
+  // Validate first so a malformed tree is a clean kInvalidArgument before
+  // any cache or optimizer work (and before fingerprinting, which assumes
+  // a structurally sound tree).
+  Status valid = ops::ValidatePlan(catalog, plan);
+  if (!valid.ok()) return valid;
+
+  const std::string cache_key = PlanCacheKey(catalog, plan);
+  {
+    Explanation cached;
+    ops::PhysicalPlan cached_physical;
+    if (plan_cache_->LookupTree(cache_key, &cached, &cached_physical)) {
+      *out = PreparedPlan(this, &catalog, &plan, std::move(cached_physical),
+                          std::move(cached));
+      return Status::OK();
+    }
+  }
+
+  ops::PhysicalPlan physical;
+  Status opt = ops::Optimize(catalog, plan, hw_, config_.cpu_costs,
+                             num_threads(), &physical);
+  if (!opt.ok()) return opt;
+
+  Explanation ex;
+  ex.strategy = JoinStrategy::kDsmPostDecluster;
+  ex.plan_tree = true;
+  ex.threads = num_threads();
+  ex.estimated_result_rows = physical.est_result_rows;
+  ex.modeled_intermediate_bytes = physical.modeled_intermediate_bytes;
+  ex.join_cost = physical.join_cost;
+  ex.cluster_cost = physical.cluster_cost;
+  ex.projection_cost = physical.projection_cost;
+  ex.decluster_cost = physical.decluster_cost;
+  ex.modeled_seconds = physical.modeled_seconds;
+  ex.plan_summary = physical.Summary();
+  // Blocking operators (join, aggregate) materialize their inputs and
+  // stream output chunks; there is no fully-pipelined mode to reject.
+  ex.mode_reason =
+      "operator-at-a-time: blocking operators materialize, chunks stream "
+      "between operators";
+  ex.streaming = false;
+  std::string code;
+  bool easy = !physical.edges.empty();
+  for (const ops::EdgePlan& edge : physical.edges) {
+    ex.edge_codes.push_back(edge.code);
+    if (!code.empty()) code += "+";
+    code += edge.code;
+    easy = easy && edge.easy;
+  }
+  ex.plan_code = code.empty() ? "-" : code;
+  ex.easy = easy;
+  size_t max_card = physical.est_result_rows;
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    max_card = std::max(max_card, catalog.table(t).cardinality());
+  }
+  ex.high_priority = max_card <= config_.point_query_rows_threshold;
+
+  plan_cache_->InsertTree(cache_key, ex, physical);
+  *out = PreparedPlan(this, &catalog, &plan, std::move(physical),
+                      std::move(ex));
+  return Status::OK();
+}
+
+Status Engine::Execute(const ops::Catalog& catalog,
+                       const ops::LogicalPlan& plan,
+                       ops::PlanRun* out) const {
+  PreparedPlan prepared;
+  Status status = Prepare(catalog, plan, &prepared);
+  if (!status.ok()) return status;
+  return prepared.Execute(out);
 }
 
 void Engine::PlanExecutionMode(const QuerySpec& spec, ChunkingPolicy policy,
@@ -424,8 +512,18 @@ void Engine::PlanExecutionMode(const QuerySpec& spec, ChunkingPolicy policy,
     ex->streaming = false;
     ex->chunk_rows = 0;
     ex->modeled_intermediate_bytes = materialized_bytes;
+    if (policy == ChunkingPolicy::kMaterialize) {
+      ex->mode_reason = "chunking policy: always materialize";
+    } else if (config_.streaming_budget_bytes == 0) {
+      ex->mode_reason = "auto: no streaming budget configured";
+    } else {
+      ex->mode_reason = "auto: intermediate fits streaming budget";
+    }
     return;
   }
+  ex->mode_reason = policy == ChunkingPolicy::kStream
+                        ? "policy: stream"
+                        : "auto: intermediate exceeds streaming budget";
 
   // The streamed ring holds (pool threads + 2) chunks when threaded, 1
   // when serial (ExecutorOptions auto ring), each pi_right columns wide.
@@ -537,8 +635,43 @@ Status Engine::ExecutePrepared(const PreparedQuery& query,
   return Status::OK();
 }
 
+Status Engine::ExecutePreparedPlan(const PreparedPlan& prepared,
+                                   ops::PlanRun* out) const {
+  const Explanation& ex = prepared.explanation_;
+
+  // The same admission gate as two-sided queries: the optimizer's peak
+  // intermediate estimate is the reservation currency.
+  const size_t admission_bytes = ex.modeled_intermediate_bytes;
+  Status admit = admission_.Admit(admission_bytes);
+  if (!admit.ok()) return admit;
+  struct ReservationGuard {
+    AdmissionController& admission;
+    size_t bytes;
+    ~ReservationGuard() { admission.Release(bytes); }
+  } release_on_exit{admission_, admission_bytes};
+
+  ThreadPool::ScopedPriority priority(ex.high_priority
+                                          ? ThreadPool::Priority::kHigh
+                                          : ThreadPool::Priority::kNormal);
+
+  ops::ExecOptions options;
+  options.hw = &hw_;
+  options.pool = pool_.get();
+  options.gauge = config_.gauge;
+  Status status = ops::ExecutePlan(*prepared.catalog_, *prepared.plan_,
+                                   prepared.physical_, options, out);
+  if (status.ok()) {
+    queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
 Status PreparedQuery::Execute(project::QueryRun* out) const {
   return engine_->ExecutePrepared(*this, out);
+}
+
+Status PreparedPlan::Execute(ops::PlanRun* out) const {
+  return engine_->ExecutePreparedPlan(*this, out);
 }
 
 project::QueryRun PreparedQuery::Execute() const {
@@ -554,10 +687,15 @@ project::QueryRun PreparedQuery::Execute() const {
 
 std::string Explanation::ToString() const {
   std::string s = "strategy: ";
-  s += project::JoinStrategyName(strategy);
+  s += plan_tree ? "plan tree (dsm-post per edge)"
+                 : project::JoinStrategyName(strategy);
   s += "  sides: ";
   s += plan_code;
   s += easy ? "  (easy join)" : "  (hard join)";
+  if (!plan_summary.empty()) {
+    s += "\nplan: ";
+    s += plan_summary;
+  }
   s += "\nexecution: ";
   s += ModeName(streaming);
   if (streaming) {
@@ -568,6 +706,10 @@ std::string Explanation::ToString() const {
   s += std::to_string(threads);
   s += ", priority=";
   s += high_priority ? "high" : "normal";
+  if (!mode_reason.empty()) {
+    s += "\nmode reason: ";
+    s += mode_reason;
+  }
   if (decluster_bits != 0) {
     s += "\nradix plan: B=";
     s += std::to_string(decluster_bits);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -15,6 +16,10 @@
 #include "engine/admission.h"
 #include "hardware/calibrator.h"
 #include "hardware/memory_hierarchy.h"
+#include "ops/executor.h"
+#include "ops/optimizer.h"
+#include "ops/plan.h"
+#include "ops/table.h"
 #include "project/dsm_post.h"
 #include "project/executor.h"
 #include "project/strategy.h"
@@ -175,8 +180,20 @@ struct QuerySpec {
 /// figure harnesses plot.
 struct Explanation {
   project::JoinStrategy strategy;
-  /// DSM-post per-side plan code ("c/d"); "-" for other strategies.
+  /// DSM-post per-side plan code ("c/d"); "-" for other strategies. For
+  /// plan trees: the per-join-edge codes joined with "+", in the
+  /// executor's post-order.
   std::string plan_code = "-";
+  /// Why the chosen execution mode was chosen — in particular why
+  /// streaming was *rejected* (policy, budget fit, or varchar columns
+  /// forcing materializing). Surfaced by ToString().
+  std::string mode_reason;
+  /// Plan-tree prepares only: true, plus the optimizer's per-edge summary
+  /// ("t0*t1: c/d (est N rows)") and the individual edge codes in
+  /// post-order. Two-sided QuerySpec prepares leave these empty.
+  bool plan_tree = false;
+  std::string plan_summary;
+  std::vector<std::string> edge_codes;
   bool easy = false;  ///< planner classified both columns as cache-resident
   /// Resolved per-side options the executor will run with (DSM-post only).
   project::DsmPostOptions side_options;
@@ -267,6 +284,46 @@ class PreparedQuery {
   Explanation explanation_;
 };
 
+/// A planned logical plan tree bound to its catalog: the plan-tree
+/// counterpart of PreparedQuery. Explain() reports the per-join-edge
+/// Fig. 10 strategies the optimizer chose; Execute() pulls chunks through
+/// the ops/ operator tree on the engine's session resources. The catalog,
+/// the plan and the engine must outlive the PreparedPlan.
+class PreparedPlan {
+ public:
+  /// Empty shell for Engine::Prepare's out-parameter; Execute() on a
+  /// never-filled PreparedPlan is a programmer error.
+  PreparedPlan() = default;
+
+  const Explanation& Explain() const& { return explanation_; }
+  Explanation Explain() && { return std::move(explanation_); }
+  const ops::PhysicalPlan& physical() const { return physical_; }
+
+  /// Run the plan through the chunk-at-a-time executor. Passes the same
+  /// admission gate and priority scheduling as PreparedQuery::Execute();
+  /// byte-identical results at every thread count (the operators reuse the
+  /// byte-identical parallel kernels). Returns kResourceExhausted without
+  /// queueing when the reservation alone exceeds the admission budget.
+  [[nodiscard]] Status Execute(ops::PlanRun* out) const;
+
+ private:
+  friend class Engine;
+  PreparedPlan(const Engine* engine, const ops::Catalog* catalog,
+               const ops::LogicalPlan* plan, ops::PhysicalPlan physical,
+               Explanation explanation)
+      : engine_(engine),
+        catalog_(catalog),
+        plan_(plan),
+        physical_(std::move(physical)),
+        explanation_(std::move(explanation)) {}
+
+  const Engine* engine_ = nullptr;
+  const ops::Catalog* catalog_ = nullptr;
+  const ops::LogicalPlan* plan_ = nullptr;
+  ops::PhysicalPlan physical_;
+  Explanation explanation_ = {};
+};
+
 class PlanCache;
 
 class Engine {
@@ -298,6 +355,22 @@ class Engine {
   project::QueryRun Execute(const workload::JoinWorkload& workload,
                             const QuerySpec& spec) const;
 
+  /// Plan a logical plan tree: validate it, estimate per-node
+  /// cardinalities, pick the Fig. 10 per-side strategy for every join edge
+  /// via the cost model, and fix the modeled costs — all before anything
+  /// runs. kInvalidArgument (not a crash) on malformed or unsupported
+  /// trees. Thread-safe; consults the plan cache keyed on the full tree
+  /// shape (operator kinds, predicate constants, aggregate list,
+  /// cardinalities) so distinct trees never alias.
+  [[nodiscard]] Status Prepare(const ops::Catalog& catalog,
+                               const ops::LogicalPlan& plan,
+                               PreparedPlan* out) const;
+
+  /// Prepare() + Execute() in one call for plan trees.
+  [[nodiscard]] Status Execute(const ops::Catalog& catalog,
+                               const ops::LogicalPlan& plan,
+                               ops::PlanRun* out) const;
+
   /// Counters of the serving machinery: plan-cache hits/misses, admission
   /// queue/rejection/reservation stats, executed-query count. Thread-safe
   /// snapshot.
@@ -309,10 +382,14 @@ class Engine {
 
  private:
   friend class PreparedQuery;
+  friend class PreparedPlan;
 
   /// The admission-gated execution path behind both Execute overloads.
   [[nodiscard]] Status ExecutePrepared(const PreparedQuery& query,
                                        project::QueryRun* out) const;
+  /// The admission-gated execution path behind PreparedPlan::Execute().
+  [[nodiscard]] Status ExecutePreparedPlan(const PreparedPlan& prepared,
+                                           ops::PlanRun* out) const;
   /// Resolve materializing vs streaming (and the chunk size) for a
   /// decluster-side plan from the resolved chunking policy, the streaming
   /// budget and StreamingRadixDeclusterCost; fills the mode fields of `ex`.

@@ -39,6 +39,27 @@ std::string PlanCacheKey(const workload::JoinWorkload& workload,
   return std::string(buf, static_cast<size_t>(len));
 }
 
+std::string PlanCacheKey(const ops::Catalog& catalog,
+                         const ops::LogicalPlan& plan) {
+  // "tree|" keeps plan-tree keys disjoint from two-sided keys (which start
+  // "nl="). The catalog section pins every cardinality and varchar count
+  // the optimizer's estimates read; PlanFingerprint pins the full tree
+  // shape down to predicate constants and aggregate lists, so distinct
+  // trees never alias (tests/plan_cache_test.cc perturbs every dimension).
+  std::string key = "tree|";
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    char buf[64];
+    const int len = std::snprintf(buf, sizeof(buf), "t%zu=%zu,v%zu;", t,
+                                  catalog.table(t).cardinality(),
+                                  catalog.table(t).varchars.size());
+    RADIX_CHECK(len > 0 && static_cast<size_t>(len) < sizeof(buf));
+    key.append(buf, static_cast<size_t>(len));
+  }
+  key += "|";
+  key += ops::PlanFingerprint(plan);
+  return key;
+}
+
 bool PlanCache::Lookup(const std::string& key, Explanation* out) {
   MutexLock lock(mu_);
   auto it = index_.find(key);
@@ -48,7 +69,7 @@ bool PlanCache::Lookup(const std::string& key, Explanation* out) {
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   ++hits_;
-  *out = it->second->second;
+  *out = it->second->second.explanation;
   return true;
 }
 
@@ -58,11 +79,47 @@ void PlanCache::Insert(const std::string& key, const Explanation& explanation) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     // A concurrent Prepare of the same shape raced us here; refresh.
-    it->second->second = explanation;
+    it->second->second.explanation = explanation;
+    it->second->second.has_physical = false;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, explanation);
+  lru_.emplace_front(key, CachedPlan{explanation, {}, false});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool PlanCache::LookupTree(const std::string& key, Explanation* out,
+                           ops::PhysicalPlan* physical) {
+  MutexLock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || !it->second->second.has_physical) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->second.explanation;
+  *physical = it->second->second.physical;
+  return true;
+}
+
+void PlanCache::InsertTree(const std::string& key,
+                           const Explanation& explanation,
+                           const ops::PhysicalPlan& physical) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = CachedPlan{explanation, physical, true};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, CachedPlan{explanation, physical, true});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);

@@ -38,6 +38,16 @@ struct PlanCacheStats {
 std::string PlanCacheKey(const workload::JoinWorkload& workload,
                          const QuerySpec& spec);
 
+/// The cache key of one plan-tree Prepare(): the catalog's per-table
+/// cardinalities and varchar counts plus ops::PlanFingerprint — the full
+/// tree shape (operator kinds and arrangement, predicate columns,
+/// comparison ops and constants, projection lists, group-by and aggregate
+/// lists). Prefixed "tree|" so plan-tree keys can never alias the
+/// two-sided keys above (those start "nl="). Distinct trees, or the same
+/// tree over different-shaped catalogs, always map to different keys.
+std::string PlanCacheKey(const ops::Catalog& catalog,
+                         const ops::LogicalPlan& plan);
+
 /// Thread-safe LRU map PlanCacheKey -> Explanation, sitting under
 /// Engine::Prepare() so a repeated query shape skips planning, cost-model
 /// evaluation and hardware-profile lookups entirely. capacity == 0
@@ -57,10 +67,25 @@ class PlanCache {
   void Insert(const std::string& key, const Explanation& explanation)
       RADIX_EXCLUDES(mu_);
 
+  /// Plan-tree variants: entries additionally carry the optimizer's
+  /// PhysicalPlan (per-edge strategies and bits), so a cache hit skips the
+  /// whole Optimize() pass. LookupTree misses on a legacy entry under the
+  /// same key (cannot happen with PlanCacheKey's disjoint prefixes, but
+  /// the cache itself does not rely on that).
+  bool LookupTree(const std::string& key, Explanation* out,
+                  ops::PhysicalPlan* physical) RADIX_EXCLUDES(mu_);
+  void InsertTree(const std::string& key, const Explanation& explanation,
+                  const ops::PhysicalPlan& physical) RADIX_EXCLUDES(mu_);
+
   PlanCacheStats Stats() const RADIX_EXCLUDES(mu_);
 
  private:
-  using Entry = std::pair<std::string, Explanation>;
+  struct CachedPlan {
+    Explanation explanation;
+    ops::PhysicalPlan physical;
+    bool has_physical = false;
+  };
+  using Entry = std::pair<std::string, CachedPlan>;
 
   const size_t capacity_;
   /// mu_ guards the LRU list, its index and the counters as one unit (the

@@ -1,0 +1,106 @@
+#include "ops/executor.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "ops/operator.h"
+#include "project/checksum.h"
+#include "project/dsm_post.h"
+
+namespace radix::ops {
+
+namespace {
+
+/// Recursive operator-tree construction. Join nodes consume EdgePlans in
+/// post-order — the same traversal Optimize() used to emit them.
+std::unique_ptr<Operator> BuildOperator(const PlanNode& node,
+                                        const PhysicalPlan& physical,
+                                        size_t* next_edge) {
+  switch (node.kind) {
+    case NodeKind::kScan:
+      return std::make_unique<ScanOp>(node.table);
+    case NodeKind::kSelect:
+      return std::make_unique<SelectOp>(
+          BuildOperator(*node.children[0], physical, next_edge), node.pred);
+    case NodeKind::kJoin: {
+      auto left = BuildOperator(*node.children[0], physical, next_edge);
+      auto right = BuildOperator(*node.children[1], physical, next_edge);
+      RADIX_CHECK(*next_edge < physical.edges.size());
+      const EdgePlan& edge = physical.edges[(*next_edge)++];
+      RADIX_CHECK(edge.left_table == node.left_table &&
+                  edge.right_table == node.right_table);
+      return std::make_unique<RadixJoinOp>(std::move(left), std::move(right),
+                                           node.left_table, node.right_table,
+                                           edge.physical);
+    }
+    case NodeKind::kProject:
+      return std::make_unique<ProjectOp>(
+          BuildOperator(*node.children[0], physical, next_edge),
+          node.columns);
+    case NodeKind::kAggregate:
+      return std::make_unique<GroupAggregateOp>(
+          BuildOperator(*node.children[0], physical, next_edge),
+          node.group_by, node.aggs);
+  }
+  RADIX_CHECK(false && "unknown plan node kind");
+  return nullptr;
+}
+
+}  // namespace
+
+Status ExecutePlan(const Catalog& catalog, const LogicalPlan& plan,
+                   const PhysicalPlan& physical, const ExecOptions& options,
+                   PlanRun* out) {
+  RADIX_CHECK(options.hw != nullptr);
+  Status valid = ValidatePlan(catalog, plan);
+  if (!valid.ok()) return valid;
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.hw = options.hw;
+  ctx.pool = options.pool;
+  ctx.gauge = options.gauge;
+  ctx.chunk_rows = options.chunk_rows != 0
+                       ? options.chunk_rows
+                       : project::DefaultChunkRows(*options.hw);
+
+  size_t next_edge = 0;
+  std::unique_ptr<Operator> root = BuildOperator(*plan.root, physical,
+                                                 &next_edge);
+  RADIX_CHECK(next_edge == physical.edges.size());
+
+  Timer timer;
+  timer.Reset();
+  root->Open(&ctx);
+  PlanRun run;
+  run.threads_used =
+      options.pool != nullptr ? options.pool->num_threads() : 1;
+  OpChunk chunk;
+  while (root->NextChunk(&chunk)) {
+    ++run.chunks;
+    run.result_rows += chunk.rows;
+    // Order-independent checksum: one RowDigest per row over the root's
+    // output columns (values first, then varchar views), summed — the same
+    // construction project::QueryRun uses, so identical result sets give
+    // identical checksums whatever the operator or row order.
+    for (size_t i = 0; i < chunk.rows; ++i) {
+      project::RowDigest digest;
+      for (const std::span<const value_t>& col : chunk.val_cols) {
+        digest.AddValue(col[i]);
+      }
+      for (const VarcharChunkCol& col : chunk.var_cols) {
+        digest.AddString(col.base->at(col.oids[i]));
+      }
+      run.checksum += digest.digest();
+    }
+  }
+  root->Close();
+  run.seconds = timer.ElapsedSeconds();
+  *out = run;
+  return Status::OK();
+}
+
+}  // namespace radix::ops

@@ -1,0 +1,58 @@
+#ifndef RADIX_OPS_EXECUTOR_H_
+#define RADIX_OPS_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hardware/memory_hierarchy.h"
+#include "ops/optimizer.h"
+#include "ops/plan.h"
+#include "ops/table.h"
+
+namespace radix {
+class ThreadPool;
+namespace pipeline {
+class MemoryGauge;
+}
+}  // namespace radix
+
+namespace radix::ops {
+
+/// Execution resources for one plan run; mirrors the knobs the engine's
+/// session provides.
+struct ExecOptions {
+  const hardware::MemoryHierarchy* hw = nullptr;  ///< required
+  /// Kernel pool; nullptr or size 1 = the exact serial kernels. Results are
+  /// byte-identical at every pool size.
+  ThreadPool* pool = nullptr;
+  /// Gauge the operator arenas register with; nullptr = process-wide.
+  pipeline::MemoryGauge* gauge = nullptr;
+  /// Rows per operator chunk; 0 = cache-sized (project::DefaultChunkRows).
+  size_t chunk_rows = 0;
+};
+
+/// What one plan run produced — the ops-layer analogue of
+/// project::QueryRun: a row count and the order-independent checksum over
+/// the root chunks (sum of per-row RowDigests, value columns then varchar
+/// columns in the root's output order).
+struct PlanRun {
+  size_t result_rows = 0;
+  uint64_t checksum = 0;
+  double seconds = 0;
+  size_t threads_used = 1;
+  size_t chunks = 0;  ///< root chunks pulled
+};
+
+/// Build the operator tree for (plan, physical), pull it chunk-at-a-time,
+/// and fold the result into *out. `physical.edges` must come from
+/// Optimize() on the same logical plan (post-order join traversal).
+/// Validates the plan and returns kInvalidArgument on malformed or
+/// unsupported trees instead of crashing.
+[[nodiscard]] Status ExecutePlan(const Catalog& catalog,
+                                 const LogicalPlan& plan,
+                                 const PhysicalPlan& physical,
+                                 const ExecOptions& options, PlanRun* out);
+
+}  // namespace radix::ops
+
+#endif  // RADIX_OPS_EXECUTOR_H_

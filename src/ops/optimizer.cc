@@ -1,0 +1,298 @@
+#include "ops/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "cluster/partition_plan.h"
+#include "cluster/radix_cluster.h"
+#include "common/bits.h"
+#include "decluster/window.h"
+#include "project/dsm_post.h"
+#include "project/planner.h"
+#include "project/strategy.h"
+
+namespace radix::ops {
+
+namespace {
+
+using costmodel::CostEstimate;
+using project::SideStrategy;
+
+void Accumulate(CostEstimate* into, const CostEstimate& add, double factor) {
+  into->misses += add.misses * factor;
+  into->seconds += add.seconds * factor;
+}
+
+/// Predicate selectivity by strided sampling of the base column: cheap,
+/// deterministic, and honest about what a real system would have (a
+/// statistic, not the truth). A sample with zero hits still reports a
+/// small non-zero fraction — downstream estimates divide by these.
+double SampleSelectivity(const Catalog& catalog, const Predicate& pred) {
+  const Table& table = catalog.table(pred.col.table);
+  const size_t n = table.cardinality();
+  if (n == 0) return 0.5;
+  constexpr size_t kMaxSamples = 1024;
+  const size_t step = std::max<size_t>(1, n / kMaxSamples);
+  size_t samples = 0;
+  size_t hits = 0;
+  if (pred.col.is_varchar) {
+    const storage::VarcharColumn& col = *table.varchars[pred.col.attr];
+    for (size_t i = 0; i < n; i += step) {
+      ++samples;
+      std::string_view s = col.at(i);
+      bool match;
+      if (pred.str_prefix) {
+        match = s.size() >= pred.str_value.size() &&
+                s.compare(0, pred.str_value.size(), pred.str_value) == 0;
+      } else {
+        match = s == pred.str_value;
+      }
+      hits += (pred.op == CmpOp::kNe ? !match : match) ? 1 : 0;
+    }
+  } else {
+    const auto& col = table.relation->attr(pred.col.attr);
+    for (size_t i = 0; i < n; i += step) {
+      ++samples;
+      const value_t v = col[i];
+      bool match = false;
+      switch (pred.op) {
+        case CmpOp::kLt: match = v < pred.value; break;
+        case CmpOp::kLe: match = v <= pred.value; break;
+        case CmpOp::kGt: match = v > pred.value; break;
+        case CmpOp::kGe: match = v >= pred.value; break;
+        case CmpOp::kEq: match = v == pred.value; break;
+        case CmpOp::kNe: match = v != pred.value; break;
+      }
+      hits += match ? 1 : 0;
+    }
+  }
+  if (hits == 0) return 0.5 / static_cast<double>(samples);
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+struct EstimatorState {
+  const Catalog* catalog;
+  const hardware::MemoryHierarchy* hw;
+  const costmodel::CpuCosts* cpu;
+  size_t num_threads;
+  PhysicalPlan* out;
+};
+
+/// The per-edge cost accounting of the two-sided engine Explain, applied
+/// with the edge's estimated cardinalities. Left/right "columns" here are
+/// the subtree oid columns the join gathers, all sizeof(oid_t) wide.
+void CostEdge(EstimatorState* st, EdgePlan* edge, size_t pi_left,
+              size_t pi_right) {
+  const hardware::MemoryHierarchy& hw = *st->hw;
+  const costmodel::CpuCosts& cpu = *st->cpu;
+  PhysicalPlan* out = st->out;
+  const size_t nl = edge->est_left_rows;
+  const size_t nr = edge->est_right_rows;
+  const size_t n_index = edge->est_result_rows;
+  const double pi_l = static_cast<double>(std::max<size_t>(1, pi_left));
+  const double pi_r = static_cast<double>(std::max<size_t>(1, pi_right));
+
+  const size_t pair_width = sizeof(cluster::KeyOid);
+  Accumulate(&out->join_cost,
+             costmodel::PartitionedHashJoinCost(
+                 hw, cpu, nl, nr, pair_width,
+                 cluster::PartitionedJoinBits(nr, pair_width, hw)),
+             1.0);
+
+  switch (edge->physical.left) {
+    case SideStrategy::kUnsorted:
+      Accumulate(&out->projection_cost,
+                 costmodel::ClusteredPositionalJoinCost(
+                     hw, cpu, n_index, nl, sizeof(oid_t), /*bits=*/0,
+                     /*sorted=*/false),
+                 pi_l);
+      break;
+    case SideStrategy::kSorted: {
+      radix_bits_t bits = SignificantBits(std::max<size_t>(1, nl));
+      Accumulate(&out->cluster_cost,
+                 costmodel::RadixClusterCost(hw, cpu, n_index,
+                                             sizeof(cluster::OidPair), bits,
+                                             cluster::PassesFor(bits, hw)),
+                 1.0);
+      Accumulate(&out->projection_cost,
+                 costmodel::ClusteredPositionalJoinCost(
+                     hw, cpu, n_index, nl, sizeof(oid_t), /*bits=*/0,
+                     /*sorted=*/true),
+                 pi_l);
+      break;
+    }
+    case SideStrategy::kClustered:
+    case SideStrategy::kDecluster: {
+      cluster::ClusterSpec spec = project::detail::SpecFor(
+          SideStrategy::kClustered, n_index, nl, hw,
+          edge->physical.left_bits);
+      Accumulate(&out->cluster_cost,
+                 costmodel::RadixClusterCost(hw, cpu, n_index,
+                                             sizeof(cluster::OidPair),
+                                             spec.total_bits, spec.passes),
+                 1.0);
+      Accumulate(&out->projection_cost,
+                 costmodel::ClusteredPositionalJoinCost(
+                     hw, cpu, n_index, nl, sizeof(oid_t), spec.total_bits,
+                     /*sorted=*/false),
+                 pi_l);
+      break;
+    }
+  }
+
+  if (edge->physical.right == SideStrategy::kUnsorted) {
+    Accumulate(&out->projection_cost,
+               costmodel::ClusteredPositionalJoinCost(
+                   hw, cpu, n_index, nr, sizeof(oid_t), /*bits=*/0,
+                   /*sorted=*/false),
+               pi_r);
+  } else {
+    cluster::ClusterSpec spec = project::detail::SpecFor(
+        SideStrategy::kClustered, n_index, nr, hw, edge->physical.right_bits);
+    const size_t window = decluster::WindowPolicy::ChooseWindowElems(
+        hw, sizeof(oid_t), size_t{1} << spec.total_bits,
+        std::max<size_t>(1, n_index));
+    Accumulate(&out->cluster_cost,
+               costmodel::RadixClusterCost(hw, cpu, n_index, 2 * sizeof(oid_t),
+                                           spec.total_bits, spec.passes),
+               1.0);
+    Accumulate(&out->projection_cost,
+               costmodel::ClusteredPositionalJoinCost(
+                   hw, cpu, n_index, nr, sizeof(oid_t), spec.total_bits,
+                   /*sorted=*/false),
+               pi_r);
+    Accumulate(&out->decluster_cost,
+               costmodel::RadixDeclusterCost(hw, cpu, n_index, sizeof(oid_t),
+                                             spec.total_bits, window),
+               pi_r);
+  }
+
+  // The blocking join's modeled footprint: both drained inputs, the key
+  // copies, the join index, and the materialized output oid columns.
+  const size_t footprint =
+      sizeof(oid_t) * (nl * pi_left + nr * pi_right)     // drained inputs
+      + sizeof(value_t) * (nl + nr)                      // gathered keys
+      + sizeof(cluster::OidPair) * n_index               // join index
+      + sizeof(oid_t) * n_index * (pi_left + pi_right);  // output
+  out->modeled_intermediate_bytes =
+      std::max(out->modeled_intermediate_bytes, footprint);
+}
+
+/// Bottom-up cardinality estimation + per-edge planning. Returns the
+/// estimated row count of the subtree and appends join EdgePlans in
+/// post-order.
+size_t EstimateNode(EstimatorState* st, const PlanNode& node) {
+  switch (node.kind) {
+    case NodeKind::kScan:
+      return st->catalog->table(node.table).cardinality();
+    case NodeKind::kSelect: {
+      const size_t child = EstimateNode(st, *node.children[0]);
+      const double sel = SampleSelectivity(*st->catalog, node.pred);
+      return static_cast<size_t>(std::llround(
+          std::max(1.0, sel * static_cast<double>(child))));
+    }
+    case NodeKind::kJoin: {
+      const size_t nl = EstimateNode(st, *node.children[0]);
+      const size_t nr = EstimateNode(st, *node.children[1]);
+      // Key-equality join over dense key domains: the surviving fraction of
+      // each side scales the overlap of the two key sets.
+      const size_t base_l =
+          st->catalog->table(node.left_table).cardinality();
+      const size_t base_r =
+          st->catalog->table(node.right_table).cardinality();
+      const double fl =
+          base_l == 0 ? 0.0
+                      : std::min(1.0, static_cast<double>(nl) /
+                                          static_cast<double>(base_l));
+      const double fr =
+          base_r == 0 ? 0.0
+                      : std::min(1.0, static_cast<double>(nr) /
+                                          static_cast<double>(base_r));
+      const size_t overlap = std::min(base_l, base_r);
+      const size_t est = static_cast<size_t>(std::llround(
+          std::max(1.0, fl * fr * static_cast<double>(overlap))));
+
+      const size_t pi_left = SubtreeTableCount(*node.children[0]);
+      const size_t pi_right = SubtreeTableCount(*node.children[1]);
+
+      EdgePlan edge;
+      edge.left_table = node.left_table;
+      edge.right_table = node.right_table;
+      edge.est_left_rows = nl;
+      edge.est_right_rows = nr;
+      edge.est_result_rows = est;
+
+      // Fig. 10 per-edge strategy choice, against the edge's estimates.
+      project::Plan plan = project::PlanDsmPost(nl, nr, est, pi_left,
+                                                pi_right, *st->hw,
+                                                st->num_threads);
+      edge.physical.left = plan.options.left;
+      edge.physical.right = plan.options.right;
+      if (edge.physical.right == SideStrategy::kSorted ||
+          edge.physical.right == SideStrategy::kClustered) {
+        edge.physical.right = SideStrategy::kDecluster;
+      }
+      edge.physical.left_bits = plan.options.left_bits;
+      edge.physical.right_bits = plan.options.right_bits;
+      edge.easy = plan.easy;
+      edge.code = project::SideStrategyCode(edge.physical.left);
+      edge.code += "/";
+      edge.code += project::SideStrategyCode(edge.physical.right);
+
+      CostEdge(st, &edge, pi_left, pi_right);
+      st->out->edges.push_back(std::move(edge));
+      return est;
+    }
+    case NodeKind::kProject:
+      return EstimateNode(st, *node.children[0]);
+    case NodeKind::kAggregate: {
+      const size_t child = EstimateNode(st, *node.children[0]);
+      // The aggregate drains its input and clusters (key, row) pairs plus
+      // the gathered inputs — that footprint competes with the join edges'.
+      const size_t n_inputs =
+          node.group_by.size() + node.aggs.size();
+      const size_t footprint =
+          child * (sizeof(cluster::KeyOid) + sizeof(value_t) * n_inputs);
+      st->out->modeled_intermediate_bytes =
+          std::max(st->out->modeled_intermediate_bytes, footprint);
+      // Output rows: bounded by the input; without group statistics assume
+      // most keys are distinct for small inputs.
+      return node.group_by.empty() ? 1 : child;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string PhysicalPlan::Summary() const {
+  std::string s;
+  for (const EdgePlan& e : edges) {
+    if (!s.empty()) s += "; ";
+    s += "t" + std::to_string(e.left_table) + "*t" +
+         std::to_string(e.right_table) + ": " + e.code + " (est " +
+         std::to_string(e.est_result_rows) + " rows" +
+         (e.easy ? ", easy" : "") + ")";
+  }
+  if (s.empty()) s = "no joins";
+  return s;
+}
+
+Status Optimize(const Catalog& catalog, const LogicalPlan& plan,
+                const hardware::MemoryHierarchy& hw,
+                const costmodel::CpuCosts& cpu, size_t num_threads,
+                PhysicalPlan* out) {
+  Status valid = ValidatePlan(catalog, plan);
+  if (!valid.ok()) return valid;
+
+  *out = PhysicalPlan{};
+  EstimatorState st{&catalog, &hw, &cpu, num_threads, out};
+  out->est_result_rows = EstimateNode(&st, *plan.root);
+  out->modeled_seconds = out->join_cost.seconds + out->cluster_cost.seconds +
+                         out->projection_cost.seconds +
+                         out->decluster_cost.seconds;
+  return Status::OK();
+}
+
+}  // namespace radix::ops

@@ -1,0 +1,344 @@
+#include "ops/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace radix::ops {
+
+std::unique_ptr<PlanNode> Scan(size_t table) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kScan;
+  node->table = table;
+  return node;
+}
+
+std::unique_ptr<PlanNode> Select(std::unique_ptr<PlanNode> child,
+                                 Predicate pred) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kSelect;
+  node->pred = std::move(pred);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Join(std::unique_ptr<PlanNode> left,
+                               std::unique_ptr<PlanNode> right,
+                               size_t left_table, size_t right_table) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kJoin;
+  node->left_table = left_table;
+  node->right_table = right_table;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Project(std::unique_ptr<PlanNode> child,
+                                  std::vector<ColumnRef> columns) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kProject;
+  node->columns = std::move(columns);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Aggregate(std::unique_ptr<PlanNode> child,
+                                    std::vector<ColumnRef> group_by,
+                                    std::vector<AggExpr> aggs) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kAggregate;
+  node->group_by = std::move(group_by);
+  node->aggs = std::move(aggs);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+LogicalPlan TwoSidedPlan(size_t pi_left, size_t pi_right,
+                         size_t pi_varchar_left, size_t pi_varchar_right) {
+  std::vector<ColumnRef> cols;
+  cols.reserve(pi_left + pi_right + pi_varchar_left + pi_varchar_right);
+  // Canonical checksum order: left fixed, right fixed, left varchar, right
+  // varchar (project/checksum.h).
+  for (size_t a = 0; a < pi_left; ++a) cols.push_back({0, a + 1, false});
+  for (size_t a = 0; a < pi_right; ++a) cols.push_back({1, a + 1, false});
+  for (size_t c = 0; c < pi_varchar_left; ++c) cols.push_back({0, c, true});
+  for (size_t c = 0; c < pi_varchar_right; ++c) cols.push_back({1, c, true});
+  LogicalPlan plan;
+  plan.root = Project(Join(Scan(0), Scan(1), 0, 1), std::move(cols));
+  return plan;
+}
+
+size_t SubtreeTableCount(const PlanNode& node) {
+  if (node.kind == NodeKind::kScan) return 1;
+  size_t n = 0;
+  for (const auto& child : node.children) n += SubtreeTableCount(*child);
+  return n;
+}
+
+namespace {
+
+/// Collect the tables scanned in a subtree, in scan order.
+void CollectTables(const PlanNode& node, std::vector<size_t>* out) {
+  if (node.kind == NodeKind::kScan) {
+    out->push_back(node.table);
+    return;
+  }
+  for (const auto& child : node.children) CollectTables(*child, out);
+}
+
+Status CheckColumnRef(const Catalog& catalog, const ColumnRef& ref,
+                      const std::vector<size_t>& visible,
+                      const char* context) {
+  if (std::find(visible.begin(), visible.end(), ref.table) == visible.end()) {
+    return Status::InvalidArgument(
+        std::string(context) + ": column references table " +
+        std::to_string(ref.table) + " which is not scanned in this subtree");
+  }
+  const Table& t = catalog.table(ref.table);
+  if (ref.is_varchar) {
+    if (ref.attr >= t.varchars.size()) {
+      return Status::InvalidArgument(
+          std::string(context) + ": varchar column " +
+          std::to_string(ref.attr) + " out of range for table " +
+          std::to_string(ref.table) + " (" +
+          std::to_string(t.varchars.size()) + " varchar columns)");
+    }
+  } else if (ref.attr >= t.num_attrs()) {
+    return Status::InvalidArgument(
+        std::string(context) + ": attribute " + std::to_string(ref.attr) +
+        " out of range for table " + std::to_string(ref.table) + " (" +
+        std::to_string(t.num_attrs()) + " attributes)");
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const Catalog& catalog, const PlanNode& node,
+                    bool is_root) {
+  // Child counts first, so the per-kind checks below can index freely.
+  const size_t want_children =
+      node.kind == NodeKind::kScan ? 0 : node.kind == NodeKind::kJoin ? 2 : 1;
+  if (node.children.size() != want_children) {
+    return Status::InvalidArgument("plan node has wrong child count");
+  }
+  for (const auto& child : node.children) {
+    if (child == nullptr) {
+      return Status::InvalidArgument("plan node has null child");
+    }
+  }
+
+  switch (node.kind) {
+    case NodeKind::kScan:
+      if (node.table >= catalog.size()) {
+        return Status::InvalidArgument(
+            "scan of table " + std::to_string(node.table) +
+            " out of range (catalog has " + std::to_string(catalog.size()) +
+            " tables)");
+      }
+      break;
+
+    case NodeKind::kSelect: {
+      std::vector<size_t> visible;
+      CollectTables(*node.children[0], &visible);
+      Status st = CheckColumnRef(catalog, node.pred.col, visible, "select");
+      if (!st.ok()) return st;
+      if (node.pred.col.is_varchar) {
+        if (node.pred.op != CmpOp::kEq && node.pred.op != CmpOp::kNe) {
+          return Status::InvalidArgument(
+              "select: varchar predicates support only equality/inequality "
+              "(and prefix match); ordered comparisons on strings are "
+              "unsupported");
+        }
+      } else if (node.pred.str_prefix || !node.pred.str_value.empty()) {
+        return Status::InvalidArgument(
+            "select: string constant on a value-column predicate");
+      }
+      break;
+    }
+
+    case NodeKind::kJoin: {
+      std::vector<size_t> left_tables, right_tables;
+      CollectTables(*node.children[0], &left_tables);
+      CollectTables(*node.children[1], &right_tables);
+      auto has = [](const std::vector<size_t>& v, size_t t) {
+        return std::find(v.begin(), v.end(), t) != v.end();
+      };
+      if (!has(left_tables, node.left_table)) {
+        return Status::InvalidArgument(
+            "join: left key table " + std::to_string(node.left_table) +
+            " is not scanned in the left subtree");
+      }
+      if (!has(right_tables, node.right_table)) {
+        return Status::InvalidArgument(
+            "join: right key table " + std::to_string(node.right_table) +
+            " is not scanned in the right subtree");
+      }
+      break;
+    }
+
+    case NodeKind::kProject: {
+      if (!is_root) {
+        return Status::InvalidArgument(
+            "project is only supported at the plan root");
+      }
+      std::vector<size_t> visible;
+      CollectTables(*node.children[0], &visible);
+      if (node.columns.empty()) {
+        return Status::InvalidArgument("project with no output columns");
+      }
+      for (const ColumnRef& ref : node.columns) {
+        Status st = CheckColumnRef(catalog, ref, visible, "project");
+        if (!st.ok()) return st;
+      }
+      break;
+    }
+
+    case NodeKind::kAggregate: {
+      if (!is_root) {
+        return Status::InvalidArgument(
+            "aggregate is only supported at the plan root");
+      }
+      std::vector<size_t> visible;
+      CollectTables(*node.children[0], &visible);
+      if (node.group_by.size() > 1) {
+        return Status::InvalidArgument(
+            "aggregate supports at most one group-by column");
+      }
+      for (const ColumnRef& ref : node.group_by) {
+        if (ref.is_varchar) {
+          return Status::InvalidArgument(
+              "aggregate: varchar group-by columns are unsupported "
+              "(no variable-size grouping keys yet)");
+        }
+        Status st = CheckColumnRef(catalog, ref, visible, "group-by");
+        if (!st.ok()) return st;
+      }
+      if (node.aggs.empty()) {
+        return Status::InvalidArgument("aggregate with no aggregate exprs");
+      }
+      for (const AggExpr& agg : node.aggs) {
+        if (agg.fn == AggFn::kCount) continue;
+        if (agg.col.is_varchar) {
+          return Status::InvalidArgument(
+              "aggregate: varchar aggregate inputs are unsupported "
+              "(sum/min/max are defined on value columns)");
+        }
+        Status st = CheckColumnRef(catalog, agg.col, visible, "aggregate");
+        if (!st.ok()) return st;
+      }
+      break;
+    }
+  }
+
+  for (const auto& child : node.children) {
+    Status st = ValidateNode(catalog, *child, /*is_root=*/false);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void FingerprintColumnRef(const ColumnRef& ref, std::string* out) {
+  *out += ref.is_varchar ? 'v' : 'a';
+  *out += std::to_string(ref.table);
+  *out += '.';
+  *out += std::to_string(ref.attr);
+}
+
+void FingerprintNode(const PlanNode& node, std::string* out) {
+  switch (node.kind) {
+    case NodeKind::kScan:
+      *out += "S(";
+      *out += std::to_string(node.table);
+      break;
+    case NodeKind::kSelect: {
+      *out += "F(";
+      FingerprintColumnRef(node.pred.col, out);
+      *out += " op";
+      *out += std::to_string(static_cast<int>(node.pred.op));
+      if (node.pred.col.is_varchar) {
+        *out += node.pred.str_prefix ? " pfx:" : " str:";
+        // Length-prefixed so constants can never splice into neighbours.
+        *out += std::to_string(node.pred.str_value.size());
+        *out += ':';
+        *out += node.pred.str_value;
+      } else {
+        *out += ' ';
+        *out += std::to_string(node.pred.value);
+      }
+      *out += ';';
+      FingerprintNode(*node.children[0], out);
+      break;
+    }
+    case NodeKind::kJoin:
+      *out += "J(";
+      *out += std::to_string(node.left_table);
+      *out += '=';
+      *out += std::to_string(node.right_table);
+      *out += ';';
+      FingerprintNode(*node.children[0], out);
+      *out += ';';
+      FingerprintNode(*node.children[1], out);
+      break;
+    case NodeKind::kProject:
+      *out += "P(";
+      for (const ColumnRef& ref : node.columns) {
+        FingerprintColumnRef(ref, out);
+        *out += ',';
+      }
+      *out += ';';
+      FingerprintNode(*node.children[0], out);
+      break;
+    case NodeKind::kAggregate:
+      *out += "A(g:";
+      for (const ColumnRef& ref : node.group_by) {
+        FingerprintColumnRef(ref, out);
+        *out += ',';
+      }
+      for (const AggExpr& agg : node.aggs) {
+        *out += " f";
+        *out += std::to_string(static_cast<int>(agg.fn));
+        if (agg.fn != AggFn::kCount) {
+          *out += ':';
+          FingerprintColumnRef(agg.col, out);
+        }
+      }
+      *out += ';';
+      FingerprintNode(*node.children[0], out);
+      break;
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+Status ValidatePlan(const Catalog& catalog, const LogicalPlan& plan) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("plan has no root node");
+  }
+  if (plan.root->kind != NodeKind::kProject &&
+      plan.root->kind != NodeKind::kAggregate) {
+    return Status::InvalidArgument(
+        "plan root must be a project or aggregate node (something has to "
+        "say which payloads the query returns)");
+  }
+  // Each base table may appear once: chunk columns are keyed by table id.
+  std::vector<size_t> tables;
+  CollectTables(*plan.root, &tables);
+  std::vector<size_t> sorted = tables;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument(
+        "self-joins are unsupported: each table may be scanned once");
+  }
+  return ValidateNode(catalog, *plan.root, /*is_root=*/true);
+}
+
+std::string PlanFingerprint(const LogicalPlan& plan) {
+  std::string out;
+  if (plan.root != nullptr) FingerprintNode(*plan.root, &out);
+  return out;
+}
+
+}  // namespace radix::ops

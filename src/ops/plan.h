@@ -1,0 +1,125 @@
+#ifndef RADIX_OPS_PLAN_H_
+#define RADIX_OPS_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/table.h"
+
+/// The logical plan the operator layer executes: a small tree of
+/// scan/select/join/project/aggregate nodes over a Catalog — what
+/// engine::QuerySpec grows into. The fixed two-sided π(A ⋈ B) query of the
+/// paper is one particular shape of this tree (TwoSidedPlan); multi-way
+/// join chains are left-deep chains of join nodes, each of which the
+/// optimizer assigns its own Fig. 10 per-edge strategy.
+namespace radix::ops {
+
+enum class NodeKind : uint8_t {
+  kScan,       ///< dense oid scan of one catalog table
+  kSelect,     ///< predicate filter (value or varchar column)
+  kJoin,       ///< key-equality join of two subtrees
+  kProject,    ///< final payload materialization (root only)
+  kAggregate,  ///< grouped sum/count/min/max (root only)
+};
+
+/// A column of one catalog table: attr is the DsmRelation attribute index
+/// (0 = key, 1.. = fixed payloads) for value columns, or the index into
+/// Table::varchars for varchar columns.
+struct ColumnRef {
+  size_t table = 0;
+  size_t attr = 0;
+  bool is_varchar = false;
+};
+
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// `col OP constant`. Value columns support every CmpOp against `value`;
+/// varchar columns support equality/inequality against `str_value`, or a
+/// starts-with match when `str_prefix` is set (op must then be kEq/kNe).
+struct Predicate {
+  ColumnRef col;
+  CmpOp op = CmpOp::kLt;
+  value_t value = 0;
+  std::string str_value;
+  bool str_prefix = false;
+};
+
+enum class AggFn : uint8_t { kSum, kCount, kMin, kMax };
+
+/// One aggregate output. kCount ignores `col`. Sums and counts accumulate
+/// in 64 bits and report their low 32 bits as a value_t (two's complement),
+/// a rule the scalar reference interpreter applies identically.
+struct AggExpr {
+  AggFn fn = AggFn::kCount;
+  ColumnRef col;
+};
+
+struct PlanNode {
+  NodeKind kind = NodeKind::kScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  // kScan
+  size_t table = 0;
+  // kSelect
+  Predicate pred;
+  // kJoin: children[0]'s table `left_table` joins children[1]'s table
+  // `right_table`, both on their key column (attr 0).
+  size_t left_table = 0;
+  size_t right_table = 0;
+  // kProject
+  std::vector<ColumnRef> columns;
+  // kAggregate: at most one group-by column (empty = one global row).
+  std::vector<ColumnRef> group_by;
+  std::vector<AggExpr> aggs;
+};
+
+struct LogicalPlan {
+  std::unique_ptr<PlanNode> root;
+};
+
+/// Builder helpers (free functions so plans read as their shape):
+///   Project(Join(Scan(0), Scan(1), 0, 1), {...})
+std::unique_ptr<PlanNode> Scan(size_t table);
+std::unique_ptr<PlanNode> Select(std::unique_ptr<PlanNode> child,
+                                 Predicate pred);
+std::unique_ptr<PlanNode> Join(std::unique_ptr<PlanNode> left,
+                               std::unique_ptr<PlanNode> right,
+                               size_t left_table, size_t right_table);
+std::unique_ptr<PlanNode> Project(std::unique_ptr<PlanNode> child,
+                                  std::vector<ColumnRef> columns);
+std::unique_ptr<PlanNode> Aggregate(std::unique_ptr<PlanNode> child,
+                                    std::vector<ColumnRef> group_by,
+                                    std::vector<AggExpr> aggs);
+
+/// The compatibility constructor: the legacy two-sided query
+/// π(left.a1..a_pi_l, right.b1..b_pi_r) over left ⋈ right as a plan tree,
+/// with projected columns in the canonical checksum order (left fixed,
+/// right fixed, left varchar, right varchar) so its checksum matches the
+/// legacy executors bit for bit.
+LogicalPlan TwoSidedPlan(size_t pi_left, size_t pi_right,
+                         size_t pi_varchar_left = 0,
+                         size_t pi_varchar_right = 0);
+
+/// Structural + payload validation against a catalog. Returns
+/// kInvalidArgument — never a debug CHECK — for malformed trees and for
+/// unsupported operator/payload combinations (varchar join keys, varchar
+/// aggregate inputs or group-by columns, ordered comparisons on varchar
+/// predicates, project/aggregate below the root, a table scanned twice).
+[[nodiscard]] Status ValidatePlan(const Catalog& catalog,
+                                  const LogicalPlan& plan);
+
+/// Deterministic serialization of the full plan shape — every operator
+/// kind, column reference, predicate constant, aggregate list and group-by
+/// — used by the engine's plan-cache key so distinct trees never alias.
+std::string PlanFingerprint(const LogicalPlan& plan);
+
+/// Number of distinct base tables scanned in the subtree (the oid columns
+/// a chunk of this subtree carries).
+size_t SubtreeTableCount(const PlanNode& node);
+
+}  // namespace radix::ops
+
+#endif  // RADIX_OPS_PLAN_H_

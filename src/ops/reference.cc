@@ -1,0 +1,260 @@
+#include "ops/reference.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "project/checksum.h"
+
+namespace radix::ops {
+
+namespace {
+
+/// A row-major intermediate: `tables[c]` names the base table behind oid
+/// column c, `tuples` holds one oid per column per row, flattened.
+struct Rows {
+  std::vector<size_t> tables;
+  std::vector<oid_t> tuples;
+
+  size_t width() const { return tables.size(); }
+  size_t rows() const { return tables.empty() ? 0 : tuples.size() / width(); }
+  const oid_t* row(size_t i) const { return tuples.data() + i * width(); }
+
+  size_t ColumnFor(size_t table) const {
+    for (size_t c = 0; c < tables.size(); ++c) {
+      if (tables[c] == table) return c;
+    }
+    RADIX_CHECK(false && "table not in reference intermediate");
+    return 0;
+  }
+};
+
+bool EvalValue(CmpOp op, value_t v, value_t c) {
+  switch (op) {
+    case CmpOp::kLt: return v < c;
+    case CmpOp::kLe: return v <= c;
+    case CmpOp::kGt: return v > c;
+    case CmpOp::kGe: return v >= c;
+    case CmpOp::kEq: return v == c;
+    case CmpOp::kNe: return v != c;
+  }
+  return false;
+}
+
+bool EvalVarchar(const Predicate& pred, std::string_view s) {
+  bool match;
+  if (pred.str_prefix) {
+    match = s.size() >= pred.str_value.size() &&
+            s.compare(0, pred.str_value.size(), pred.str_value) == 0;
+  } else {
+    match = s == pred.str_value;
+  }
+  return pred.op == CmpOp::kNe ? !match : match;
+}
+
+Rows EvalNode(const Catalog& catalog, const PlanNode& node) {
+  switch (node.kind) {
+    case NodeKind::kScan: {
+      Rows r;
+      r.tables = {node.table};
+      const size_t n = catalog.table(node.table).cardinality();
+      r.tuples.resize(n);
+      for (size_t i = 0; i < n; ++i) r.tuples[i] = static_cast<oid_t>(i);
+      return r;
+    }
+    case NodeKind::kSelect: {
+      Rows in = EvalNode(catalog, *node.children[0]);
+      const Table& table = catalog.table(node.pred.col.table);
+      const size_t col = in.ColumnFor(node.pred.col.table);
+      Rows out;
+      out.tables = in.tables;
+      const size_t w = in.width();
+      for (size_t i = 0; i < in.rows(); ++i) {
+        const oid_t oid = in.row(i)[col];
+        bool keep;
+        if (node.pred.col.is_varchar) {
+          keep = EvalVarchar(node.pred,
+                             table.varchars[node.pred.col.attr]->at(oid));
+        } else {
+          keep = EvalValue(node.pred.op,
+                           table.relation->attr(node.pred.col.attr)[oid],
+                           node.pred.value);
+        }
+        if (keep) {
+          out.tuples.insert(out.tuples.end(), in.row(i), in.row(i) + w);
+        }
+      }
+      return out;
+    }
+    case NodeKind::kJoin: {
+      Rows left = EvalNode(catalog, *node.children[0]);
+      Rows right = EvalNode(catalog, *node.children[1]);
+      const size_t lcol = left.ColumnFor(node.left_table);
+      const size_t rcol = right.ColumnFor(node.right_table);
+      const auto& lkey = catalog.table(node.left_table).relation->key();
+      const auto& rkey = catalog.table(node.right_table).relation->key();
+
+      std::unordered_multimap<value_t, size_t> index;
+      index.reserve(right.rows());
+      for (size_t j = 0; j < right.rows(); ++j) {
+        index.emplace(rkey[right.row(j)[rcol]], j);
+      }
+
+      Rows out;
+      out.tables = left.tables;
+      out.tables.insert(out.tables.end(), right.tables.begin(),
+                        right.tables.end());
+      const size_t lw = left.width();
+      const size_t rw = right.width();
+      for (size_t i = 0; i < left.rows(); ++i) {
+        auto [begin, end] = index.equal_range(lkey[left.row(i)[lcol]]);
+        for (auto it = begin; it != end; ++it) {
+          const size_t j = it->second;
+          out.tuples.insert(out.tuples.end(), left.row(i), left.row(i) + lw);
+          out.tuples.insert(out.tuples.end(), right.row(j),
+                            right.row(j) + rw);
+        }
+      }
+      return out;
+    }
+    case NodeKind::kProject:
+    case NodeKind::kAggregate:
+      // Roots are handled by ReferenceExecute, never recursed into.
+      break;
+  }
+  RADIX_CHECK(false && "unexpected node in reference subtree");
+  return {};
+}
+
+int64_t AccInit(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      return 0;
+    case AggFn::kMin:
+      return std::numeric_limits<int64_t>::max();
+    case AggFn::kMax:
+      return std::numeric_limits<int64_t>::min();
+  }
+  return 0;
+}
+
+void AccUpdate(AggFn fn, int64_t* acc, value_t v) {
+  switch (fn) {
+    case AggFn::kSum: *acc += v; break;
+    case AggFn::kCount: *acc += 1; break;
+    case AggFn::kMin: *acc = std::min<int64_t>(*acc, v); break;
+    case AggFn::kMax: *acc = std::max<int64_t>(*acc, v); break;
+  }
+}
+
+value_t AccFinal(AggFn fn, int64_t acc) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      // The same low-32-bit two's-complement truncation as the operator.
+      return static_cast<value_t>(
+          static_cast<uint32_t>(static_cast<uint64_t>(acc)));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return static_cast<value_t>(acc);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status ReferenceExecute(const Catalog& catalog, const LogicalPlan& plan,
+                        PlanRun* out) {
+  Status valid = ValidatePlan(catalog, plan);
+  if (!valid.ok()) return valid;
+
+  const PlanNode& root = *plan.root;
+  Rows rows = EvalNode(catalog, *root.children[0]);
+
+  PlanRun run;
+  if (root.kind == NodeKind::kProject) {
+    run.result_rows = rows.rows();
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      project::RowDigest digest;
+      // Values first, then varchar columns — the root column order split
+      // the same way ExecutePlan's chunks split it.
+      for (const ColumnRef& ref : root.columns) {
+        if (ref.is_varchar) continue;
+        const oid_t oid = rows.row(i)[rows.ColumnFor(ref.table)];
+        digest.AddValue(catalog.table(ref.table).relation->attr(ref.attr)[oid]);
+      }
+      for (const ColumnRef& ref : root.columns) {
+        if (!ref.is_varchar) continue;
+        const oid_t oid = rows.row(i)[rows.ColumnFor(ref.table)];
+        digest.AddString(catalog.table(ref.table).varchars[ref.attr]->at(oid));
+      }
+      run.checksum += digest.digest();
+    }
+    *out = run;
+    return Status::OK();
+  }
+
+  RADIX_CHECK(root.kind == NodeKind::kAggregate);
+  const size_t n_aggs = root.aggs.size();
+  const bool grouped = !root.group_by.empty();
+
+  auto agg_input = [&](size_t j, size_t i) -> value_t {
+    const ColumnRef& ref = root.aggs[j].col;
+    const oid_t oid = rows.row(i)[rows.ColumnFor(ref.table)];
+    return catalog.table(ref.table).relation->attr(ref.attr)[oid];
+  };
+
+  // std::map keeps groups in key order; output order differs from the
+  // operator (hash-cluster order), which the order-independent checksum
+  // absorbs.
+  std::map<value_t, std::vector<int64_t>> groups;
+  if (!grouped) {
+    auto& accs = groups[0];
+    accs.resize(n_aggs);
+    for (size_t j = 0; j < n_aggs; ++j) accs[j] = AccInit(root.aggs[j].fn);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      for (size_t j = 0; j < n_aggs; ++j) {
+        AccUpdate(root.aggs[j].fn, &accs[j],
+                  root.aggs[j].fn == AggFn::kCount ? 0 : agg_input(j, i));
+      }
+    }
+  } else {
+    const ColumnRef& g = root.group_by[0];
+    const size_t gcol = rows.ColumnFor(g.table);
+    const auto& gbase = catalog.table(g.table).relation->attr(g.attr);
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      const value_t key = gbase[rows.row(i)[gcol]];
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.resize(n_aggs);
+        for (size_t j = 0; j < n_aggs; ++j) {
+          it->second[j] = AccInit(root.aggs[j].fn);
+        }
+      }
+      for (size_t j = 0; j < n_aggs; ++j) {
+        AccUpdate(root.aggs[j].fn, &it->second[j],
+                  root.aggs[j].fn == AggFn::kCount ? 0 : agg_input(j, i));
+      }
+    }
+  }
+
+  run.result_rows = groups.size();
+  for (const auto& [key, accs] : groups) {
+    project::RowDigest digest;
+    if (grouped) digest.AddValue(key);
+    for (size_t j = 0; j < n_aggs; ++j) {
+      digest.AddValue(AccFinal(root.aggs[j].fn, accs[j]));
+    }
+    run.checksum += digest.digest();
+  }
+  *out = run;
+  return Status::OK();
+}
+
+}  // namespace radix::ops

@@ -1,0 +1,23 @@
+#ifndef RADIX_OPS_REFERENCE_H_
+#define RADIX_OPS_REFERENCE_H_
+
+#include "common/status.h"
+#include "ops/executor.h"
+#include "ops/plan.h"
+#include "ops/table.h"
+
+namespace radix::ops {
+
+/// Scalar tuple-at-a-time reference interpreter: row-major oid tuples,
+/// nested hash-lookup joins, std::map grouping — no radix machinery, no
+/// chunking, no threads. Computes the same order-independent checksum
+/// construction as ExecutePlan (values then varchar columns per row, 64-bit
+/// accumulate-and-truncate aggregates), so `checksum` equality against the
+/// operator executor proves the whole radix pipeline end to end. The
+/// property tests sweep plan shapes x seeds x threads against this.
+[[nodiscard]] Status ReferenceExecute(const Catalog& catalog,
+                                      const LogicalPlan& plan, PlanRun* out);
+
+}  // namespace radix::ops
+
+#endif  // RADIX_OPS_REFERENCE_H_

@@ -1,0 +1,38 @@
+#include "ops/table.h"
+
+namespace radix::ops {
+
+Catalog CatalogFromJoinWorkload(const workload::JoinWorkload& w) {
+  Catalog c;
+  Table left;
+  left.name = w.dsm_left.name();
+  left.relation = &w.dsm_left;
+  for (const storage::VarcharColumn& col : w.left_varchars) {
+    left.varchars.push_back(&col);
+  }
+  Table right;
+  right.name = w.dsm_right.name();
+  right.relation = &w.dsm_right;
+  for (const storage::VarcharColumn& col : w.right_varchars) {
+    right.varchars.push_back(&col);
+  }
+  c.tables.push_back(std::move(left));
+  c.tables.push_back(std::move(right));
+  return c;
+}
+
+Catalog CatalogFromChainWorkload(const workload::ChainWorkload& w) {
+  Catalog c;
+  for (size_t t = 0; t < w.tables.size(); ++t) {
+    Table table;
+    table.name = w.tables[t].name();
+    table.relation = &w.tables[t];
+    for (const storage::VarcharColumn& col : w.varchars[t]) {
+      table.varchars.push_back(&col);
+    }
+    c.tables.push_back(std::move(table));
+  }
+  return c;
+}
+
+}  // namespace radix::ops

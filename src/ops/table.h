@@ -1,0 +1,52 @@
+#ifndef RADIX_OPS_TABLE_H_
+#define RADIX_OPS_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/dsm.h"
+#include "storage/varchar.h"
+#include "workload/chain.h"
+#include "workload/generator.h"
+
+namespace radix::ops {
+
+/// A non-owning view of one base table as the operator layer sees it:
+/// attr(0) is the join key, attrs 1..num_attrs-1 are fixed payload columns,
+/// plus any number of varchar payload columns. The backing storage (a
+/// workload, or any DsmRelation the caller built) must outlive the Catalog.
+struct Table {
+  std::string name;
+  const storage::DsmRelation* relation = nullptr;
+  std::vector<const storage::VarcharColumn*> varchars;
+
+  size_t cardinality() const { return relation->cardinality(); }
+  size_t num_attrs() const { return relation->num_attrs(); }
+};
+
+/// The table universe one logical plan resolves against; plans name tables
+/// by their index here.
+struct Catalog {
+  std::vector<Table> tables;
+
+  size_t size() const { return tables.size(); }
+  const Table& table(size_t id) const {
+    RADIX_DCHECK(id < tables.size());
+    return tables[id];
+  }
+};
+
+/// View a two-sided join workload as a 2-table catalog (table 0 = left /
+/// "larger", table 1 = right / "smaller") — the bridge from the legacy
+/// QuerySpec world into plan trees.
+Catalog CatalogFromJoinWorkload(const workload::JoinWorkload& w);
+
+/// View a join-chain workload as a k-table catalog (table t = chain
+/// position t).
+Catalog CatalogFromChainWorkload(const workload::ChainWorkload& w);
+
+}  // namespace radix::ops
+
+#endif  // RADIX_OPS_TABLE_H_

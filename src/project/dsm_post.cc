@@ -153,11 +153,10 @@ void GatherVarchars(std::span<const oid_t> ids,
   ph->projection_seconds += timer->ElapsedSeconds();
 }
 
-/// ProjectSide against a caller-owned pool (nullptr = serial kernels), so
-/// one pool serves both sides of a projection instead of being respawned.
-/// `var_columns`/`var_out` carry the variable-size projections of the same
-/// side (paper §5): gathered with the fixed columns for u/s/c, or run
-/// through the three-phase varchar Radix-Decluster for d.
+}  // namespace
+
+namespace detail {
+
 void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
                          const std::vector<std::span<const value_t>>& columns,
                          const std::vector<std::span<value_t>>& out,
@@ -166,9 +165,8 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
                          radix_bits_t bits, size_t window_elems,
                          PhaseBreakdown* phases, ThreadPool* pool,
                          const std::vector<const storage::VarcharColumn*>&
-                             var_columns = {},
-                         std::vector<storage::VarcharColumn>* var_out =
-                             nullptr) {
+                             var_columns,
+                         std::vector<storage::VarcharColumn>* var_out) {
   RADIX_CHECK(columns.size() == out.size());
   RADIX_CHECK(var_columns.empty() || var_out != nullptr);
   PhaseBreakdown local;
@@ -267,7 +265,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
                  const std::vector<std::span<const value_t>>& columns,
@@ -279,8 +277,8 @@ void ProjectSide(std::vector<oid_t>& ids, SideStrategy strategy,
   // Every strategy now has a parallel path (kUnsorted parallelizes its
   // gather loop), so the pool is created whenever threads were requested.
   std::unique_ptr<ThreadPool> pool = MakePool(num_threads);
-  ProjectSideWithPool(ids, strategy, columns, out, column_cardinality, hw,
-                      bits, window_elems, phases, pool.get());
+  detail::ProjectSideWithPool(ids, strategy, columns, out, column_cardinality,
+                              hw, bits, window_elems, phases, pool.get());
 }
 
 storage::DsmResult DsmPostProject(join::JoinIndex& index,
@@ -358,10 +356,10 @@ storage::DsmResult DsmPostProject(join::JoinIndex& index,
   }
   // Reuse this function's pool for the right side rather than spawning a
   // second one.
-  ProjectSideWithPool(right_ids, right_strategy, right_cols, right_out,
-                      right.cardinality(), hw, options.right_bits,
-                      options.window_elems, ph, pool, var.right,
-                      &result.right_varchars);
+  detail::ProjectSideWithPool(right_ids, right_strategy, right_cols, right_out,
+                              right.cardinality(), hw, options.right_bits,
+                              options.window_elems, ph, pool, var.right,
+                              &result.right_varchars);
   return result;
 }
 

@@ -150,6 +150,21 @@ void ReorderIndexLeft(join::JoinIndex& index, size_t left_cardinality,
                       const hardware::MemoryHierarchy& hw, SideStrategy left,
                       radix_bits_t left_bits, ThreadPool* pool);
 
+/// ProjectSide against a caller-owned pool (nullptr = serial kernels), so
+/// one pool serves both sides of a projection — and, in the ops/ layer,
+/// one session pool serves every join edge of a plan. `var_columns` /
+/// `var_out` carry the variable-size projections of the same side (paper
+/// §5): gathered with the fixed columns for u/s/c, or run through the
+/// three-phase varchar Radix-Decluster for d.
+void ProjectSideWithPool(
+    std::vector<oid_t>& ids, SideStrategy strategy,
+    const std::vector<std::span<const value_t>>& columns,
+    const std::vector<std::span<value_t>>& out, size_t column_cardinality,
+    const hardware::MemoryHierarchy& hw, radix_bits_t bits,
+    size_t window_elems, PhaseBreakdown* phases, ThreadPool* pool,
+    const std::vector<const storage::VarcharColumn*>& var_columns = {},
+    std::vector<storage::VarcharColumn>* var_out = nullptr);
+
 }  // namespace detail
 
 }  // namespace radix::project

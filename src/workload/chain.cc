@@ -1,0 +1,57 @@
+#include "workload/chain.h"
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace radix::workload {
+
+ChainWorkload MakeChainWorkload(const ChainWorkloadSpec& spec) {
+  RADIX_CHECK(!spec.cardinalities.empty());
+  RADIX_CHECK(spec.num_attrs >= 1);
+  Rng rng(spec.seed);
+
+  ChainWorkload w;
+  w.tables.reserve(spec.cardinalities.size());
+  w.varchars.resize(spec.cardinalities.size());
+
+  for (size_t t = 0; t < spec.cardinalities.size(); ++t) {
+    const size_t n = spec.cardinalities[t];
+    storage::DsmRelation rel("chain" + std::to_string(t), n, spec.num_attrs);
+
+    // Keys: a shuffled permutation of [0, n) — dense domains, so
+    // neighbouring tables match exactly on the overlap of their domains.
+    std::vector<value_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = static_cast<value_t>(i);
+    Shuffle(keys.data(), n, rng);
+
+    for (size_t i = 0; i < n; ++i) rel.key()[i] = keys[i];
+    for (size_t a = 1; a < spec.num_attrs; ++a) {
+      auto& col = rel.attr(a);
+      const size_t salted = ChainPayloadAttr(t, a);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = PayloadValue(keys[i], salted);
+      }
+    }
+
+    if (spec.varchar.num_cols > 0) {
+      const VarcharColumnSpec& vs = spec.varchar;
+      const size_t avg = (vs.min_len + std::max(vs.max_len, vs.min_len) + 1) / 2;
+      w.varchars[t].resize(vs.num_cols);
+      for (size_t c = 0; c < vs.num_cols; ++c) {
+        storage::VarcharColumn& col = w.varchars[t][c];
+        col.Reserve(n, n * avg);
+        const size_t salted = ChainPayloadAttr(t, c);
+        for (size_t i = 0; i < n; ++i) {
+          col.Append(PayloadString(keys[i], salted, vs));
+        }
+      }
+    }
+    w.tables.push_back(std::move(rel));
+  }
+  return w;
+}
+
+}  // namespace radix::workload

@@ -1,0 +1,55 @@
+#ifndef RADIX_WORKLOAD_CHAIN_H_
+#define RADIX_WORKLOAD_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dsm.h"
+#include "storage/varchar.h"
+#include "workload/generator.h"
+
+namespace radix::workload {
+
+/// Parameters of a multi-table join-chain workload: k base tables
+/// T0 ⋈ T1 ⋈ ... ⋈ T(k-1), each joined to its neighbour on the key column.
+/// Every table's keys are a random permutation of [0, cardinality_t), so
+/// the join semantics stay analytic: table s matches table t exactly on the
+/// keys below min(|Ts|, |Tt|), and a full chain's result size is the
+/// minimum cardinality along it — the property the operator-layer property
+/// tests and the optimizer's cardinality estimates both lean on.
+struct ChainWorkloadSpec {
+  /// Per-table cardinalities; size() = chain length (>= 1).
+  std::vector<size_t> cardinalities = {size_t{1} << 16, size_t{1} << 16,
+                                       size_t{1} << 16};
+  size_t num_attrs = 4;  ///< ω per table, including the key (attr 0)
+  uint64_t seed = 42;
+  /// Varchar payload columns generated per table (same spec for all).
+  VarcharColumnSpec varchar;
+};
+
+/// A generated join chain: tables[t] holds the key column (attr 0) and
+/// num_attrs - 1 fixed payload columns; varchars[t] the per-table string
+/// columns. Payloads are deterministic functions of (key, attr, table) —
+/// see ChainPayloadAttr — so scalar reference interpreters can recompute
+/// every result value from key values alone.
+struct ChainWorkload {
+  std::vector<storage::DsmRelation> tables;
+  std::vector<std::vector<storage::VarcharColumn>> varchars;
+};
+
+/// Attribute-space salt separating the payloads of different chain tables,
+/// generalizing MakeJoinWorkload's `attr + 1000` right-side convention:
+/// table t's fixed attribute a holds PayloadValue(key, ChainPayloadAttr(t,
+/// a)) and its varchar column c holds PayloadString(key, ChainPayloadAttr(t,
+/// c), spec). Tables 0 and 1 therefore reproduce the two-sided workload's
+/// left/right payload streams exactly.
+inline constexpr size_t kChainAttrStride = 1000;
+inline size_t ChainPayloadAttr(size_t table, size_t attr) {
+  return attr + kChainAttrStride * table;
+}
+
+ChainWorkload MakeChainWorkload(const ChainWorkloadSpec& spec);
+
+}  // namespace radix::workload
+
+#endif  // RADIX_WORKLOAD_CHAIN_H_

@@ -424,6 +424,79 @@ TEST(EngineTest, VarcharQueriesNeverStream) {
   EXPECT_TRUE(eng.Prepare(w, u_right_no_var).Explain().streaming);
 }
 
+TEST(EngineTest, ModeReasonExplainsWhyStreamingWasRejected) {
+  // Satellite contract: Explain() must *say why* the mode was chosen, not
+  // just which one — especially when streaming was rejected.
+  workload::JoinWorkload w = MakeW(20000, 31, /*omega=*/3);
+  QuerySpec spec;
+  spec.pi_left = 1;
+  spec.pi_right = 1;
+  spec.plan_sides = false;
+  spec.left = SideStrategy::kClustered;
+  spec.right = SideStrategy::kDecluster;
+
+  // kAuto without a budget: materializing because nothing asked to stream.
+  Engine auto_eng(P4Config());
+  {
+    const Explanation& ex = auto_eng.Prepare(w, spec).Explain();
+    EXPECT_EQ(ex.mode_reason, "auto: no streaming budget configured");
+    EXPECT_NE(ex.ToString().find(ex.mode_reason), std::string::npos);
+  }
+
+  // kAuto with a roomy budget: the intermediate fits, so materialize.
+  EngineConfig roomy = P4Config();
+  roomy.streaming_budget_bytes = size_t{1} << 30;
+  Engine roomy_eng(roomy);
+  EXPECT_EQ(roomy_eng.Prepare(w, spec).Explain().mode_reason,
+            "auto: intermediate fits streaming budget");
+
+  // kAuto with a tiny budget: streaming, because the intermediate exceeds.
+  EngineConfig tiny = P4Config();
+  tiny.streaming_budget_bytes = 16 * 1024;
+  Engine tiny_eng(tiny);
+  EXPECT_EQ(tiny_eng.Prepare(w, spec).Explain().mode_reason,
+            "auto: intermediate exceeds streaming budget");
+
+  // Explicit policies name themselves.
+  QuerySpec forced = spec;
+  forced.chunking = ChunkingPolicy::kMaterialize;
+  EXPECT_EQ(tiny_eng.Prepare(w, forced).Explain().mode_reason,
+            "chunking policy: always materialize");
+  forced.chunking = ChunkingPolicy::kStream;
+  EXPECT_EQ(auto_eng.Prepare(w, forced).Explain().mode_reason,
+            "policy: stream");
+
+  // The headline case: varchar columns force materializing even under an
+  // explicit kStream policy, and the reason says so — on the d right side
+  // and on the u right side alike.
+  workload::JoinWorkload vw = MakeVarcharW(1 << 14, 29);
+  QuerySpec var_spec = forced;  // kStream
+  var_spec.pi_varchar_right = 1;
+  {
+    const Explanation& ex = auto_eng.Prepare(vw, var_spec).Explain();
+    ASSERT_FALSE(ex.streaming);
+    EXPECT_NE(ex.mode_reason.find("varchar columns force materializing"),
+              std::string::npos)
+        << ex.mode_reason;
+    EXPECT_NE(ex.ToString().find("mode reason: "), std::string::npos);
+  }
+  QuerySpec var_u = var_spec;
+  var_u.right = SideStrategy::kUnsorted;
+  {
+    const Explanation& ex = auto_eng.Prepare(vw, var_u).Explain();
+    ASSERT_FALSE(ex.streaming);
+    EXPECT_NE(ex.mode_reason.find("varchar columns force materializing"),
+              std::string::npos)
+        << ex.mode_reason;
+  }
+
+  // Comparison strategies have no streaming mode at all.
+  QuerySpec cmp;
+  cmp.strategy = JoinStrategy::kDsmPrePhash;
+  EXPECT_EQ(auto_eng.Prepare(w, cmp).Explain().mode_reason,
+            "comparison strategy: materializing only");
+}
+
 TEST(EngineTest, VarcharExecuteMatchesLegacyAndIsThreadInvariant) {
   // Engine Execute with varchar columns must agree with the legacy entry
   // point, and a threaded session must produce the identical checksum.

@@ -14,8 +14,11 @@
 #include "engine/engine.h"
 #include "engine/plan_cache.h"
 #include "hardware/memory_hierarchy.h"
+#include "ops/plan.h"
+#include "ops/table.h"
 #include "project/dsm_post.h"
 #include "project/strategy.h"
+#include "workload/chain.h"
 #include "workload/generator.h"
 
 namespace radix::engine {
@@ -218,6 +221,186 @@ TEST(PlanCacheTest, KeyCoversEveryPlanAffectingField) {
         << "perturbation '" << name << "' collides with an earlier key: "
         << key;
   }
+}
+
+TEST(PlanCacheTreeTest, KeyCoversTheFullPlanTreeShape) {
+  // The plan-tree analogue of KeyCoversEveryPlanAffectingField: perturbing
+  // any dimension of the tree — operator kinds and arrangement, predicate
+  // column/op/constant, projection list, group-by, aggregate list, or the
+  // catalog's cardinalities — must change the key. A collision here is a
+  // stale PhysicalPlan served for a different query.
+  workload::ChainWorkloadSpec cs;
+  cs.cardinalities = {2048, 1024, 4096};
+  cs.num_attrs = 3;
+  cs.varchar.num_cols = 1;
+  workload::ChainWorkload w = workload::MakeChainWorkload(cs);
+  ops::Catalog catalog = ops::CatalogFromChainWorkload(w);
+
+  auto chain = [](ops::Predicate pred, bool with_select) {
+    std::unique_ptr<ops::PlanNode> left = ops::Scan(0);
+    if (with_select) left = ops::Select(std::move(left), pred);
+    return ops::Join(ops::Join(std::move(left), ops::Scan(1), 0, 1),
+                     ops::Scan(2), 1, 2);
+  };
+  ops::Predicate base_pred;
+  base_pred.col = {0, 1, false};
+  base_pred.op = ops::CmpOp::kLt;
+  base_pred.value = 100;
+
+  std::vector<std::pair<std::string, std::string>> keys;
+  auto add = [&](const char* name, const ops::LogicalPlan& plan) {
+    keys.emplace_back(name, PlanCacheKey(catalog, plan));
+  };
+
+  {
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(base_pred, true), {{2, 1, false}});
+    add("base", p);
+  }
+  {  // drop the select: different operator arrangement
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(base_pred, false), {{2, 1, false}});
+    add("no_select", p);
+  }
+  {  // same shape, different predicate constant
+    ops::Predicate pred = base_pred;
+    pred.value = 101;
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(pred, true), {{2, 1, false}});
+    add("pred_value", p);
+  }
+  {  // same shape, different comparison op
+    ops::Predicate pred = base_pred;
+    pred.op = ops::CmpOp::kGe;
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(pred, true), {{2, 1, false}});
+    add("pred_op", p);
+  }
+  {  // same shape, predicate on a different column
+    ops::Predicate pred = base_pred;
+    pred.col = {0, 2, false};
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(pred, true), {{2, 1, false}});
+    add("pred_col", p);
+  }
+  {  // varchar predicate vs value predicate
+    ops::Predicate pred;
+    pred.col = {0, 0, true};
+    pred.op = ops::CmpOp::kEq;
+    pred.str_value = "d";
+    pred.str_prefix = true;
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(pred, true), {{2, 1, false}});
+    add("varchar_pred", p);
+  }
+  {  // same varchar predicate, prefix flag flipped
+    ops::Predicate pred;
+    pred.col = {0, 0, true};
+    pred.op = ops::CmpOp::kEq;
+    pred.str_value = "d";
+    pred.str_prefix = false;
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(pred, true), {{2, 1, false}});
+    add("varchar_prefix_flag", p);
+  }
+  {  // different projection list
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(base_pred, true),
+                          {{2, 1, false}, {0, 1, false}});
+    add("projection_list", p);
+  }
+  {  // aggregate root instead of project
+    ops::LogicalPlan p;
+    p.root = ops::Aggregate(chain(base_pred, true), {},
+                            {{ops::AggFn::kCount, {}}});
+    add("aggregate_root", p);
+  }
+  {  // different aggregate function over the same column set
+    ops::LogicalPlan p;
+    p.root = ops::Aggregate(chain(base_pred, true), {},
+                            {{ops::AggFn::kSum, {2, 1, false}}});
+    add("agg_fn", p);
+  }
+  {  // grouped vs ungrouped
+    ops::LogicalPlan p;
+    p.root = ops::Aggregate(chain(base_pred, true), {{1, 1, false}},
+                            {{ops::AggFn::kCount, {}}});
+    add("group_by", p);
+  }
+  {  // shorter chain: one join edge instead of two
+    ops::LogicalPlan p;
+    p.root = ops::Project(
+        ops::Join(ops::Select(ops::Scan(0), base_pred), ops::Scan(1), 0, 1),
+        {{1, 1, false}});
+    add("two_table_chain", p);
+  }
+  {  // identical tree over a different-cardinality catalog
+    workload::ChainWorkloadSpec cs2 = cs;
+    cs2.cardinalities = {2048, 1024, 8192};
+    workload::ChainWorkload w2 = workload::MakeChainWorkload(cs2);
+    ops::Catalog catalog2 = ops::CatalogFromChainWorkload(w2);
+    ops::LogicalPlan p;
+    p.root = ops::Project(chain(base_pred, true), {{2, 1, false}});
+    keys.emplace_back("catalog_cardinality", PlanCacheKey(catalog2, p));
+  }
+
+  std::set<std::string> distinct;
+  for (const auto& [name, key] : keys) {
+    EXPECT_TRUE(distinct.insert(key).second)
+        << "plan-tree perturbation '" << name
+        << "' collides with an earlier key: " << key;
+  }
+
+  // Plan-tree keys live in a disjoint namespace from two-sided keys.
+  for (const auto& [name, key] : keys) {
+    EXPECT_EQ(key.rfind("tree|", 0), 0u) << name;
+  }
+  workload::JoinWorkload jw = workload::MakeJoinWorkload(BaseSpec());
+  EXPECT_EQ(PlanCacheKey(jw, QuerySpec{}).rfind("nl=", 0), 0u);
+}
+
+TEST(PlanCacheTreeTest, IdenticalTreesShareAKey) {
+  // Two structurally identical trees built independently must hit the same
+  // entry — that is the whole point of the cache.
+  workload::ChainWorkloadSpec cs;
+  cs.cardinalities = {1024, 1024};
+  cs.num_attrs = 3;
+  workload::ChainWorkload w = workload::MakeChainWorkload(cs);
+  ops::Catalog catalog = ops::CatalogFromChainWorkload(w);
+
+  auto make = [] {
+    ops::LogicalPlan p;
+    p.root = ops::Project(ops::Join(ops::Scan(0), ops::Scan(1), 0, 1),
+                          {{0, 1, false}, {1, 1, false}});
+    return p;
+  };
+  ops::LogicalPlan a = make();
+  ops::LogicalPlan b = make();
+  EXPECT_EQ(PlanCacheKey(catalog, a), PlanCacheKey(catalog, b));
+}
+
+TEST(PlanCacheTreeTest, TreeAndLegacyEntriesCoexist) {
+  // LookupTree must not serve a legacy entry and vice versa, even under
+  // the same key string (defense in depth below the disjoint prefixes).
+  PlanCache cache(/*capacity=*/4);
+  Explanation ex;
+  ex.plan_code = "legacy";
+  cache.Insert("k", ex);
+
+  Explanation out;
+  ops::PhysicalPlan physical;
+  EXPECT_FALSE(cache.LookupTree("k", &out, &physical));
+
+  ops::PhysicalPlan stored;
+  stored.est_result_rows = 7;
+  Explanation tex;
+  tex.plan_tree = true;
+  cache.InsertTree("k2", tex, stored);
+  ASSERT_TRUE(cache.LookupTree("k2", &out, &physical));
+  EXPECT_TRUE(out.plan_tree);
+  EXPECT_EQ(physical.est_result_rows, 7u);
+  // The legacy Lookup still serves the tree entry's Explanation view.
+  EXPECT_TRUE(cache.Lookup("k2", &out));
 }
 
 TEST(PlanCacheTest, SeedDoesNotChangeTheKey) {
