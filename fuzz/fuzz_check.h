@@ -1,0 +1,20 @@
+#ifndef RADIX_FUZZ_FUZZ_CHECK_H_
+#define RADIX_FUZZ_FUZZ_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Harness-side assertion: a failed property is a finding, reported by
+/// crashing so libFuzzer saves the input (and the replay binary reds the
+/// ctest). Distinct from RADIX_CHECK so a harness failure is attributable
+/// to the *oracle disagreeing*, not to a library-internal invariant.
+#define FUZZ_CHECK(cond, what)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FUZZ_CHECK failed at %s:%d: %s (%s)\n",     \
+                   __FILE__, __LINE__, #cond, what);                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#endif  // RADIX_FUZZ_FUZZ_CHECK_H_

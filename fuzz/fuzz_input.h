@@ -1,0 +1,86 @@
+#ifndef RADIX_FUZZ_FUZZ_INPUT_H_
+#define RADIX_FUZZ_FUZZ_INPUT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace radix::fuzz {
+
+/// Structured decoding of a raw fuzz byte stream (the FuzzedDataProvider
+/// idiom, hand-rolled so the harnesses carry no external dependency).
+/// Every accessor is total: an exhausted stream yields zeros/empties
+/// rather than failing, so byte-level mutations always decode to *some*
+/// structured input and coverage-guided mutation stays productive.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t U8() { return TakeByte(); }
+
+  uint16_t U16() {
+    return static_cast<uint16_t>(uint16_t{TakeByte()} |
+                                 (uint16_t{TakeByte()} << 8));
+  }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{TakeByte()} << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{TakeByte()} << (8 * i);
+    return v;
+  }
+
+  bool Bool() { return (TakeByte() & 1) != 0; }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+
+  /// Uniform-ish value in [lo, hi] (inclusive); lo when the range is
+  /// degenerate. Consumes 8 bytes so the mapping is stable as ranges vary.
+  uint64_t InRange(uint64_t lo, uint64_t hi) {
+    if (lo >= hi) return lo;
+    const uint64_t span = hi - lo + 1;
+    return span == 0 ? U64() : lo + U64() % span;
+  }
+
+  size_t SizeInRange(size_t lo, size_t hi) {
+    return static_cast<size_t>(InRange(lo, hi));
+  }
+
+  /// Up to max_len raw bytes as a string (shorter if the stream runs dry).
+  std::string Bytes(size_t max_len) {
+    const size_t n = std::min(max_len, remaining());
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Printable-ASCII string of length up to max_len, for varchar payloads.
+  std::string Ascii(size_t max_len) {
+    std::string s = Bytes(max_len);
+    for (char& c : s) {
+      c = static_cast<char>(' ' + (static_cast<uint8_t>(c) % 95));
+    }
+    return s;
+  }
+
+ private:
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace radix::fuzz
+
+#endif  // RADIX_FUZZ_FUZZ_INPUT_H_

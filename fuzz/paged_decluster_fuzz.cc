@@ -1,0 +1,150 @@
+// Fuzz target: the paged decluster (paper §3.2 preconditions + the Fig. 12
+// three-phase varchar path) via ValidatePagedDecluster and the kernels.
+//
+// Two halves per input:
+//   1. A *valid-by-construction* §3.2 input — ids [0, n) stably ordered by
+//      their low cluster bits (ascending per cluster + dense permutation),
+//      borders from the bucket histogram — is declustered both fixed-size
+//      and variable-size; every directory entry must read back exactly the
+//      value that was scattered to that result position.
+//   2. A decoded corruption of the same input (border overshoot, shuffled
+//      borders, zero window, size mismatch) must be *rejected* by
+//      ValidatePagedDecluster — the recoverable validator, whose contract
+//      is exactly the size/partition/window checks mutated here.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "bufferpool/buffer_manager.h"
+#include "cluster/radix_cluster.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "decluster/paged_decluster.h"
+#include "fuzz_check.h"
+#include "fuzz_input.h"
+
+using radix::oid_t;
+using radix::value_t;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  radix::fuzz::FuzzInput in(data, size);
+
+  const size_t n = in.SizeInRange(0, 768);
+  const uint32_t bits = static_cast<uint32_t>(in.InRange(0, 6));
+  const size_t clusters = size_t{1} << bits;
+  const size_t window = in.SizeInRange(1, 64);
+  // Page small enough to force multi-page results, large enough for the
+  // longest record + its slot. Rounded down to even: Page requires
+  // slot-aligned sizes — this harness's odd sizes under UBSan are what
+  // exposed the misaligned slot-directory stores the ctor now rejects.
+  const size_t page_bytes = in.SizeInRange(96, 4096) & ~size_t{1};
+  const size_t max_len = 16;
+
+  // Valid §3.2 input: result positions [0, n) clustered on their low
+  // `bits` (stable, so ascending within each cluster), borders from the
+  // histogram.
+  std::vector<oid_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  const uint32_t mask = static_cast<uint32_t>(clusters - 1);
+  std::stable_sort(ids.begin(), ids.end(), [&](oid_t a, oid_t b) {
+    return (a & mask) < (b & mask);
+  });
+  radix::cluster::ClusterBorders borders;
+  borders.offsets.assign(clusters + 1, 0);
+  for (oid_t id : ids) ++borders.offsets[(id & mask) + 1];
+  for (size_t c = 0; c < clusters; ++c) {
+    borders.offsets[c + 1] += borders.offsets[c];
+  }
+
+  FUZZ_CHECK(radix::decluster::ValidatePagedDecluster(n, ids, borders, window)
+                 .ok(),
+             "constructed input is valid");
+
+  {  // Fixed-size path: value j must land at result position ids[j].
+    std::vector<value_t> values(n);
+    for (size_t j = 0; j < n; ++j) values[j] = in.I32();
+    radix::bufferpool::BufferManager bm(page_bytes);
+    radix::decluster::PagedResult result = radix::decluster::PagedDeclusterFixed(
+        values, ids, borders, window, &bm);
+    FUZZ_CHECK(result.directory.size() == n, "fixed directory covers result");
+    for (size_t j = 0; j < n; ++j) {
+      std::string_view got = result.Read(bm, ids[j]);
+      FUZZ_CHECK(got.size() == sizeof(value_t), "fixed record width");
+      value_t v;
+      std::memcpy(&v, got.data(), sizeof(v));
+      FUZZ_CHECK(v == values[j], "fixed value at its result position");
+    }
+  }
+
+  {  // Varchar path (three-phase Fig. 12), including empty strings.
+    radix::decluster::VarValues values;
+    std::vector<std::string> originals(n);
+    for (size_t j = 0; j < n; ++j) {
+      originals[j] = in.Ascii(in.SizeInRange(0, max_len));
+      values.Append(originals[j]);
+    }
+    if (n == 0) values.offsets.push_back(0);
+    radix::bufferpool::BufferManager bm(page_bytes);
+    radix::decluster::PagedResult result = radix::decluster::PagedDeclusterVar(
+        values, ids, borders, window, &bm);
+    FUZZ_CHECK(result.directory.size() == n, "var directory covers result");
+    for (size_t j = 0; j < n; ++j) {
+      FUZZ_CHECK(result.Read(bm, ids[j]) == originals[j],
+                 "varchar value at its result position");
+    }
+  }
+
+  // Corrupt exactly what the validator promises to catch; each mutation
+  // must flip the verdict to non-OK (and must not crash the validator).
+  switch (in.InRange(0, 4)) {
+    case 0: {  // window of zero would never retire a tuple...
+      if (n > 0) {  // ...but with no tuples to retire it is explicitly OK
+        FUZZ_CHECK(
+            !radix::decluster::ValidatePagedDecluster(n, ids, borders, 0).ok(),
+            "zero window rejected");
+      }
+      break;
+    }
+    case 1: {  // borders not covering exactly [0, n)
+      borders.offsets.back() += 1 + in.InRange(0, 7);
+      FUZZ_CHECK(
+          !radix::decluster::ValidatePagedDecluster(n, ids, borders, window)
+               .ok(),
+          "border overshoot rejected");
+      break;
+    }
+    case 2: {  // non-monotone borders
+      if (borders.offsets.size() >= 3 && n >= 2) {
+        const size_t c = 1 + in.SizeInRange(0, borders.offsets.size() - 3);
+        borders.offsets[c] = borders.offsets.back() + 1;
+        FUZZ_CHECK(
+            !radix::decluster::ValidatePagedDecluster(n, ids, borders, window)
+                 .ok(),
+            "non-monotone borders rejected");
+      }
+      break;
+    }
+    case 3: {  // ids/values size disagreement
+      ids.push_back(0);
+      FUZZ_CHECK(
+          !radix::decluster::ValidatePagedDecluster(n, ids, borders, window)
+               .ok(),
+          "size mismatch rejected");
+      break;
+    }
+    default: {  // borders that do not start at 0
+      if (n > 0) {
+        borders.offsets.front() = 1;
+        FUZZ_CHECK(
+            !radix::decluster::ValidatePagedDecluster(n, ids, borders, window)
+                 .ok(),
+            "nonzero first border rejected");
+      }
+      break;
+    }
+  }
+  return 0;
+}

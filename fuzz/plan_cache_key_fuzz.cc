@@ -1,0 +1,110 @@
+// Fuzz target: plan-cache key construction. A cache key that aliases two
+// distinct plan shapes executes the wrong cached plan — silently — so the
+// property fuzzed here is injectivity over every field the key claims to
+// pin: two decoded QuerySpecs produce equal keys iff every key-relevant
+// field is equal, two-sided keys ("nl=") and tree keys ("tree|") never
+// collide, and tree fingerprints track predicate constants, column lists
+// and tree shape.
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "engine/engine.h"
+#include "engine/plan_cache.h"
+#include "fuzz_check.h"
+#include "fuzz_input.h"
+#include "ops/plan.h"
+#include "ops/table.h"
+#include "project/strategy.h"
+#include "workload/generator.h"
+
+namespace {
+
+using radix::engine::QuerySpec;
+
+/// Tiny fixed workload: the key folds its cardinalities and varchar stats,
+/// which are constant here so only QuerySpec fields drive key equality.
+const radix::workload::JoinWorkload& FixedWorkload() {
+  static const radix::workload::JoinWorkload w = [] {
+    radix::workload::JoinWorkloadSpec ws;
+    ws.cardinality = 64;
+    ws.num_attrs = 3;
+    ws.seed = 7;
+    ws.build_nsm = false;
+    ws.varchar.num_cols = 2;
+    return radix::workload::MakeJoinWorkload(ws);
+  }();
+  return w;
+}
+
+QuerySpec DecodeSpec(radix::fuzz::FuzzInput& in) {
+  QuerySpec spec;
+  spec.strategy = static_cast<radix::project::JoinStrategy>(in.InRange(0, 5));
+  spec.pi_left = in.SizeInRange(0, 4);
+  spec.pi_right = in.SizeInRange(0, 4);
+  spec.pi_varchar_left = in.SizeInRange(0, 2);
+  spec.pi_varchar_right = in.SizeInRange(0, 2);
+  spec.plan_sides = in.Bool();
+  spec.left = static_cast<radix::project::SideStrategy>(in.InRange(0, 3));
+  spec.right = static_cast<radix::project::SideStrategy>(in.InRange(0, 3));
+  spec.left_bits = in.U32();
+  spec.right_bits = in.U32();
+  spec.window_elems = in.SizeInRange(0, 1 << 20);
+  spec.chunking = static_cast<radix::engine::ChunkingPolicy>(in.InRange(0, 2));
+  spec.chunk_rows = in.SizeInRange(0, 1 << 16);
+  return spec;
+}
+
+auto KeyFields(const QuerySpec& s) {
+  return std::make_tuple(s.strategy, s.pi_left, s.pi_right, s.pi_varchar_left,
+                         s.pi_varchar_right, s.plan_sides, s.left, s.right,
+                         s.left_bits, s.right_bits, s.window_elems, s.chunking,
+                         s.chunk_rows);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  radix::fuzz::FuzzInput in(data, size);
+  const radix::workload::JoinWorkload& w = FixedWorkload();
+
+  QuerySpec a = DecodeSpec(in);
+  QuerySpec b = DecodeSpec(in);
+  const std::string key_a = radix::engine::PlanCacheKey(w, a);
+  const std::string key_b = radix::engine::PlanCacheKey(w, b);
+
+  FUZZ_CHECK(key_a.rfind("nl=", 0) == 0, "two-sided key prefix");
+  FUZZ_CHECK((key_a == key_b) == (KeyFields(a) == KeyFields(b)),
+             "two-sided keys equal iff every pinned field equal");
+  // Deterministic: rebuilding yields the identical key.
+  FUZZ_CHECK(radix::engine::PlanCacheKey(w, a) == key_a, "key deterministic");
+
+  // Tree keys: same catalog, two plans differing only in decoded predicate
+  // constant / projected column — fingerprints must separate them, and the
+  // "tree|" prefix keeps them disjoint from every two-sided key.
+  radix::ops::Catalog catalog = radix::ops::CatalogFromJoinWorkload(w);
+  const radix::value_t pred_a = in.I32();
+  const radix::value_t pred_b = in.I32();
+  const size_t col_a = in.SizeInRange(1, 2);
+  const size_t col_b = in.SizeInRange(1, 2);
+  auto make_plan = [](radix::value_t pred_value, size_t col) {
+    radix::ops::Predicate pred;
+    pred.col = {0, 1, false};
+    pred.op = radix::ops::CmpOp::kLt;
+    pred.value = pred_value;
+    radix::ops::LogicalPlan plan;
+    plan.root = radix::ops::Project(
+        radix::ops::Select(radix::ops::Scan(0), pred), {{0, col, false}});
+    return plan;
+  };
+  radix::ops::LogicalPlan plan_a = make_plan(pred_a, col_a);
+  radix::ops::LogicalPlan plan_b = make_plan(pred_b, col_b);
+  const std::string tree_a = radix::engine::PlanCacheKey(catalog, plan_a);
+  const std::string tree_b = radix::engine::PlanCacheKey(catalog, plan_b);
+  FUZZ_CHECK(tree_a.rfind("tree|", 0) == 0, "tree key prefix");
+  FUZZ_CHECK(tree_a != key_a, "tree and two-sided keys disjoint");
+  FUZZ_CHECK((tree_a == tree_b) == (pred_a == pred_b && col_a == col_b),
+             "tree keys track predicate constant and column list");
+  return 0;
+}

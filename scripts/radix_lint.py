@@ -26,6 +26,13 @@ Rules (each prints `file:line: [rule] message` and fails the run):
                      documented in src/CMakeLists.txt). Catches include
                      cycles and upward includes at review time instead of
                      link time.
+  fuzz-unregistered  every fuzz/*_fuzz.cc must appear in the
+                     RADIX_FUZZ_HARNESSES list of fuzz/CMakeLists.txt (so
+                     it builds in both libFuzzer and corpus-replay mode
+                     and runs under `ctest -L fuzz`) and must have a
+                     non-empty seed corpus in fuzz/corpus/<name>/. A
+                     harness without seeds proves nothing on replay; one
+                     without a target silently rots.
 
 `--self-test` runs every rule against embedded seeded violations and fails
 unless each one is caught — proving the gate actually gates.
@@ -208,6 +215,54 @@ def lint_file(rel, text):
                        "notify under the lock (docs/CONCURRENCY.md)")
 
 
+FUZZ = REPO / "fuzz"
+# A harness counts as registered when its name appears on its own line
+# inside fuzz/CMakeLists.txt (the RADIX_FUZZ_HARNESSES list entries).
+FUZZ_LIST_ENTRY = re.compile(r"^\s*([a-z0-9_]+_fuzz)\)?\s*$", re.MULTILINE)
+
+
+def lint_fuzz_registration(harness_names, cmake_text, corpus_seeds):
+    """Pure core of the fuzz-unregistered rule, separated from the
+    filesystem so --self-test can fabricate its inputs.
+
+    harness_names: iterable of harness stems (e.g. "cluster_spec_fuzz")
+                   for each fuzz/*_fuzz.cc present.
+    cmake_text:    contents of fuzz/CMakeLists.txt.
+    corpus_seeds:  dict harness stem -> number of seed files in
+                   fuzz/corpus/<stem>/ (missing key = no directory).
+    Yields (harness, message).
+    """
+    registered = set(FUZZ_LIST_ENTRY.findall(cmake_text))
+    for name in sorted(harness_names):
+        if name not in registered:
+            yield (name,
+                   f"fuzz/{name}.cc has no target: add it to the "
+                   "RADIX_FUZZ_HARNESSES list in fuzz/CMakeLists.txt "
+                   "(and a RADIX_FUZZ_RAND_<name> smoke depth)")
+        if corpus_seeds.get(name, 0) == 0:
+            yield (name,
+                   f"fuzz/corpus/{name}/ is missing or empty: commit at "
+                   "least one seed input (replay mode proves nothing "
+                   "without seeds; see docs/FUZZING.md)")
+
+
+def run_fuzz_registration():
+    """Collect the real fuzz/ layout and apply the pure rule."""
+    if not FUZZ.is_dir():
+        return []
+    harnesses = [p.stem for p in FUZZ.glob("*_fuzz.cc")]
+    cmake = FUZZ / "CMakeLists.txt"
+    cmake_text = cmake.read_text() if cmake.is_file() else ""
+    seeds = {}
+    for name in harnesses:
+        corpus = FUZZ / "corpus" / name
+        if corpus.is_dir():
+            seeds[name] = sum(1 for f in corpus.iterdir() if f.is_file())
+    return [f"fuzz/{name}.cc: [fuzz-unregistered] {msg}"
+            for name, msg in lint_fuzz_registration(harnesses, cmake_text,
+                                                    seeds)]
+
+
 def run(paths=None):
     failures = []
     files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
@@ -217,6 +272,8 @@ def run(paths=None):
         rel = path.resolve().relative_to(SRC).as_posix()
         for lineno, rule, msg in lint_file(rel, path.read_text()):
             failures.append(f"src/{rel}:{lineno}: [{rule}] {msg}")
+    if not paths:
+        failures.extend(run_fuzz_registration())
     return failures
 
 
@@ -260,6 +317,31 @@ SELF_TEST_CASES = [
     ("engine/ok.cc", 's += "std::mutex";\n', None),
 ]
 
+# Fabricated fuzz/ layouts for the fuzz-unregistered rule:
+# (harness names, CMakeLists text, corpus seed counts, expected hit count).
+FUZZ_CMAKE_OK = (
+    "set(RADIX_FUZZ_HARNESSES\n  alpha_fuzz\n  beta_fuzz)\n"
+)
+FUZZ_SELF_TEST_CASES = [
+    # Both registered, both seeded: clean.
+    (["alpha_fuzz", "beta_fuzz"], FUZZ_CMAKE_OK,
+     {"alpha_fuzz": 3, "beta_fuzz": 1}, 0),
+    # Harness source exists but is absent from the list: caught.
+    (["alpha_fuzz", "beta_fuzz", "gamma_fuzz"], FUZZ_CMAKE_OK,
+     {"alpha_fuzz": 3, "beta_fuzz": 1, "gamma_fuzz": 2}, 1),
+    # Registered but the corpus directory is empty: caught.
+    (["alpha_fuzz", "beta_fuzz"], FUZZ_CMAKE_OK,
+     {"alpha_fuzz": 3, "beta_fuzz": 0}, 1),
+    # ...or missing entirely: caught.
+    (["alpha_fuzz", "beta_fuzz"], FUZZ_CMAKE_OK, {"alpha_fuzz": 3}, 1),
+    # Unregistered AND unseeded: two findings for the one harness.
+    (["alpha_fuzz", "beta_fuzz", "gamma_fuzz"], FUZZ_CMAKE_OK,
+     {"alpha_fuzz": 3, "beta_fuzz": 1}, 2),
+    # The name must be a list entry, not prose in a comment.
+    (["alpha_fuzz"], "# alpha_fuzz is documented here\n",
+     {"alpha_fuzz": 3}, 1),
+]
+
 
 def self_test():
     bad = 0
@@ -274,10 +356,17 @@ def self_test():
             print(f"self-test case {i} ({rel}): seeded {expected} "
                   f"violation NOT caught (got {hits})")
             bad += 1
+    for i, (names, cmake, seeds, expected) in enumerate(FUZZ_SELF_TEST_CASES):
+        hits = list(lint_fuzz_registration(names, cmake, seeds))
+        if len(hits) != expected:
+            print(f"fuzz self-test case {i}: expected {expected} "
+                  f"finding(s), got {len(hits)}: {hits}")
+            bad += 1
     if bad:
         print(f"radix_lint self-test: {bad} case(s) FAILED")
         return 1
-    print(f"radix_lint self-test: all {len(SELF_TEST_CASES)} cases pass")
+    print(f"radix_lint self-test: all "
+          f"{len(SELF_TEST_CASES) + len(FUZZ_SELF_TEST_CASES)} cases pass")
     return 0
 
 

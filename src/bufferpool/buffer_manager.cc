@@ -1,5 +1,7 @@
 #include "bufferpool/buffer_manager.h"
 
+#include <limits>
+
 #include "common/macros.h"
 
 namespace radix::bufferpool {
@@ -11,6 +13,10 @@ size_t BufferManager::num_pages() const {
 
 page_id_t BufferManager::Allocate(size_t n) {
   MutexLock lock(mu_);
+  // page_id_t is 32-bit; past 2^32 pages the cast below would silently
+  // alias new pages onto old ids. At the 8 KiB default that is a 32 TiB
+  // pool — unreachable in practice, so a hard check, not an error path.
+  RADIX_CHECK(pages_.size() + n <= std::numeric_limits<page_id_t>::max());
   page_id_t first = static_cast<page_id_t>(pages_.size());
   for (size_t i = 0; i < n; ++i) {
     pages_.push_back(std::make_unique<Page>(page_bytes_));

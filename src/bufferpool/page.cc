@@ -6,7 +6,14 @@ namespace radix::bufferpool {
 
 Page::Page(size_t page_bytes) : bytes_(page_bytes, 0) {
   RADIX_CHECK(page_bytes >= sizeof(Header) + sizeof(Slot));
-  RADIX_CHECK(page_bytes <= 65536);  // 16-bit offsets
+  // Strictly below 2^16, not <=: free_offset is uint16_t and must be able
+  // to hold page_bytes itself (a positionally-filled 65536-byte page would
+  // wrap free_offset to 0 in WriteAt and corrupt the fill-level metadata).
+  RADIX_CHECK(page_bytes < 65536);  // 16-bit offsets
+  // The slot directory grows down from bytes_[page_bytes], so an odd size
+  // would put every Slot at an odd address (misaligned uint16 stores,
+  // UBSan-caught via the decluster fuzz harness's odd page sizes).
+  RADIX_CHECK(page_bytes % alignof(Slot) == 0);
   header() = Header{};
 }
 

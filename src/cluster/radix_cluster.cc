@@ -13,6 +13,16 @@ Status ValidateClusterSpec(const ClusterSpec& spec, uint32_t value_bits) {
         "labeled as clustered (B=" +
         std::to_string(spec.total_bits) + ")");
   }
+  if (spec.total_bits >= 64) {
+    // 2^B clusters must fit a size_t shift and the per-pass RadixBits mask
+    // is (1 << Bp) - 1: either shift by >= 64 is undefined. A full-width
+    // cluster is degenerate anyway — every value is its own cluster
+    // (fuzz: cluster_spec seed full_width_single_pass).
+    return Status::InvalidArgument(
+        "ClusterSpec.total_bits = " + std::to_string(spec.total_bits) +
+        " >= 64: cluster count 2^B and the per-pass radix mask both "
+        "overflow a 64-bit shift");
+  }
   if (spec.total_bits + spec.ignore_bits > value_bits) {
     return Status::InvalidArgument(
         "ClusterSpec clusters on bits [" + std::to_string(spec.ignore_bits) +

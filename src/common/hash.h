@@ -4,12 +4,16 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/overflow.h"
+
 namespace radix {
 
 /// Finalizer-style integer hash (Murmur3 fmix64). Radix-Cluster hashes the
 /// join attribute "to ensure that all bits of the join attribute play a role
 /// in the lower B bits used for clustering" (paper §2.2) and to combat skew.
-inline uint64_t HashInt64(uint64_t k) {
+// no-sanitize reason: fmix64 mixes via wrapping multiplication by odd
+// constants — 2^64-modular by construction.
+RADIX_NO_SANITIZE_INTEGER inline uint64_t HashInt64(uint64_t k) {
   k ^= k >> 33;
   k *= 0xff51afd7ed558ccdULL;
   k ^= k >> 33;
@@ -30,7 +34,9 @@ struct OidIdentityHash {
 /// FNV-1a over a byte range; digests variable-size (varchar) values so
 /// string payloads can participate in the order-independent result
 /// checksums next to the fixed-width HashInt64 terms.
-inline uint64_t HashBytes(const void* data, size_t len) {
+// no-sanitize reason: FNV-1a's prime multiply wraps mod 2^64 by definition.
+RADIX_NO_SANITIZE_INTEGER inline uint64_t HashBytes(const void* data,
+                                                    size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint64_t h = 14695981039346656037ULL;
   for (size_t i = 0; i < len; ++i) {

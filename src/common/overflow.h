@@ -1,0 +1,55 @@
+#ifndef RADIX_COMMON_OVERFLOW_H_
+#define RADIX_COMMON_OVERFLOW_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+/// Support for the `-fsanitize=integer` build flavor (RADIX_SANITIZE=integer,
+/// Clang only): that sanitizer flags *every* unsigned wrap and implicit
+/// value-changing conversion at runtime, which is exactly what we want on
+/// offset/size arithmetic — but hash mixing, PRNG state updates and the
+/// order-independent checksum sums wrap *by design*. Those few sites are
+/// annotated with RADIX_NO_SANITIZE_INTEGER (each carrying a one-line
+/// reason), so a clean integer-sanitizer run means every *unannotated* wrap
+/// is a real bug.
+///
+/// Policy: never annotate a whole algorithm to silence one operation. For a
+/// single intentionally-wrapping add/mul inside otherwise-checked code, use
+/// WrapAdd/WrapMul below — the call site stays greppable and self-documents
+/// the wrap.
+#if defined(__clang__)
+#define RADIX_NO_SANITIZE_INTEGER \
+  __attribute__((no_sanitize("unsigned-integer-overflow", "implicit-conversion")))
+#else
+#define RADIX_NO_SANITIZE_INTEGER
+#endif
+
+namespace radix {
+
+/// 2^64-modular add — the order-independent result checksums are *defined*
+/// as sums mod 2^64 of per-row digests (commutative, so result order may
+/// differ between strategies).
+RADIX_NO_SANITIZE_INTEGER inline uint64_t WrapAdd(uint64_t a, uint64_t b) {
+  return a + b;
+}
+
+/// 2^64-modular multiply — hash finalizers and PRNG state updates mix via
+/// wrapping multiplication by odd constants.
+RADIX_NO_SANITIZE_INTEGER inline uint64_t WrapMul(uint64_t a, uint64_t b) {
+  return a * b;
+}
+
+/// Guard before a loop that casts indices [0, n) — or chain heads i+1 —
+/// to 32-bit oids: beyond 2^32 rows the casts would silently alias
+/// positions, producing wrong answers rather than crashes. One check per
+/// loop, not per element.
+inline void CheckOidCapacity(size_t n) {
+  RADIX_CHECK(n <= size_t{std::numeric_limits<oid_t>::max()});
+}
+
+}  // namespace radix
+
+#endif  // RADIX_COMMON_OVERFLOW_H_

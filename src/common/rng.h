@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/overflow.h"
+
 namespace radix {
 
 /// Deterministic, fast PRNG (xoshiro256**). Workload generation must be
@@ -10,7 +12,10 @@ namespace radix {
 /// tests see identical data; std::mt19937 is avoided in hot paths.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  // no-sanitize reason: SplitMix64 seeding scrambles state via wrapping
+  // add/multiply of large odd constants.
+  RADIX_NO_SANITIZE_INTEGER explicit Rng(
+      uint64_t seed = 0x9e3779b97f4a7c15ULL) {
     // SplitMix64 seeding, as recommended by the xoshiro authors.
     for (auto& word : state_) {
       seed += 0x9e3779b97f4a7c15ULL;
@@ -21,7 +26,9 @@ class Rng {
     }
   }
 
-  uint64_t Next() {
+  // no-sanitize reason: xoshiro256**'s scrambler multiplies state by 5 and
+  // 9 mod 2^64; wrap is the algorithm.
+  RADIX_NO_SANITIZE_INTEGER uint64_t Next() {
     const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
     const uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/macros.h"
 #include "common/rng.h"
 #include "common/timer.h"
 
@@ -19,6 +21,9 @@ double Calibrator::MeasureChaseLatency(size_t working_set_bytes) const {
   AlignedBuffer buf(slots * kStride, 4096);
   auto* base = buf.data();
 
+  // Slot indices live in uint32 (half the footprint of size_t during the
+  // shuffle); a >256 GiB working set would wrap the iota below.
+  RADIX_CHECK(slots <= std::numeric_limits<uint32_t>::max());
   std::vector<uint32_t> order(slots);
   std::iota(order.begin(), order.end(), 0u);
   Rng rng(working_set_bytes ^ 0xabcdefULL);

@@ -1,6 +1,7 @@
 #include "join/hash_join.h"
 
 #include "join/hash_table.h"
+#include "common/overflow.h"
 
 namespace radix::join {
 
@@ -10,6 +11,7 @@ JoinIndex HashJoin(std::span<const value_t> left_keys,
   table.Build(right_keys);
   JoinIndex out;
   out.Reserve(left_keys.size());
+  CheckOidCapacity(left_keys.size());
   for (size_t i = 0; i < left_keys.size(); ++i) {
     table.Probe(left_keys[i], [&](oid_t right_pos) {
       out.Append(static_cast<oid_t>(i), right_pos);
@@ -25,6 +27,7 @@ namespace {
 class KeyOidTable {
  public:
   explicit KeyOidTable(std::span<const cluster::KeyOid> build) : build_(build) {
+    CheckOidCapacity(build.size());
     size_t buckets = NextPowerOfTwo(build.size() == 0 ? 1 : build.size());
     mask_ = buckets - 1;
     heads_.assign(buckets, 0);

@@ -1,12 +1,14 @@
 #include "join/hash_table.h"
 
 #include <algorithm>
+#include "common/overflow.h"
 
 namespace radix::join {
 
 void HashTable::Build(std::span<const value_t> keys) {
   keys_ = keys;
   size_t n = keys.size();
+  CheckOidCapacity(n);  // chain heads store i + 1 as uint32
   size_t buckets = NextPowerOfTwo(n == 0 ? 1 : n);
   buckets_.assign(buckets, 0);
   next_.assign(n, 0);

@@ -1,4 +1,5 @@
 #include "join/jive_join.h"
+#include "common/overflow.h"
 
 #include <algorithm>
 
@@ -29,6 +30,7 @@ JiveIntermediate ScatterIntermediate(std::span<const OidPair> index,
                                      oid_t right_cardinality,
                                      const JiveJoinOptions& options) {
   JiveGeometry geo = Geometry(right_cardinality, options);
+  CheckOidCapacity(index.size());  // entries store result positions as oids
   JiveIntermediate inter;
   inter.right_cardinality = right_cardinality;
   inter.shift = geo.shift;

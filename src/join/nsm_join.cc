@@ -1,4 +1,5 @@
 #include "join/nsm_join.h"
+#include "common/overflow.h"
 
 #include <cstring>
 
@@ -38,6 +39,7 @@ class RowTable {
            size_t end)
       : build_(build), begin_(begin) {
     size_t n = end - begin;
+    CheckOidCapacity(n);  // chain heads store i + 1 as uint32
     size_t buckets = NextPowerOfTwo(n == 0 ? 1 : n);
     mask_ = buckets - 1;
     heads_.assign(buckets, 0);
@@ -105,7 +107,11 @@ void JoinRange(const NsmPreProjection::Intermediate& left, size_t lbegin,
 storage::NsmResult RowsToResult(const std::vector<value_t>& rows,
                                 size_t width) {
   storage::NsmResult result(width == 0 ? 0 : rows.size() / width, width);
-  std::memcpy(result.row(0), rows.data(), rows.size() * sizeof(value_t));
+  // Empty joins: data() of an empty vector may be null, and memcpy's
+  // nonnull contract makes that UB even at size 0 (UBSan-caught).
+  if (!rows.empty()) {
+    std::memcpy(result.row(0), rows.data(), rows.size() * sizeof(value_t));
+  }
   return result;
 }
 

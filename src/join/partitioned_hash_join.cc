@@ -1,4 +1,5 @@
 #include "join/partitioned_hash_join.h"
+#include "common/overflow.h"
 
 #include <algorithm>
 
@@ -18,6 +19,7 @@ cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
                                       radix_bits_t total_bits,
                                       uint32_t passes) {
   RADIX_CHECK(out.size() == keys.size());
+  CheckOidCapacity(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     out[i] = {keys[i], static_cast<oid_t>(i)};
   }

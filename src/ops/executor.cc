@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/overflow.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "ops/operator.h"
@@ -94,7 +95,7 @@ Status ExecutePlan(const Catalog& catalog, const LogicalPlan& plan,
       for (const VarcharChunkCol& col : chunk.var_cols) {
         digest.AddString(col.base->at(col.oids[i]));
       }
-      run.checksum += digest.digest();
+      run.checksum = WrapAdd(run.checksum, digest.digest());
     }
   }
   root->Close();

@@ -12,6 +12,7 @@
 #include "join/partitioned_hash_join.h"
 #include "join/positional_join.h"
 #include "ops/operator.h"
+#include "common/overflow.h"
 #include "project/dsm_post.h"
 
 namespace radix::ops {
@@ -76,6 +77,7 @@ void ScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   pos_ = 0;
   cardinality_ = ctx->catalog->table(table_).cardinality();
+  CheckOidCapacity(cardinality_);  // NextChunk emits positions as oids
   arena_.Reset(1, ctx->chunk_rows, ctx->gauge);
 }
 

@@ -270,10 +270,19 @@ std::string PhysicalPlan::Summary() const {
   std::string s;
   for (const EdgePlan& e : edges) {
     if (!s.empty()) s += "; ";
-    s += "t" + std::to_string(e.left_table) + "*t" +
-         std::to_string(e.right_table) + ": " + e.code + " (est " +
-         std::to_string(e.est_result_rows) + " rows" +
-         (e.easy ? ", easy" : "") + ")";
+    // Appended term by term: GCC 12's -Wrestrict false-fires on chained
+    // operator+ temporaries (same workaround as PR 1's string concats).
+    s += "t";
+    s += std::to_string(e.left_table);
+    s += "*t";
+    s += std::to_string(e.right_table);
+    s += ": ";
+    s += e.code;
+    s += " (est ";
+    s += std::to_string(e.est_result_rows);
+    s += " rows";
+    if (e.easy) s += ", easy";
+    s += ")";
   }
   if (s.empty()) s = "no joins";
   return s;

@@ -129,6 +129,15 @@ Status ValidateNode(const Catalog& catalog, const PlanNode& node,
     }
   }
 
+  // Children before this node's per-kind checks: CheckColumnRef indexes
+  // catalog.table(ref.table) for any table the subtree claims to scan, so
+  // an out-of-range scan must be rejected before a column ref naming the
+  // same table is looked up (fuzz: plan_tree seed oob_scan_under_project).
+  for (const auto& child : node.children) {
+    Status st = ValidateNode(catalog, *child, /*is_root=*/false);
+    if (!st.ok()) return st;
+  }
+
   switch (node.kind) {
     case NodeKind::kScan:
       if (node.table >= catalog.size()) {
@@ -232,10 +241,6 @@ Status ValidateNode(const Catalog& catalog, const PlanNode& node,
     }
   }
 
-  for (const auto& child : node.children) {
-    Status st = ValidateNode(catalog, *child, /*is_root=*/false);
-    if (!st.ok()) return st;
-  }
   return Status::OK();
 }
 

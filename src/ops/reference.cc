@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/overflow.h"
 #include "project/checksum.h"
 
 namespace radix::ops {
@@ -194,7 +195,7 @@ Status ReferenceExecute(const Catalog& catalog, const LogicalPlan& plan,
         const oid_t oid = rows.row(i)[rows.ColumnFor(ref.table)];
         digest.AddString(catalog.table(ref.table).varchars[ref.attr]->at(oid));
       }
-      run.checksum += digest.digest();
+      run.checksum = WrapAdd(run.checksum, digest.digest());
     }
     *out = run;
     return Status::OK();
@@ -251,7 +252,7 @@ Status ReferenceExecute(const Catalog& catalog, const LogicalPlan& plan,
     for (size_t j = 0; j < n_aggs; ++j) {
       digest.AddValue(AccFinal(root.aggs[j].fn, accs[j]));
     }
-    run.checksum += digest.digest();
+    run.checksum = WrapAdd(run.checksum, digest.digest());
   }
   *out = run;
   return Status::OK();

@@ -1,4 +1,5 @@
 #include "project/dsm_post.h"
+#include "common/overflow.h"
 
 #include <algorithm>
 #include <memory>
@@ -102,6 +103,7 @@ void ReorderIndexLeft(join::JoinIndex& index, size_t left_cardinality,
                       const hardware::MemoryHierarchy& hw, SideStrategy left,
                       radix_bits_t left_bits, ThreadPool* pool) {
   size_t n = index.size();
+  CheckOidCapacity(left_cardinality);
   if (left == SideStrategy::kSorted) {
     cluster::RadixSortJoinIndex(index.span(),
                                 static_cast<oid_t>(left_cardinality),
@@ -205,6 +207,7 @@ void ProjectSideWithPool(std::vector<oid_t>& ids, SideStrategy strategy,
                                  column_cardinality, hw, bits);
       timer.Reset();
       std::vector<oid_t> result_pos(ids.size());
+      CheckOidCapacity(ids.size());
       for (size_t i = 0; i < ids.size(); ++i) {
         result_pos[i] = static_cast<oid_t>(i);
       }

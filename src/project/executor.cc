@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/mutex.h"
+#include "common/overflow.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "join/partitioned_hash_join.h"
@@ -64,7 +65,7 @@ uint64_t ChecksumRows(const storage::NsmResult& r,
       for (const auto& col : vars->left) digest.AddString(col.at(i));
       for (const auto& col : vars->right) digest.AddString(col.at(i));
     }
-    sum += digest.digest();
+    sum = WrapAdd(sum, digest.digest());
   }
   return sum;
 }
@@ -77,7 +78,7 @@ uint64_t ChecksumColumns(const storage::DsmResult& r) {
     for (const auto& col : r.right_columns) digest.AddValue(col[i]);
     for (const auto& col : r.left_varchars) digest.AddString(col.at(i));
     for (const auto& col : r.right_varchars) digest.AddString(col.at(i));
-    sum += digest.digest();
+    sum = WrapAdd(sum, digest.digest());
   }
   return sum;
 }

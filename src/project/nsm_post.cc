@@ -1,4 +1,5 @@
 #include "project/nsm_post.h"
+#include "common/overflow.h"
 
 #include <cstring>
 
@@ -56,6 +57,7 @@ storage::NsmResult NsmPostProjectDecluster(
     oid_t pos;
   };
   std::vector<IdPos> pairs(n);
+  CheckOidCapacity(n);
   for (size_t i = 0; i < n; ++i) {
     pairs[i] = {index[i].right, static_cast<oid_t>(i)};
   }
@@ -118,6 +120,8 @@ storage::NsmResult NsmPostProjectJive(join::JoinIndex& index,
 
   // Jive-Join requires the index sorted on left oid (it was designed for
   // precomputed, sorted join indices).
+  CheckOidCapacity(left.cardinality());
+  CheckOidCapacity(right.cardinality());
   timer.Reset();
   cluster::RadixSortJoinIndex(index.span(),
                               static_cast<oid_t>(left.cardinality()),

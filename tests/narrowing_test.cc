@@ -1,0 +1,166 @@
+// Offset-arithmetic and 32/16-bit-capacity contracts, probed at their
+// boundaries without giant allocations: the Page's uint16 addressing, the
+// ClusterSpec 64-bit-shift rejection, the oid-capacity guard helper, and
+// the plan validator's ordering (children before column refs, so an
+// out-of-range scan can never drive an out-of-range catalog lookup).
+// Each boundary here is also a fuzz regression seed (fuzz/corpus/).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bufferpool/buffer_manager.h"
+#include "bufferpool/page.h"
+#include "cluster/radix_cluster.h"
+#include "common/overflow.h"
+#include "common/status.h"
+#include "ops/plan.h"
+#include "ops/table.h"
+#include "storage/dsm.h"
+
+namespace radix {
+namespace {
+
+using bufferpool::Page;
+
+TEST(PageNarrowing, RejectsPageBytesThatOverflowUint16Offsets) {
+  // free_offset must be able to hold page_bytes itself after a positional
+  // fill; 65536 would wrap it to 0.
+  EXPECT_DEATH(Page page(65536), "");
+  EXPECT_DEATH(Page page(1 << 20), "");
+}
+
+TEST(PageNarrowing, RejectsOddPageBytes) {
+  // The slot directory grows down from bytes_[page_bytes]: an odd size
+  // would misalign every uint16 Slot store (UBSan-caught).
+  EXPECT_DEATH(Page page(65535), "");
+  EXPECT_DEATH(Page page(4097), "");
+}
+
+TEST(PageNarrowing, MaxPageFillsToTheTopWithoutWrapping) {
+  constexpr size_t kPageBytes = 65534;  // largest valid (even, < 2^16)
+  Page page(kPageBytes);
+  // One record filling the whole payload except its slot: offsets and the
+  // fill level stay exact at the top of the uint16 range.
+  const size_t payload =
+      kPageBytes - sizeof(Page::Header) - Page::kSlotBytes;
+  std::vector<uint8_t> data(payload, 0xAB);
+  int slot = page.Append(data.data(), data.size());
+  ASSERT_EQ(slot, 0);
+  EXPECT_EQ(page.num_records(), 1u);
+  EXPECT_EQ(page.Record(0).size(), payload);
+  EXPECT_EQ(page.Record(0)[payload - 1], 0xAB);
+  EXPECT_EQ(page.free_bytes(), 0u);
+  // No second record fits, and the refusal is a clean -1, not a wrap.
+  uint8_t byte = 0;
+  EXPECT_EQ(page.Append(&byte, 1), -1);
+}
+
+TEST(PageNarrowing, PositionalWriteAtTopOfPageKeepsFillLevel) {
+  constexpr size_t kPageBytes = 65534;
+  Page page(kPageBytes);
+  const size_t payload_cap = Page::PayloadCapacity(kPageBytes);
+  std::vector<uint8_t> data(16, 0x5A);
+  // Write the last 16 payload bytes positionally (paged decluster writes
+  // at precomputed offsets): free_offset lands on 65534, the maximum
+  // representable fill, without wrapping.
+  page.WriteAt(payload_cap - data.size(), data.data(), data.size());
+  page.SetSlot(0, static_cast<uint16_t>(kPageBytes - data.size()),
+               static_cast<uint16_t>(data.size()));
+  EXPECT_EQ(page.Record(0).size(), data.size());
+  EXPECT_EQ(page.Record(0)[0], 0x5A);
+  EXPECT_EQ(page.free_bytes(), 0u);
+}
+
+TEST(BufferManagerNarrowing, SequentialIdsStayDense) {
+  bufferpool::BufferManager bm(4096);
+  EXPECT_EQ(bm.Allocate(3), 0u);
+  EXPECT_EQ(bm.Allocate(2), 3u);
+  EXPECT_EQ(bm.num_pages(), 5u);
+}
+
+TEST(ClusterSpecNarrowing, RejectsFullWidthTotalBits) {
+  // total_bits = 64 would shift a 64-bit value by 64 in both
+  // num_clusters() and the per-pass RadixBits mask — undefined, and
+  // previously accepted by the validator (fuzz regression
+  // full_width_single_pass).
+  cluster::ClusterSpec spec;
+  spec.total_bits = 64;
+  spec.ignore_bits = 0;
+  spec.passes = 1;
+  Status st = cluster::ValidateClusterSpec(spec);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  // More passes do not rescue it: num_clusters() still overflows.
+  spec.passes = 2;
+  EXPECT_EQ(cluster::ValidateClusterSpec(spec).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(ClusterSpecNarrowing, AcceptsWidestValidSpecs) {
+  cluster::ClusterSpec spec;
+  spec.total_bits = 32;
+  spec.ignore_bits = 32;
+  spec.passes = 4;
+  EXPECT_TRUE(cluster::ValidateClusterSpec(spec).ok());
+  spec.total_bits = 63;
+  spec.ignore_bits = 1;
+  spec.passes = 8;
+  EXPECT_TRUE(cluster::ValidateClusterSpec(spec).ok());
+  spec.ignore_bits = 2;  // bits [2, 65) exceed the value width
+  EXPECT_EQ(cluster::ValidateClusterSpec(spec).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(OidCapacity, GuardsThe32BitBoundary) {
+  CheckOidCapacity(0);
+  CheckOidCapacity(size_t{std::numeric_limits<oid_t>::max()});
+  EXPECT_DEATH(CheckOidCapacity(size_t{1} << 32), "");
+}
+
+/// Catalog of one tiny real table, so out-of-range ids are easy to name.
+class PlanValidationOrder : public ::testing::Test {
+ protected:
+  PlanValidationOrder() : relation_("t0", 4, 2) {
+    table_.name = "t0";
+    table_.relation = &relation_;
+    catalog_.tables.push_back(table_);
+  }
+
+  storage::DsmRelation relation_;
+  ops::Table table_;
+  ops::Catalog catalog_;
+};
+
+TEST_F(PlanValidationOrder, OutOfRangeScanUnderProjectIsRejectedCleanly) {
+  // The column ref names the same (out-of-range) table the scan claims to
+  // provide, so the subtree-visibility check passes; only validating the
+  // child Scan first keeps CheckColumnRef from indexing catalog.table(99)
+  // out of bounds (fuzz regression oob_scan_under_project).
+  ops::LogicalPlan plan;
+  plan.root = ops::Project(ops::Scan(99), {{99, 0, false}});
+  Status st = ops::ValidatePlan(catalog_, plan);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("out of range"), std::string::npos);
+}
+
+TEST_F(PlanValidationOrder, OutOfRangeScanUnderAggregateIsRejectedCleanly) {
+  ops::AggExpr agg;
+  agg.fn = ops::AggFn::kSum;
+  agg.col = {7, 1, false};
+  ops::LogicalPlan plan;
+  plan.root = ops::Aggregate(ops::Scan(7), {{7, 1, false}}, {agg});
+  Status st = ops::ValidatePlan(catalog_, plan);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(PlanValidationOrder, ValidPlansStillPass) {
+  ops::LogicalPlan plan;
+  plan.root = ops::Project(ops::Scan(0), {{0, 1, false}});
+  EXPECT_TRUE(ops::ValidatePlan(catalog_, plan).ok());
+}
+
+}  // namespace
+}  // namespace radix

@@ -310,20 +310,13 @@ TEST(OpsEngine, TwoSidedPlanMatchesLegacyQuerySpecBitForBit) {
   }
 }
 
-TEST(OpsValidate, MalformedTreesAreInvalidArgumentNotCrashes) {
-  workload::ChainWorkload w = workload::MakeChainWorkload(SmallChainSpec(2));
-  Catalog catalog = CatalogFromChainWorkload(w);
-  engine::EngineConfig cfg;
-  cfg.hierarchy = P4();
-  engine::Engine eng(cfg);
-
-  auto expect_invalid = [&](LogicalPlan plan, const char* what) {
-    engine::PreparedPlan prepared;
-    Status status = eng.Prepare(catalog, plan, &prepared);
-    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << what;
-    EXPECT_FALSE(status.message().empty()) << what;
-  };
-
+/// The malformed trees every validating entry point must reject. Shared
+/// between the engine-Prepare test and the ReferenceExecute parity test:
+/// the reference is the differential-fuzz oracle, so it must return
+/// kInvalidArgument for exactly the trees the optimized path rejects —
+/// otherwise an error-path divergence reads as a found bug.
+std::vector<std::pair<LogicalPlan, const char*>> MalformedTrees() {
+  std::vector<std::pair<LogicalPlan, const char*>> out;
   {  // ordered comparison on a varchar predicate
     Predicate pred;
     pred.col = {0, 0, true};
@@ -332,39 +325,61 @@ TEST(OpsValidate, MalformedTreesAreInvalidArgumentNotCrashes) {
     LogicalPlan plan;
     plan.root =
         Project(Select(Scan(0), pred), {{0, 1, false}});
-    expect_invalid(std::move(plan), "varchar kLt predicate");
+    out.emplace_back(std::move(plan), "varchar kLt predicate");
   }
   {  // self-join: the same table scanned on both sides
     LogicalPlan plan;
     plan.root = Project(Join(Scan(0), Scan(0), 0, 0), {{0, 1, false}});
-    expect_invalid(std::move(plan), "self-join");
+    out.emplace_back(std::move(plan), "self-join");
   }
   {  // varchar group-by column
     LogicalPlan plan;
     plan.root =
         Aggregate(Scan(0), {{0, 0, true}}, {{AggFn::kCount, {}}});
-    expect_invalid(std::move(plan), "varchar group-by");
+    out.emplace_back(std::move(plan), "varchar group-by");
   }
   {  // varchar aggregate input
     LogicalPlan plan;
     plan.root = Aggregate(Scan(0), {}, {{AggFn::kSum, {0, 0, true}}});
-    expect_invalid(std::move(plan), "varchar aggregate input");
+    out.emplace_back(std::move(plan), "varchar aggregate input");
   }
   {  // project below the root
     LogicalPlan plan;
     plan.root = Project(Project(Scan(0), {{0, 1, false}}), {{0, 1, false}});
-    expect_invalid(std::move(plan), "project below root");
+    out.emplace_back(std::move(plan), "project below root");
   }
   {  // root that is neither project nor aggregate
     LogicalPlan plan;
     plan.root = Scan(0);
-    expect_invalid(std::move(plan), "bare scan root");
+    out.emplace_back(std::move(plan), "bare scan root");
   }
   {  // column reference past the table's attribute count
     LogicalPlan plan;
     plan.root = Project(Scan(0), {{0, 99, false}});
-    expect_invalid(std::move(plan), "attr out of range");
+    out.emplace_back(std::move(plan), "attr out of range");
   }
+  {  // scan of a table the catalog does not have, referenced by a column
+    LogicalPlan plan;
+    plan.root = Project(Scan(99), {{99, 0, false}});
+    out.emplace_back(std::move(plan), "scan out of range");
+  }
+  return out;
+}
+
+TEST(OpsValidate, MalformedTreesAreInvalidArgumentNotCrashes) {
+  workload::ChainWorkload w = workload::MakeChainWorkload(SmallChainSpec(2));
+  Catalog catalog = CatalogFromChainWorkload(w);
+  engine::EngineConfig cfg;
+  cfg.hierarchy = P4();
+  engine::Engine eng(cfg);
+
+  for (auto& [plan, what] : MalformedTrees()) {
+    engine::PreparedPlan prepared;
+    Status status = eng.Prepare(catalog, plan, &prepared);
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << what;
+    EXPECT_FALSE(status.message().empty()) << what;
+  }
+
   {  // varchar reference on a table with no varchar columns
     workload::ChainWorkloadSpec no_var = SmallChainSpec(2);
     no_var.varchar.num_cols = 0;
@@ -375,6 +390,18 @@ TEST(OpsValidate, MalformedTreesAreInvalidArgumentNotCrashes) {
     engine::PreparedPlan prepared;
     Status status = eng.Prepare(cat2, plan, &prepared);
     EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(OpsValidate, ReferenceExecuteRejectsTheSameMalformedTrees) {
+  workload::ChainWorkload w = workload::MakeChainWorkload(SmallChainSpec(2));
+  Catalog catalog = CatalogFromChainWorkload(w);
+
+  for (auto& [plan, what] : MalformedTrees()) {
+    PlanRun run;
+    Status status = ReferenceExecute(catalog, plan, &run);
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << what;
+    EXPECT_FALSE(status.message().empty()) << what;
   }
 }
 
