@@ -7,19 +7,26 @@
 //     row IS the serial kernel; output is byte-identical by contract);
 //  6. materializing vs streaming (pipeline/) post-projection at the
 //     paper's 8M-tuple scale: same checksum, chunk-bounded intermediates,
-//     overlapped gather/decluster phases.
+//     overlapped gather/decluster phases;
+//  7. scalar vs runtime-dispatched SIMD variants of the hot kernels
+//     (radix_count histogram+prefix, positional gather, clustering
+//     scatter), with byte-identity checksums CI can compare.
 
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "bufferpool/buffer_manager.h"
 #include "cluster/partition_plan.h"
 #include "cluster/radix_cluster.h"
+#include "common/bits.h"
+#include "common/cpu_dispatch.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "decluster/paged_decluster.h"
@@ -363,6 +370,143 @@ void BM_QueryStreaming(benchmark::State& state) {
 BENCHMARK(BM_QueryStreaming)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ------------------------------- 7. scalar vs dispatched SIMD kernels
+// Arg(0) selects the variant: 0 = the scalar reference table, 1 = the
+// dispatched table (whatever cpu::ActiveIsa() resolved to — the `isa`
+// counter says which, and the row label names it). Each pair of rows
+// carries an identical-input checksum; CI asserts both rows exist and the
+// checksums match (byte-identical contract), while the speedup itself is
+// only recorded — 1-CPU shared runners make a gated ratio meaningless.
+
+// FNV-1a over a byte range: order-sensitive, so any scatter/gather
+// reordering or value difference moves it.
+uint64_t Fnv1a(const void* data, size_t bytes) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < bytes; ++i) {
+    h = (h ^ p[i]) * 1099511628211ull;
+  }
+  return h;
+}
+
+const simd::KernelTable& DispatchTable(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const simd::KernelTable& table =
+      dispatched ? simd::Kernels() : *simd::detail::ScalarKernels();
+  state.SetLabel(table.isa == cpu::Isa::kScalar && dispatched
+                     ? "dispatched:scalar"
+                     : (dispatched ? std::string("dispatched:") +
+                                         cpu::IsaName(table.isa)
+                                   : "scalar"));
+  state.counters["isa"] = static_cast<double>(table.isa);
+  return table;
+}
+
+void BM_DispatchRadixCount(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 1'000'000);
+  constexpr radix_bits_t kBits = 10;
+  static std::vector<uint32_t> values = [&] {
+    std::vector<uint32_t> v(n);
+    Rng rng(41);
+    for (auto& x : v) x = static_cast<uint32_t>(rng.Next());
+    return v;
+  }();
+  const simd::KernelTable& table = DispatchTable(state);
+  std::vector<uint64_t> hist(size_t{1} << kBits);
+  std::vector<uint64_t> offsets((size_t{1} << kBits) + 1);
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), 0);
+    table.radix_histogram(values.data(), n, 0, kBits, hist.data());
+    table.prefix_sum(hist.data(), hist.size(), offsets.data());
+    benchmark::DoNotOptimize(offsets.data());
+  }
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["B"] = kBits;
+  state.counters["checksum_lo32"] = static_cast<double>(
+      Fnv1a(offsets.data(), offsets.size() * sizeof(uint64_t)) & 0xffffffffu);
+}
+BENCHMARK(BM_DispatchRadixCount)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DispatchGather(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 1'000'000);
+  static std::pair<std::vector<uint32_t>, std::vector<value_t>> input = [&] {
+    std::vector<uint32_t> ids(n);
+    std::vector<value_t> values(n);
+    Rng rng(43);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<uint32_t>(rng.Below(n));
+      values[i] = static_cast<value_t>(rng.Next());
+    }
+    return std::pair{std::move(ids), std::move(values)};
+  }();
+  const simd::KernelTable& table = DispatchTable(state);
+  std::vector<value_t> out(n);
+  for (auto _ : state) {
+    table.gather_i32(input.first.data(), n, input.second.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["checksum_lo32"] = static_cast<double>(
+      Fnv1a(out.data(), out.size() * sizeof(value_t)) & 0xffffffffu);
+}
+BENCHMARK(BM_DispatchGather)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DispatchScatter(benchmark::State& state) {
+  size_t n = radix::bench::ScaledN(8'000'000, 1'000'000);
+  constexpr radix_bits_t kBits = 10;
+  constexpr size_t kBuckets = size_t{1} << kBits;
+  static std::vector<uint64_t> tuples = [&] {
+    std::vector<uint64_t> v(n);
+    Rng rng(47);
+    for (auto& x : v) x = rng.Next();
+    return v;
+  }();
+  const simd::KernelTable& table = DispatchTable(state);
+  // Radix of a tuple = its low bits; one full clustering scatter per
+  // iteration, through WcScatter64 exactly when the selected table
+  // streams (the production policy).
+  std::vector<uint64_t> hist(kBuckets);
+  std::vector<uint64_t> cursor(kBuckets + 1);
+  std::vector<uint64_t> out(n);
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(tuples[i]);
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), 0);
+    table.radix_histogram(keys.data(), n, 0, kBits, hist.data());
+    table.prefix_sum(hist.data(), kBuckets, cursor.data());
+    if (table.nt_scatter) {
+      simd::WcScatter64 wc(out.data(), kBuckets, cursor.data());
+      for (size_t i = 0; i < n; ++i) {
+        wc.Push(RadixBits(keys[i], 0, kBits), tuples[i]);
+      }
+      wc.Flush();
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        out[cursor[RadixBits(keys[i], 0, kBits)]++] = tuples[i];
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["N"] = static_cast<double>(n);
+  state.counters["B"] = kBits;
+  state.counters["nt_scatter"] = table.nt_scatter ? 1 : 0;
+  state.counters["checksum_lo32"] = static_cast<double>(
+      Fnv1a(out.data(), out.size() * sizeof(uint64_t)) & 0xffffffffu);
+}
+BENCHMARK(BM_DispatchScatter)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

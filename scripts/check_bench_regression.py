@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the hot radix kernels.
+
+Compares a fresh quick-mode Google Benchmark JSON report (the
+`BM_Dispatch*` section of bench_ablation) against the committed
+`bench/baseline.json` and fails when any kernel's median time regresses
+beyond a generous noise threshold. Two further checks ride along:
+
+  1. Presence: the dispatched (Arg=1) rows for radix_count / gather /
+     scatter must exist — a dispatch-table wiring regression that
+     silently falls back to scalar-only registration fails here.
+  2. Byte-identity: within the current report, the scalar (Arg=0) and
+     dispatched (Arg=1) row of each kernel pair must carry the same
+     `checksum_lo32` counter. A SIMD variant that produces different
+     bytes fails CI even if it is fast.
+
+The timing gate is deliberately loose (default 2.0x) because CI runners
+are shared, 1-2 core machines: it exists to catch order-of-magnitude
+mistakes (an accidentally-scalar dispatched path, a debug-mode binary, a
+quadratic slip), not 10% noise. When the baseline was recorded on a
+machine with a different core count than the current run, the timing
+comparison is SKIPPED with a clear message (the numbers are not
+comparable) — the presence and checksum checks still run.
+
+Usage:
+  check_bench_regression.py CURRENT.json [--baseline bench/baseline.json]
+                            [--threshold 2.0]
+  check_bench_regression.py --self-test
+
+Refresh the baseline after an intentional perf change with:
+  RADIX_BENCH_QUICK=1 ./build/bench/bench_ablation \
+      --benchmark_filter='BM_Dispatch' \
+      --benchmark_out=bench/baseline.json --benchmark_out_format=json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Kernels whose dispatched rows must be present in every report.
+REQUIRED_DISPATCHED = [
+    "BM_DispatchRadixCount/1",
+    "BM_DispatchGather/1",
+    "BM_DispatchScatter/1",
+]
+
+# Only rows in this family are gated: the dispatch section is sized for
+# quick mode and designed for comparison; the rest of bench_ablation has
+# its own smoke coverage.
+GATE_PREFIX = "BM_Dispatch"
+
+# Median-vs-median slowdown beyond which the gate fails. Generous on
+# purpose — see module docstring.
+DEFAULT_THRESHOLD = 2.0
+
+
+def base_name(full_name):
+    """'BM_DispatchGather/1/iterations:1' -> 'BM_DispatchGather/1'."""
+    parts = [p for p in full_name.split("/") if not p.startswith("iterations:")]
+    return "/".join(parts)
+
+
+def rows_by_name(report):
+    rows = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rows.setdefault(base_name(bench["name"]), []).append(bench)
+    return rows
+
+
+def median_time(rows):
+    return statistics.median(r["real_time"] for r in rows)
+
+
+def check(current, baseline, threshold, out=sys.stdout):
+    """Returns (ok, messages). Pure so --self-test can drive it."""
+    ok = True
+    msgs = []
+
+    def emit(line, failed=False):
+        nonlocal ok
+        if failed:
+            ok = False
+        msgs.append(line)
+        print(line, file=out)
+
+    cur_rows = rows_by_name(current)
+
+    # 1. Presence of the dispatched columns.
+    for name in REQUIRED_DISPATCHED:
+        if name not in cur_rows:
+            emit(f"FAIL missing dispatched row: {name}", failed=True)
+    # 2. Byte-identity between each kernel's scalar and dispatched row.
+    for name in REQUIRED_DISPATCHED:
+        scalar = name.rsplit("/", 1)[0] + "/0"
+        if name not in cur_rows or scalar not in cur_rows:
+            continue
+        cs_d = cur_rows[name][0].get("checksum_lo32")
+        cs_s = cur_rows[scalar][0].get("checksum_lo32")
+        if cs_d is None or cs_s is None:
+            emit(f"FAIL {name}: checksum_lo32 counter missing", failed=True)
+        elif cs_d != cs_s:
+            emit(
+                f"FAIL checksum mismatch {scalar}={cs_s:.0f} vs "
+                f"{name}={cs_d:.0f} — dispatched kernel is not "
+                "byte-identical to scalar",
+                failed=True,
+            )
+        else:
+            emit(f"ok   {name}: checksum matches scalar ({cs_s:.0f})")
+
+    # 3. Timing gate, skipped on incomparable machines.
+    cur_cpus = current.get("context", {}).get("num_cpus")
+    base_cpus = baseline.get("context", {}).get("num_cpus")
+    if cur_cpus != base_cpus:
+        emit(
+            f"SKIP timing gate: baseline recorded on {base_cpus} CPUs, "
+            f"current run has {cur_cpus} — times are not comparable. "
+            "Refresh bench/baseline.json on the current runner class."
+        )
+        return ok, msgs
+
+    base_rows = rows_by_name(baseline)
+    gated = sorted(
+        n for n in cur_rows if n.startswith(GATE_PREFIX) and n in base_rows
+    )
+    if not gated:
+        emit("SKIP timing gate: no gated benchmarks shared with baseline")
+        return ok, msgs
+    for name in gated:
+        cur_t = median_time(cur_rows[name])
+        base_t = median_time(base_rows[name])
+        if base_t <= 0:
+            emit(f"SKIP {name}: non-positive baseline time")
+            continue
+        ratio = cur_t / base_t
+        line = f"{name}: {cur_t:.3f} vs baseline {base_t:.3f} ({ratio:.2f}x)"
+        if ratio > threshold:
+            emit(f"FAIL {line} > {threshold:.1f}x threshold", failed=True)
+        else:
+            emit(f"ok   {line}")
+    return ok, msgs
+
+
+# --------------------------------------------------------------- self-test
+
+
+def _make_report(num_cpus=2, scale=1.0, checksums=None):
+    checksums = checksums or {}
+    benchmarks = []
+    times = {
+        "BM_DispatchRadixCount": 3.0,
+        "BM_DispatchGather": 8.0,
+        "BM_DispatchScatter": 18.0,
+    }
+    for kernel, t in times.items():
+        for arg, factor in ((0, 1.0), (1, 0.4)):
+            name = f"{kernel}/{arg}/iterations:1"
+            benchmarks.append(
+                {
+                    "name": name,
+                    "run_type": "iteration",
+                    "real_time": t * factor * scale,
+                    "checksum_lo32": checksums.get(f"{kernel}/{arg}", 12345.0),
+                }
+            )
+    return {"context": {"num_cpus": num_cpus}, "benchmarks": benchmarks}
+
+
+def self_test():
+    import io
+
+    baseline = _make_report()
+    failures = []
+
+    def expect(label, want_ok, current, threshold=DEFAULT_THRESHOLD,
+               want_msg=None):
+        sink = io.StringIO()
+        ok, msgs = check(current, baseline, threshold, out=sink)
+        if ok != want_ok:
+            failures.append(f"{label}: expected ok={want_ok}, got {ok}")
+        if want_msg and not any(want_msg in m for m in msgs):
+            failures.append(f"{label}: expected message containing "
+                            f"{want_msg!r}, got {msgs}")
+
+    # Identical run passes.
+    expect("identical", True, _make_report())
+    # Mild noise passes.
+    expect("noise-1.5x", True, _make_report(scale=1.5))
+    # The seeded regression the acceptance criteria call for: a 2x
+    # slowdown of radix_count must fail the gate.
+    doctored = _make_report()
+    for b in doctored["benchmarks"]:
+        if b["name"].startswith("BM_DispatchRadixCount"):
+            b["real_time"] *= 2.5
+    expect("seeded-radix-count-2x", False, doctored, want_msg="FAIL")
+    # A dispatched row whose bytes differ from scalar must fail even
+    # with identical timings.
+    expect(
+        "checksum-mismatch",
+        False,
+        _make_report(checksums={"BM_DispatchGather/1": 99999.0}),
+        want_msg="byte-identical",
+    )
+    # A missing dispatched row must fail.
+    missing = _make_report()
+    missing["benchmarks"] = [
+        b
+        for b in missing["benchmarks"]
+        if not b["name"].startswith("BM_DispatchScatter/1")
+    ]
+    expect("missing-dispatched-row", False, missing,
+           want_msg="missing dispatched row")
+    # Core-count mismatch: timing must be skipped, so even a 10x
+    # slowdown passes (with a SKIP message); checksums still checked.
+    slow_other_machine = _make_report(num_cpus=16, scale=10.0)
+    expect("core-mismatch-skips", True, slow_other_machine,
+           want_msg="SKIP timing gate")
+    mismatched = _make_report(
+        num_cpus=16, checksums={"BM_DispatchScatter/1": 7.0}
+    )
+    expect("core-mismatch-still-checks-bytes", False, mismatched,
+           want_msg="byte-identical")
+    # Self-check that deepcopy isn't needed: baseline untouched.
+    assert baseline == _make_report(), "baseline mutated by check()"
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test: all cases behave as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="?", help="fresh benchmark JSON")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        parser.error("CURRENT.json required unless --self-test")
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    ok, _ = check(current, baseline, args.threshold)
+    if not ok:
+        print(
+            "\nbench regression gate FAILED. If the slowdown is intentional "
+            "(algorithm change), refresh bench/baseline.json — see the "
+            "module docstring.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

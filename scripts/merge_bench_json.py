@@ -7,18 +7,28 @@ compare against. The output keeps one `context` (they only differ in
 timestamps) and tags each benchmark with its source binary.
 
 Usage: merge_bench_json.py OUT.json IN1.json IN2.json ...
+
+Trajectory mode appends one entry per commit to a history file
+(BENCH_trajectory.json — a JSON array, newest last), so a cached file
+carried across CI runs accumulates the perf curve of main over time:
+
+  merge_bench_json.py --trajectory BENCH_trajectory.json \
+      --sha "$GITHUB_SHA" --date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      MERGED.json
+
+Re-running for a sha already present replaces that entry (CI retries
+must not duplicate points). Each entry keeps only the per-benchmark
+medians plus the counters needed for plotting, not the full reports,
+so the file stays small over hundreds of commits.
 """
 
+import argparse
 import json
 import os
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    out_path, in_paths = sys.argv[1], sys.argv[2:]
+def merge(out_path, in_paths):
     merged = {"context": None, "benchmarks": []}
     for path in in_paths:
         with open(path) as f:
@@ -34,6 +44,67 @@ def main() -> int:
     print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks "
           f"from {len(in_paths)} reports")
     return 0
+
+
+def append_trajectory(trajectory_path, sha, date, report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    point = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {"real_time": bench.get("real_time")}
+        for key in ("checksum_lo32", "isa", "N", "source"):
+            if key in bench:
+                entry[key] = bench[key]
+        point[bench["name"]] = entry
+
+    history = []
+    if os.path.exists(trajectory_path):
+        with open(trajectory_path) as f:
+            try:
+                history = json.load(f)
+            except json.JSONDecodeError:
+                print(f"warning: {trajectory_path} is corrupt, restarting "
+                      "the trajectory", file=sys.stderr)
+                history = []
+    history = [h for h in history if h.get("sha") != sha]
+    history.append({
+        "sha": sha,
+        "date": date,
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+        "benchmarks": point,
+    })
+    history.sort(key=lambda h: h.get("date") or "")
+    with open(trajectory_path, "w") as f:
+        json.dump(history, f, indent=1)
+    print(f"trajectory {trajectory_path}: {len(history)} commits, "
+          f"latest {sha[:12]} with {len(point)} benchmarks")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--trajectory", metavar="HISTORY.json",
+                        help="append mode: add one entry per commit")
+    parser.add_argument("--sha", help="commit sha (trajectory mode)")
+    parser.add_argument("--date", help="ISO date (trajectory mode)")
+    parser.add_argument("paths", nargs="+",
+                        help="OUT.json IN...json, or MERGED.json in "
+                        "trajectory mode")
+    args = parser.parse_args()
+
+    if args.trajectory:
+        if not args.sha or not args.date or len(args.paths) != 1:
+            parser.error("--trajectory requires --sha, --date and exactly "
+                         "one merged report")
+        return append_trajectory(args.trajectory, args.sha, args.date,
+                                 args.paths[0])
+    if len(args.paths) < 2:
+        parser.error("need OUT.json and at least one input report")
+    return merge(args.paths[0], args.paths[1:])
 
 
 if __name__ == "__main__":

@@ -21,6 +21,13 @@ Rules (each prints `file:line: [rule] message` and fails the run):
   tsa-escape         RADIX_NO_THREAD_SAFETY_ANALYSIS anywhere except
                      src/common/thread_pool.cc (the only sanctioned home,
                      and only with a justification comment).
+  raw-intrinsics     #include <immintrin.h> (or any x86 intrinsic header)
+                     outside src/common/ and outside *_avx2.cc /
+                     *_avx512.cc translation units. Kernel code must go
+                     through the dispatch table (common/simd_kernels.h):
+                     scattered raw intrinsics dodge the runtime ISA
+                     clamp, the forced-ISA test matrix, and the
+                     byte-identity property tests.
   layer-violation    #include "<layer>/..." that is not in the including
                      layer's transitive dependency closure (the DAG
                      documented in src/CMakeLists.txt). Catches include
@@ -100,6 +107,17 @@ MUTEX_LOCK_DECL = re.compile(r"\bMutexLock\s+\w+\s*[({]")
 SNPRINTF_STMT = re.compile(r"^\s*(std::)?snprintf\s*\(")
 TSA_ESCAPE = re.compile(r"\bRADIX_NO_THREAD_SAFETY_ANALYSIS\b")
 INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ANGLE_INCLUDE = re.compile(r"^\s*#\s*include\s+<([^>]+)>")
+# The x86 SIMD intrinsic headers (immintrin.h is the umbrella; the rest
+# are its per-ISA pieces someone might reach for directly).
+INTRINSIC_HEADERS = {
+    "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+    "pmmintrin.h", "tmmintrin.h", "smmintrin.h", "nmmintrin.h",
+    "wmmintrin.h", "avxintrin.h", "avx2intrin.h",
+}
+# TUs allowed to use intrinsics outside common/: per-ISA kernel files
+# compiled with their own -m flags and registered in the dispatch table.
+INTRINSIC_TU = re.compile(r"_(avx2|avx512)\.cc$")
 LINE_COMMENT = re.compile(r"//[^\n]*")
 TSA_ESCAPE_HOME = "common/thread_pool.cc"
 # Files allowed to name the escape macro without using it (definition and
@@ -164,6 +182,15 @@ def lint_file(rel, text):
                        f'layer "{layer}" must not include "{inc}" '
                        f'("{inc_layer}" is not in its dependency closure; '
                        "see src/CMakeLists.txt)")
+
+        am = ANGLE_INCLUDE.match(LINE_COMMENT.sub("", raw))
+        if (am and am.group(1) in INTRINSIC_HEADERS
+                and layer != "common" and not INTRINSIC_TU.search(rel)):
+            yield (lineno, "raw-intrinsics",
+                   f"<{am.group(1)}> outside common/ and *_avx2.cc/"
+                   "*_avx512.cc; route SIMD through the dispatch table "
+                   "(common/simd_kernels.h) so the ISA clamp, forced-ISA "
+                   "matrix and byte-identity tests cover it")
 
         if layer != "common":
             if RAW_PRIMITIVE.search(line):
@@ -315,6 +342,17 @@ SELF_TEST_CASES = [
     # Comments and strings must not fire.
     ("engine/ok.cc", "// std::mutex is banned here\n", None),
     ("engine/ok.cc", 's += "std::mutex";\n', None),
+    # Raw intrinsics: banned in ordinary layer code...
+    ("cluster/bad.cc", "#include <immintrin.h>\n", "raw-intrinsics"),
+    ("join/bad.h", "#include <emmintrin.h>\n", "raw-intrinsics"),
+    # ...allowed in common/ (the dispatch table lives there) and in
+    # per-ISA kernel TUs that get their own -m flags...
+    ("common/simd_kernels.h", "#include <immintrin.h>\n", None),
+    ("cluster/scatter_avx2.cc", "#include <immintrin.h>\n", None),
+    ("cluster/scatter_avx512.cc", "#include <immintrin.h>\n", None),
+    # ...and prose or non-intrinsic angle includes never fire.
+    ("cluster/ok.cc", "// #include <immintrin.h> is banned\n", None),
+    ("cluster/ok.cc", "#include <vector>\n", None),
 ]
 
 # Fabricated fuzz/ layouts for the fuzz-unregistered rule:

@@ -8,6 +8,7 @@
 
 #include "common/bits.h"
 #include "common/macros.h"
+#include "common/simd_kernels.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
@@ -15,6 +16,45 @@
 #include "storage/column.h"
 
 namespace radix::cluster {
+
+namespace detail {
+
+/// The scatter half of a clustering pass: stable append of each input
+/// tuple to its bucket's cursor. `insert` holds the starting cursor per
+/// bucket and is consumed. For untraced 8-byte tuples inside the
+/// write-combining window the stores stream past the cache
+/// (simd::WcScatter64) — byte-identical output, but without the
+/// read-for-ownership + eviction traffic of 2^Bp cursor lines (the §3.1
+/// scatter wall). The traced path keeps the plain loop so MemTracer sees
+/// the true per-tuple access stream.
+template <typename T, typename RadixFn, typename Tracer>
+void ScatterPass(const T* in, T* out, size_t n, RadixFn radix_of,
+                 uint32_t shift, radix_bits_t pass_bits,
+                 std::vector<uint64_t>& insert, Tracer& tracer) {
+  const size_t buckets = size_t{1} << pass_bits;
+  if constexpr (!Tracer::kEnabled && sizeof(T) == 8) {
+    if (simd::UseNtScatter(buckets, n)) {
+      simd::WcScatter64 wc(reinterpret_cast<uint64_t*>(out), buckets,
+                           insert.data());
+      for (size_t i = 0; i < n; ++i) {
+        const size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
+        uint64_t word;
+        std::memcpy(&word, &in[i], sizeof(word));
+        wc.Push(b, word);
+      }
+      wc.Flush();
+      return;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (Tracer::kEnabled) tracer.Touch(&in[i], sizeof(T));
+    const size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
+    if constexpr (Tracer::kEnabled) tracer.Touch(&out[insert[b]], sizeof(T));
+    out[insert[b]++] = in[i];
+  }
+}
+
+}  // namespace detail
 
 /// Cluster boundaries after a (partial) Radix-Cluster: cluster k occupies
 /// [offsets[k], offsets[k+1]) in the clustered array. offsets.size() == H+1.
@@ -94,20 +134,15 @@ void RadixClusterPass(const T* in, T* out, size_t n, RadixFn radix_of,
     if constexpr (Tracer::kEnabled) tracer.Touch(&in[i], sizeof(T));
     ++histogram[RadixBits(radix_of(in[i]), shift, pass_bits)];
   }
+  // Exclusive prefix sum (dispatched; untraced in the original too — the
+  // model charges the pass for the data streams, not the 2^Bp cursors).
   std::vector<uint64_t> cursor(buckets + 1, 0);
-  for (size_t b = 0; b < buckets; ++b) {
-    cursor[b + 1] = cursor[b] + histogram[b];
-  }
+  simd::Kernels().prefix_sum(histogram.data(), buckets, cursor.data());
   if (borders_out != nullptr) *borders_out = cursor;
   // Scatter. Stable: append order within a cluster == scan order, the
   // property Radix-Decluster's window merge relies on.
   std::vector<uint64_t> insert(cursor.begin(), cursor.end() - 1);
-  for (size_t i = 0; i < n; ++i) {
-    if constexpr (Tracer::kEnabled) tracer.Touch(&in[i], sizeof(T));
-    size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
-    if constexpr (Tracer::kEnabled) tracer.Touch(&out[insert[b]], sizeof(T));
-    out[insert[b]++] = in[i];
-  }
+  detail::ScatterPass(in, out, n, radix_of, shift, pass_bits, insert, tracer);
 }
 
 /// Multi-pass Radix-Cluster driver: clusters `data` (in place, using
@@ -231,11 +266,13 @@ void RadixClusterPassParallel(const T* in, T* out, size_t n, RadixFn radix_of,
   if (borders_out != nullptr) *borders_out = cursor;
 
   pool.ParallelFor(nthreads, [&](size_t t) {
-    std::vector<uint64_t>& insert = hist[t];
-    for (size_t i = slice[t]; i < slice[t + 1]; ++i) {
-      size_t b = RadixBits(radix_of(in[i]), shift, pass_bits);
-      out[insert[b]++] = in[i];
-    }
+    // Each thread owns disjoint cursor runs; its write-combining buffers
+    // only ever stream lines wholly inside its own runs (partial head and
+    // tail lines go through plain coherent stores), so per-thread
+    // WcScatter64 instances need no synchronisation beyond the pool join.
+    simcache::NoTracer tracer;
+    detail::ScatterPass(in + slice[t], out, slice[t + 1] - slice[t], radix_of,
+                        shift, pass_bits, hist[t], tracer);
   });
 }
 

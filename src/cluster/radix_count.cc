@@ -1,6 +1,7 @@
 #include "cluster/radix_count.h"
 
 #include "common/bits.h"
+#include "common/simd_kernels.h"
 
 namespace radix::cluster {
 
@@ -8,14 +9,12 @@ ClusterBorders RadixCount(std::span<const oid_t> clustered_oids,
                           radix_bits_t total_bits, radix_bits_t ignore_bits) {
   size_t buckets = size_t{1} << total_bits;
   std::vector<uint64_t> histogram(buckets, 0);
-  for (oid_t v : clustered_oids) {
-    ++histogram[RadixBits(v, ignore_bits, total_bits)];
-  }
+  const simd::KernelTable& kernels = simd::Kernels();
+  kernels.radix_histogram(clustered_oids.data(), clustered_oids.size(),
+                          ignore_bits, total_bits, histogram.data());
   ClusterBorders borders;
   borders.offsets.assign(buckets + 1, 0);
-  for (size_t b = 0; b < buckets; ++b) {
-    borders.offsets[b + 1] = borders.offsets[b] + histogram[b];
-  }
+  kernels.prefix_sum(histogram.data(), buckets, borders.offsets.data());
   return borders;
 }
 

@@ -1,9 +1,68 @@
 #include "common/aligned_buffer.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace radix {
+
+HugePagePolicy ParseHugePagePolicy(const char* value) {
+  if (value == nullptr) return HugePagePolicy::kAuto;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0) {
+    return HugePagePolicy::kOff;
+  }
+  if (std::strcmp(value, "hugetlb") == 0) return HugePagePolicy::kHugetlb;
+  return HugePagePolicy::kAuto;
+}
+
+HugePagePolicy ActiveHugePagePolicy() {
+  static const HugePagePolicy policy =
+      ParseHugePagePolicy(std::getenv("RADIX_HUGE_PAGES"));
+  return policy;
+}
+
+namespace {
+
+#if defined(__linux__)
+/// mmap `len` (a multiple of kHugePageBytes) at 2 MiB alignment. THP only
+/// assembles a huge page over a region that is huge-page aligned AND
+/// advised, so we over-map by one huge page, trim to alignment, and
+/// advise the rest. Returns nullptr on failure (caller falls back).
+uint8_t* MapHugeAligned(size_t len, bool try_hugetlb) {
+  if (try_hugetlb) {
+    // Explicitly reserved pages: aligned by construction, no advice
+    // needed. Typically fails with ENOMEM unless the admin reserved pool
+    // space — that's fine, fall through to THP.
+    void* p = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) return static_cast<uint8_t*>(p);
+  }
+  const size_t over = len + kHugePageBytes;
+  void* raw = mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) return nullptr;
+  const uintptr_t raw_addr = reinterpret_cast<uintptr_t>(raw);
+  const uintptr_t base =
+      (raw_addr + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+  if (base != raw_addr) {
+    munmap(raw, base - raw_addr);
+  }
+  const uintptr_t tail = base + len;
+  if (tail != raw_addr + over) {
+    munmap(reinterpret_cast<void*>(tail), raw_addr + over - tail);
+  }
+  // Advisory only: if THP is disabled system-wide we still get a working
+  // (base-page) mapping.
+  madvise(reinterpret_cast<void*>(base), len, MADV_HUGEPAGE);
+  return reinterpret_cast<uint8_t*>(base);
+}
+#endif  // __linux__
+
+}  // namespace
 
 AlignedBuffer::AlignedBuffer(size_t bytes, size_t alignment) {
   Resize(bytes, alignment);
@@ -13,13 +72,15 @@ AlignedBuffer::~AlignedBuffer() { Free(); }
 
 AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
     : data_(std::exchange(other.data_, nullptr)),
-      size_(std::exchange(other.size_, 0)) {}
+      size_(std::exchange(other.size_, 0)),
+      map_len_(std::exchange(other.map_len_, 0)) {}
 
 AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
   if (this != &other) {
     Free();
     data_ = std::exchange(other.data_, nullptr);
     size_ = std::exchange(other.size_, 0);
+    map_len_ = std::exchange(other.map_len_, 0);
   }
   return *this;
 }
@@ -27,6 +88,21 @@ AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
 void AlignedBuffer::Resize(size_t bytes, size_t alignment) {
   Free();
   if (bytes == 0) return;
+#if defined(__linux__)
+  const HugePagePolicy policy = ActiveHugePagePolicy();
+  if (policy != HugePagePolicy::kOff && bytes >= kHugePageBytes &&
+      alignment <= kHugePageBytes) {
+    const size_t len =
+        (bytes + kHugePageBytes - 1) / kHugePageBytes * kHugePageBytes;
+    if (uint8_t* p =
+            MapHugeAligned(len, policy == HugePagePolicy::kHugetlb)) {
+      data_ = p;
+      size_ = bytes;
+      map_len_ = len;
+      return;
+    }
+  }
+#endif
   // aligned_alloc requires size to be a multiple of alignment.
   size_t padded = (bytes + alignment - 1) / alignment * alignment;
   data_ = static_cast<uint8_t*>(std::aligned_alloc(alignment, padded));
@@ -35,9 +111,19 @@ void AlignedBuffer::Resize(size_t bytes, size_t alignment) {
 }
 
 void AlignedBuffer::Free() {
+#if defined(__linux__)
+  if (map_len_ != 0) {
+    munmap(data_, map_len_);
+    data_ = nullptr;
+    size_ = 0;
+    map_len_ = 0;
+    return;
+  }
+#endif
   std::free(data_);
   data_ = nullptr;
   size_ = 0;
+  map_len_ = 0;
 }
 
 }  // namespace radix

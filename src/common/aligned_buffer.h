@@ -8,10 +8,36 @@
 
 namespace radix {
 
+/// How large allocations get their virtual memory (RADIX_HUGE_PAGES env):
+///   "off"      — plain aligned_alloc, always.
+///   "auto"     — (default) buffers >= kHugePageBytes are mmap'd at 2 MiB
+///                alignment and advised MADV_HUGEPAGE, so the kernel can
+///                back the radix buffers with transparent huge pages. One
+///                2 MiB page covers 512 base-page TLB entries — the §2.1
+///                TLB wall moves out by that factor without touching the
+///                partition plan.
+///   "hugetlb"  — try explicitly-reserved MAP_HUGETLB pages first (needs
+///                /proc/sys/vm/nr_hugepages), falling back to "auto"
+///                behaviour, then to plain allocation.
+enum class HugePagePolicy { kOff, kAuto, kHugetlb };
+
+/// Parse a RADIX_HUGE_PAGES value. nullptr (unset) and unrecognized values
+/// mean kAuto; "off"/"0" disable; "hugetlb" requests reserved pages.
+/// Pure — exposed for tests.
+HugePagePolicy ParseHugePagePolicy(const char* value);
+
+/// The process-wide policy, latched from RADIX_HUGE_PAGES on first use.
+HugePagePolicy ActiveHugePagePolicy();
+
+/// Size (and alignment) of an x86-64 2 MiB huge page; buffers at least
+/// this large are eligible for huge-page backing.
+inline constexpr size_t kHugePageBytes = size_t{2} << 20;
+
 /// Cache-line / page aligned raw memory. Columns and cluster buffers are
 /// allocated through this so that (a) sequential kernels see aligned
 /// streams and (b) the cache simulator's address arithmetic matches what
-/// real hardware would see.
+/// real hardware would see. Large buffers are huge-page backed per
+/// ActiveHugePagePolicy().
 class AlignedBuffer {
  public:
   static constexpr size_t kDefaultAlignment = 64;  // common cache-line size
@@ -31,6 +57,10 @@ class AlignedBuffer {
   const uint8_t* data() const { return data_; }
   size_t size() const { return size_; }
 
+  /// Whether this buffer's memory came from the huge-page (mmap) path.
+  /// Observability + tests; kernels never branch on it.
+  bool huge_backed() const { return map_len_ != 0; }
+
   template <typename T>
   T* As() {
     return reinterpret_cast<T*>(data_);
@@ -45,6 +75,7 @@ class AlignedBuffer {
 
   uint8_t* data_ = nullptr;
   size_t size_ = 0;
+  size_t map_len_ = 0;  ///< mmap'd length; 0 = aligned_alloc backing
 };
 
 }  // namespace radix

@@ -1,0 +1,79 @@
+#include "common/cpu_dispatch.h"
+
+#include <cstdlib>
+
+namespace radix::cpu {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool IsaSupported(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads CPUID once and caches; it also checks the
+  // OS saved-state (XGETBV) bits for the AVX families, so "supported" means
+  // actually executable, not merely advertised.
+  if (isa == Isa::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+  // The 512-bit kernels use F (lanes, gathers), BW/DQ (wide integer ops),
+  // VL (256-bit forms in 512-bit TUs) and CD; every AVX-512 server core
+  // since Skylake-X has all of them, but check each so a partial
+  // implementation (or a hypervisor masking some) falls back to AVX2.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512cd") != 0;
+#else
+  return false;
+#endif
+}
+
+Isa DetectIsa() {
+  if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+std::optional<Isa> ParseIsa(std::string_view name) {
+  auto equals_ci = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      char ca = a[i], cb = b[i];
+      if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+      if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+      if (ca != cb) return false;
+    }
+    return true;
+  };
+  if (equals_ci(name, "scalar")) return Isa::kScalar;
+  if (equals_ci(name, "avx2")) return Isa::kAvx2;
+  if (equals_ci(name, "avx512")) return Isa::kAvx512;
+  return std::nullopt;
+}
+
+Isa ResolveIsa(std::optional<Isa> forced, Isa detected) {
+  if (!forced.has_value()) return detected;
+  return static_cast<int>(*forced) <= static_cast<int>(detected) ? *forced
+                                                                 : detected;
+}
+
+Isa ActiveIsa() {
+  static const Isa active = [] {
+    const char* env = std::getenv("RADIX_FORCE_ISA");
+    std::optional<Isa> forced =
+        env != nullptr ? ParseIsa(env) : std::nullopt;
+    return ResolveIsa(forced, DetectIsa());
+  }();
+  return active;
+}
+
+}  // namespace radix::cpu

@@ -1,0 +1,47 @@
+#ifndef RADIX_COMMON_CPU_DISPATCH_H_
+#define RADIX_COMMON_CPU_DISPATCH_H_
+
+#include <optional>
+#include <string_view>
+
+namespace radix::cpu {
+
+/// Instruction-set tiers the hot kernels ship variants for. Ordered: a
+/// higher tier implies every lower one, so clamping a request down is
+/// always safe — the fallback order the dispatch relies on.
+enum class Isa : int {
+  kScalar = 0,  ///< portable C++ loops; the reference all variants match
+  kAvx2 = 1,    ///< 256-bit integer SIMD + hardware gathers
+  kAvx512 = 2,  ///< 512-bit (F/BW/DQ/VL/CD) lanes and gathers
+};
+
+inline constexpr int kNumIsaLevels = 3;
+
+/// Display name: "scalar", "avx2", "avx512".
+const char* IsaName(Isa isa);
+
+/// True iff the running CPU can execute this tier (kScalar always can).
+/// Uses compiler CPUID builtins; non-x86 builds support only kScalar.
+bool IsaSupported(Isa isa);
+
+/// Highest tier the running CPU supports.
+Isa DetectIsa();
+
+/// Parse a RADIX_FORCE_ISA value (case-insensitive "scalar" | "avx2" |
+/// "avx512"); nullopt for anything else, including empty.
+std::optional<Isa> ParseIsa(std::string_view name);
+
+/// Resolve what should run: the forced tier when one was requested, clamped
+/// to `detected` (forcing avx512 on an avx2 machine falls back to avx2, not
+/// SIGILL); `detected` itself when nothing was forced.
+Isa ResolveIsa(std::optional<Isa> forced, Isa detected);
+
+/// The tier every dispatched kernel in this process runs at:
+/// ResolveIsa(ParseIsa(getenv("RADIX_FORCE_ISA")), DetectIsa()), computed
+/// once on first use. RADIX_FORCE_ISA exists so CI can pin every variant
+/// path on whatever machine it happens to get.
+Isa ActiveIsa();
+
+}  // namespace radix::cpu
+
+#endif  // RADIX_COMMON_CPU_DISPATCH_H_

@@ -1,0 +1,86 @@
+#include "common/simd_kernels.h"
+
+#include "common/bits.h"
+
+namespace radix::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These ARE the semantics: every SIMD variant is
+// required (and property-tested) to produce bit-identical output.
+// ---------------------------------------------------------------------------
+
+void ScalarRadixHistogram(const uint32_t* values, size_t n, uint32_t shift,
+                          uint32_t bits, uint64_t* hist) {
+  for (size_t i = 0; i < n; ++i) {
+    ++hist[RadixBits(values[i], shift, bits)];
+  }
+}
+
+void ScalarPrefixSum(const uint64_t* counts, size_t buckets,
+                     uint64_t* cursor) {
+  uint64_t running = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    cursor[b] = running;
+    running += counts[b];
+  }
+  cursor[buckets] = running;
+}
+
+void ScalarGatherI32(const uint32_t* ids, size_t n, const int32_t* values,
+                     int32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[ids[i]];
+  }
+}
+
+void ScalarGatherPairsLoI32(const uint64_t* pairs, size_t n,
+                            const int32_t* values, int32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[static_cast<uint32_t>(pairs[i])];
+  }
+}
+
+void ScalarGatherPairsHiI32(const uint64_t* pairs, size_t n,
+                            const int32_t* values, int32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[static_cast<uint32_t>(pairs[i] >> 32)];
+  }
+}
+
+const KernelTable kScalarTable = {
+    /*isa=*/cpu::Isa::kScalar,
+    /*radix_histogram=*/&ScalarRadixHistogram,
+    /*prefix_sum=*/&ScalarPrefixSum,
+    /*gather_i32=*/&ScalarGatherI32,
+    /*gather_pairs_lo_i32=*/&ScalarGatherPairsLoI32,
+    /*gather_pairs_hi_i32=*/&ScalarGatherPairsHiI32,
+    /*nt_scatter=*/false,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* ScalarKernels() { return &kScalarTable; }
+}  // namespace detail
+
+const KernelTable& KernelsFor(cpu::Isa isa) {
+  // Clamp to what the CPU can execute, then walk down through tiers the
+  // *build* did not produce (non-x86 toolchains compile only scalar).
+  isa = cpu::ResolveIsa(isa, cpu::DetectIsa());
+  if (isa == cpu::Isa::kAvx512) {
+    if (const KernelTable* t = detail::Avx512Kernels()) return *t;
+    isa = cpu::Isa::kAvx2;
+  }
+  if (isa == cpu::Isa::kAvx2) {
+    if (const KernelTable* t = detail::Avx2Kernels()) return *t;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() {
+  static const KernelTable& active = KernelsFor(cpu::ActiveIsa());
+  return active;
+}
+
+}  // namespace radix::simd

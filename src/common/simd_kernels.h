@@ -1,0 +1,183 @@
+#ifndef RADIX_COMMON_SIMD_KERNELS_H_
+#define RADIX_COMMON_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/cpu_dispatch.h"
+#include "common/macros.h"
+#include "common/types.h"
+
+#if defined(__x86_64__) && defined(__SSE2__)
+#include <immintrin.h>
+#define RADIX_SIMD_SSE2_STREAM 1
+#endif
+
+namespace radix::simd {
+
+/// The monomorphic hot-loop primitives the radix kernels dispatch over
+/// (scalar / AVX2 / AVX-512 variants, selected once per process by
+/// cpu::ActiveIsa()). Every variant is bit-identical to the scalar
+/// reference — tests/simd_kernels_test.cc sweeps the equivalence across
+/// ISAs x sizes x seeds, including empty inputs and non-multiple-of-
+/// vector-width tails.
+struct KernelTable {
+  cpu::Isa isa = cpu::Isa::kScalar;
+
+  /// hist[(values[i] >> shift) & mask(bits)] += 1 for i in [0, n).
+  /// Adds into `hist` (callers zero it); hist must have 2^min(bits,32)
+  /// slots reachable from 32-bit inputs. The radix_count histogram loop.
+  void (*radix_histogram)(const uint32_t* values, size_t n, uint32_t shift,
+                          uint32_t bits, uint64_t* hist);
+
+  /// Exclusive prefix sum: cursor[0] = 0, cursor[b+1] = cursor[b] +
+  /// counts[b] for b in [0, buckets). cursor has buckets + 1 slots — the
+  /// histogram -> write-cursor step of every clustering pass.
+  void (*prefix_sum)(const uint64_t* counts, size_t buckets,
+                     uint64_t* cursor);
+
+  /// out[i] = values[ids[i]]: the Positional-Join gather. Indices are
+  /// interpreted as unsigned but must stay below 2^31 (hardware gathers
+  /// sign-extend); callers guard on the source column size.
+  void (*gather_i32)(const uint32_t* ids, size_t n, const int32_t* values,
+                     int32_t* out);
+
+  /// Positional-Join gather off one side of an 8-byte pair array
+  /// (join-index entries): index = low / high 32 bits of pairs[i].
+  void (*gather_pairs_lo_i32)(const uint64_t* pairs, size_t n,
+                              const int32_t* values, int32_t* out);
+  void (*gather_pairs_hi_i32)(const uint64_t* pairs, size_t n,
+                              const int32_t* values, int32_t* out);
+
+  /// Whether the radix scatter should run through the write-combining
+  /// non-temporal path (WcScatter64 below). False at kScalar so forced-ISA
+  /// CI legs exercise the plain store loop.
+  bool nt_scatter = false;
+};
+
+/// The table for cpu::ActiveIsa() — what production code calls.
+const KernelTable& Kernels();
+
+/// The table for a specific tier, clamped to what the CPU supports
+/// (requesting avx512 on an avx2 machine returns the avx2 table). For
+/// tests and the bench_ablation scalar-vs-dispatched columns.
+const KernelTable& KernelsFor(cpu::Isa isa);
+
+/// Hot kernels indices stay below this so hardware 32-bit gathers (which
+/// sign-extend their index lanes) agree with the scalar loops.
+inline constexpr size_t kMaxGatherIndex = size_t{1} << 31;
+
+/// Copy one 64-byte line with non-temporal stores (bypassing the cache):
+/// dst must be 64-byte aligned; src may be unaligned. Falls back to memcpy
+/// on non-x86 builds. The §3.1 argument: the radix scatter's output lines
+/// are written exactly once and not re-read within the pass, so filling
+/// them through the cache evicts a line of useful data per 64 output
+/// bytes; streaming them sidesteps both that eviction and the
+/// read-for-ownership traffic.
+inline void StreamLine64(void* dst, const void* src) {
+#if defined(RADIX_SIMD_SSE2_STREAM)
+  const __m128i* s = static_cast<const __m128i*>(src);
+  __m128i* d = static_cast<__m128i*>(dst);
+  _mm_stream_si128(d + 0, _mm_loadu_si128(s + 0));
+  _mm_stream_si128(d + 1, _mm_loadu_si128(s + 1));
+  _mm_stream_si128(d + 2, _mm_loadu_si128(s + 2));
+  _mm_stream_si128(d + 3, _mm_loadu_si128(s + 3));
+#else
+  std::memcpy(dst, src, 64);
+#endif
+}
+
+/// Order non-temporal stores before subsequent loads/stores become visible;
+/// required before handing scattered output to another thread (NT stores
+/// are weakly ordered even on x86).
+inline void StreamFence() {
+#if defined(RADIX_SIMD_SSE2_STREAM)
+  _mm_sfence();
+#endif
+}
+
+/// Policy: run the radix scatter through WcScatter64? Small fan-outs keep
+/// all append cursors' lines cache-resident, where plain stores win; very
+/// large fan-outs would need more WC buffer than cache. The window where
+/// streaming pays is exactly the paper's scatter wall: more cursors than
+/// cache lines / TLB entries, bounded per pass by the partition plan.
+inline bool UseNtScatter(size_t buckets, size_t n) {
+  return Kernels().nt_scatter && buckets >= 64 && buckets <= (size_t{1} << 13) &&
+         n >= 4096;
+}
+
+/// Software write-combining scatter for 8-byte tuples (KeyOid / OidPair —
+/// every radix-clustered element in the engine): elements pushed per
+/// bucket accumulate in a 64-byte buffer that is flushed to the
+/// destination with one non-temporal line store once full and aligned.
+/// Unaligned cluster heads and partial tails go through plain stores, so
+/// the output bytes are identical to the scalar scatter loop — only the
+/// path to memory differs. Each instance is single-threaded; parallel
+/// scatters give every thread its own (their cursor runs are disjoint, and
+/// a full buffered line is by construction wholly owned by its cursor).
+class WcScatter64 {
+ public:
+  /// `cursors[b]` is bucket b's first destination index in `out`; the same
+  /// values the scalar loop starts its insert cursors at.
+  WcScatter64(uint64_t* out, size_t buckets, const uint64_t* cursors)
+      : out_(out), slots_(buckets) {
+    for (size_t b = 0; b < buckets; ++b) slots_[b].base = cursors[b];
+    buf_.resize(buckets * kLine);
+  }
+
+  void Push(size_t bucket, uint64_t v) {
+    Slot& s = slots_[bucket];
+    if (s.fill == 0 &&
+        (reinterpret_cast<uintptr_t>(out_ + s.base) & 63) != 0) {
+      out_[s.base++] = v;  // head not line-aligned yet: plain store
+      return;
+    }
+    buf_[bucket * kLine + s.fill++] = v;
+    if (s.fill == kLine) {
+      StreamLine64(out_ + s.base, buf_.data() + bucket * kLine);
+      s.base += kLine;
+      s.fill = 0;
+    }
+  }
+
+  /// Drain every partial buffer with plain stores and fence the streamed
+  /// lines. Must be called before the output is read (or published to
+  /// another thread).
+  void Flush() {
+    for (size_t b = 0; b < slots_.size(); ++b) {
+      Slot& s = slots_[b];
+      for (uint32_t k = 0; k < s.fill; ++k) {
+        out_[s.base++] = buf_[b * kLine + k];
+      }
+      s.fill = 0;
+    }
+    StreamFence();
+  }
+
+ private:
+  static constexpr size_t kLine = 8;  // 8 x 8-byte tuples per cache line
+
+  struct Slot {
+    uint64_t base = 0;  ///< next unwritten destination index
+    uint32_t fill = 0;  ///< elements buffered for this bucket
+  };
+
+  uint64_t* out_;
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> buf_;
+};
+
+namespace detail {
+/// Per-tier implementations, exported for the equivalence tests and the
+/// bench_ablation scalar-vs-dispatched columns. The avx tables are null
+/// when the build (not the CPU) lacks the target: non-x86 toolchains.
+const KernelTable* ScalarKernels();
+const KernelTable* Avx2Kernels();    // defined in simd_kernels_avx2.cc
+const KernelTable* Avx512Kernels();  // defined in simd_kernels_avx512.cc
+}  // namespace detail
+
+}  // namespace radix::simd
+
+#endif  // RADIX_COMMON_SIMD_KERNELS_H_

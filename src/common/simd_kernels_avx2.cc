@@ -1,0 +1,139 @@
+// AVX2 variants of the hot-loop primitives. Compiled with -mavx2 (see
+// src/CMakeLists.txt); only reached after cpu_dispatch verified the CPU
+// executes AVX2, so no function-level target attributes are needed.
+//
+// Every kernel here is bit-identical to the scalar reference in
+// simd_kernels.cc: histogram counts are commutative 64-bit sums, prefix
+// sums are exact integer scans, gathers move the same 4-byte values.
+
+#include "common/simd_kernels.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "common/bits.h"
+
+namespace radix::simd {
+namespace {
+
+constexpr size_t kBlock = 64;  // indices extracted per SIMD round
+
+void Avx2RadixHistogram(const uint32_t* values, size_t n, uint32_t shift,
+                        uint32_t bits, uint64_t* hist) {
+  size_t i = 0;
+  if (shift < 32 && n >= kBlock) {
+    const uint32_t mask =
+        bits >= 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1u);
+    const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+    const __m128i vshift = _mm_cvtsi32_si128(static_cast<int>(shift));
+    alignas(32) uint32_t idx[kBlock];
+    for (; i + kBlock <= n; i += kBlock) {
+      for (size_t j = 0; j < kBlock; j += 8) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(values + i + j));
+        v = _mm256_and_si256(_mm256_srl_epi32(v, vshift), vmask);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(idx + j), v);
+      }
+      // The increments stay scalar (a vectorized scatter-add needs
+      // conflict handling); the win is the vectorized shift+mask and the
+      // unrolled, load-free increment loop.
+      for (size_t j = 0; j < kBlock; ++j) ++hist[idx[j]];
+    }
+  }
+  for (; i < n; ++i) ++hist[RadixBits(values[i], shift, bits)];
+}
+
+void Avx2PrefixSum(const uint64_t* counts, size_t buckets, uint64_t* cursor) {
+  const __m256i zero = _mm256_setzero_si256();
+  uint64_t running = 0;
+  size_t b = 0;
+  for (; b + 4 <= buckets; b += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + b));
+    // 4-lane inclusive scan: intra-128 shift-add, then carry the low
+    // half's total into both high lanes.
+    x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+    __m256i carry = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 1, 1, 1));
+    carry = _mm256_blend_epi32(zero, carry, 0xF0);
+    x = _mm256_add_epi64(x, carry);
+    // Exclusive = inclusive shifted up one lane with 0 in lane 0.
+    __m256i ex = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 0));
+    ex = _mm256_blend_epi32(zero, ex, 0xFC);
+    ex = _mm256_add_epi64(ex, _mm256_set1_epi64x(static_cast<long long>(running)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cursor + b), ex);
+    running += static_cast<uint64_t>(_mm256_extract_epi64(x, 3));
+  }
+  for (; b < buckets; ++b) {
+    cursor[b] = running;
+    running += counts[b];
+  }
+  cursor[buckets] = running;
+}
+
+void Avx2GatherI32(const uint32_t* ids, size_t n, const int32_t* values,
+                   int32_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    __m256i v = _mm256_i32gather_epi32(values, idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) out[i] = values[ids[i]];
+}
+
+// Pick the low (even) or high (odd) 32-bit halves of four 64-bit pairs
+// into the low 128 bits.
+inline __m128i PairLanes(const uint64_t* pairs, __m256i pick) {
+  __m256i p = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pairs));
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(p, pick));
+}
+
+template <bool kHigh>
+void Avx2GatherPairsI32(const uint64_t* pairs, size_t n, const int32_t* values,
+                        int32_t* out) {
+  const __m256i pick = kHigh ? _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0)
+                             : _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i lo = PairLanes(pairs + i, pick);
+    __m128i hi = PairLanes(pairs + i + 4, pick);
+    __m256i idx =
+        _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+    __m256i v = _mm256_i32gather_epi32(values, idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id =
+        kHigh ? static_cast<uint32_t>(pairs[i] >> 32)
+              : static_cast<uint32_t>(pairs[i]);
+    out[i] = values[id];
+  }
+}
+
+const KernelTable kAvx2Table = {
+    /*isa=*/cpu::Isa::kAvx2,
+    /*radix_histogram=*/&Avx2RadixHistogram,
+    /*prefix_sum=*/&Avx2PrefixSum,
+    /*gather_i32=*/&Avx2GatherI32,
+    /*gather_pairs_lo_i32=*/&Avx2GatherPairsI32<false>,
+    /*gather_pairs_hi_i32=*/&Avx2GatherPairsI32<true>,
+    /*nt_scatter=*/true,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* Avx2Kernels() { return &kAvx2Table; }
+}  // namespace detail
+
+}  // namespace radix::simd
+
+#else  // !(__x86_64__ && __AVX2__)
+
+namespace radix::simd::detail {
+const KernelTable* Avx2Kernels() { return nullptr; }
+}  // namespace radix::simd::detail
+
+#endif

@@ -1,0 +1,134 @@
+// AVX-512 (F/BW/DQ/VL/CD) variants of the hot-loop primitives. Compiled
+// with -mavx512f -mavx512bw -mavx512dq -mavx512vl -mavx512cd (see
+// src/CMakeLists.txt); only reached after cpu_dispatch verified the CPU
+// executes all five families. Bit-identical to the scalar reference.
+
+#include "common/simd_kernels.h"
+
+#if defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512DQ__) && defined(__AVX512VL__) && defined(__AVX512CD__)
+
+#include <immintrin.h>
+
+#include "common/bits.h"
+
+namespace radix::simd {
+namespace {
+
+constexpr size_t kBlock = 64;  // indices extracted per SIMD round
+
+void Avx512RadixHistogram(const uint32_t* values, size_t n, uint32_t shift,
+                          uint32_t bits, uint64_t* hist) {
+  size_t i = 0;
+  if (shift < 32 && n >= kBlock) {
+    const uint32_t mask =
+        bits >= 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1u);
+    const __m512i vmask = _mm512_set1_epi32(static_cast<int>(mask));
+    const __m128i vshift = _mm_cvtsi32_si128(static_cast<int>(shift));
+    alignas(64) uint32_t idx[kBlock];
+    for (; i + kBlock <= n; i += kBlock) {
+      for (size_t j = 0; j < kBlock; j += 16) {
+        __m512i v = _mm512_loadu_si512(values + i + j);
+        v = _mm512_and_si512(_mm512_srl_epi32(v, vshift), vmask);
+        _mm512_store_si512(idx + j, v);
+      }
+      for (size_t j = 0; j < kBlock; ++j) ++hist[idx[j]];
+    }
+  }
+  for (; i < n; ++i) ++hist[RadixBits(values[i], shift, bits)];
+}
+
+// Shift v up by `kLanes` 64-bit lanes, filling with zeros from below.
+template <int kLanes>
+inline __m512i ShiftUpLanes(__m512i v) {
+  return _mm512_alignr_epi64(v, _mm512_setzero_si512(), 8 - kLanes);
+}
+
+void Avx512PrefixSum(const uint64_t* counts, size_t buckets,
+                     uint64_t* cursor) {
+  uint64_t running = 0;
+  size_t b = 0;
+  for (; b + 8 <= buckets; b += 8) {
+    __m512i x = _mm512_loadu_si512(counts + b);
+    // 8-lane inclusive scan (Hillis-Steele over lane shifts).
+    x = _mm512_add_epi64(x, ShiftUpLanes<1>(x));
+    x = _mm512_add_epi64(x, ShiftUpLanes<2>(x));
+    x = _mm512_add_epi64(x, ShiftUpLanes<4>(x));
+    __m512i ex = _mm512_add_epi64(
+        ShiftUpLanes<1>(x), _mm512_set1_epi64(static_cast<long long>(running)));
+    _mm512_storeu_si512(cursor + b, ex);
+    running += static_cast<uint64_t>(
+        _mm256_extract_epi64(_mm512_extracti64x4_epi64(x, 1), 3));
+  }
+  for (; b < buckets; ++b) {
+    cursor[b] = running;
+    running += counts[b];
+  }
+  cursor[buckets] = running;
+}
+
+void Avx512GatherI32(const uint32_t* ids, size_t n, const int32_t* values,
+                     int32_t* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i idx = _mm512_loadu_si512(ids + i);
+    __m512i v = _mm512_i32gather_epi32(idx, values, 4);
+    _mm512_storeu_si512(out + i, v);
+  }
+  for (; i < n; ++i) out[i] = values[ids[i]];
+}
+
+// Narrow the low (or high) 32-bit halves of eight 64-bit pairs to a
+// 256-bit index vector.
+template <bool kHigh>
+inline __m256i PairLanes8(const uint64_t* pairs) {
+  __m512i p = _mm512_loadu_si512(pairs);
+  if (kHigh) p = _mm512_srli_epi64(p, 32);
+  return _mm512_cvtepi64_epi32(p);
+}
+
+template <bool kHigh>
+void Avx512GatherPairsI32(const uint64_t* pairs, size_t n,
+                          const int32_t* values, int32_t* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i lo = PairLanes8<kHigh>(pairs + i);
+    __m256i hi = PairLanes8<kHigh>(pairs + i + 8);
+    __m512i idx =
+        _mm512_inserti64x4(_mm512_castsi256_si512(lo), hi, 1);
+    __m512i v = _mm512_i32gather_epi32(idx, values, 4);
+    _mm512_storeu_si512(out + i, v);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id =
+        kHigh ? static_cast<uint32_t>(pairs[i] >> 32)
+              : static_cast<uint32_t>(pairs[i]);
+    out[i] = values[id];
+  }
+}
+
+const KernelTable kAvx512Table = {
+    /*isa=*/cpu::Isa::kAvx512,
+    /*radix_histogram=*/&Avx512RadixHistogram,
+    /*prefix_sum=*/&Avx512PrefixSum,
+    /*gather_i32=*/&Avx512GatherI32,
+    /*gather_pairs_lo_i32=*/&Avx512GatherPairsI32<false>,
+    /*gather_pairs_hi_i32=*/&Avx512GatherPairsI32<true>,
+    /*nt_scatter=*/true,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* Avx512Kernels() { return &kAvx512Table; }
+}  // namespace detail
+
+}  // namespace radix::simd
+
+#else  // build lacks AVX-512 support
+
+namespace radix::simd::detail {
+const KernelTable* Avx512Kernels() { return nullptr; }
+}  // namespace radix::simd::detail
+
+#endif

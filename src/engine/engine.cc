@@ -41,6 +41,18 @@ Engine::Engine(EngineConfig config)
   if (config_.calibrate_on_startup) {
     hardware::Calibrator calibrator(config_.calibrator_options);
     hw_ = calibrator.Calibrate(hw_);
+    // Refine the cost model's CPU terms from the *dispatched* kernels (the
+    // tier cpu::ActiveIsa() picked), so a SIMD variant that changes the
+    // per-tuple instruction cost moves the model with it instead of
+    // silently widening the Fig. 9 modeled-vs-measured gap.
+    const hardware::Calibrator::KernelSpeeds speeds =
+        calibrator.MeasureKernelSpeeds();
+    if (speeds.gather_ns_per_tuple > 0.0) {
+      config_.cpu_costs.pos_join_ns_per_tuple = speeds.gather_ns_per_tuple;
+    }
+    if (speeds.cluster_ns_per_tuple > 0.0) {
+      config_.cpu_costs.cluster_ns_per_tuple = speeds.cluster_ns_per_tuple;
+    }
   }
   // Keep config() consistent with the session: its hierarchy reflects the
   // resolved (detected/calibrated) profile, not the pre-startup input.

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/bits.h"
 #include "common/macros.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 #include "common/timer.h"
 
 namespace radix::hardware {
@@ -79,6 +81,75 @@ double Calibrator::MeasureSequentialBandwidthGbs() const {
   double seconds = timer.ElapsedSeconds();
   if (sink == 0x12345) (void)std::fprintf(stderr, "?");
   return static_cast<double>(bytes) * kRounds / seconds / 1e9;
+}
+
+Calibrator::KernelSpeeds Calibrator::MeasureKernelSpeeds() const {
+  // Cache-resident working set: large enough to amortize per-call
+  // overhead, small enough (256 KiB of values) to stay in L2 on anything
+  // modern, so the timings estimate the pure CPU (per-tuple instruction)
+  // term of the cost model.
+  constexpr size_t kTuples = 1u << 16;
+  constexpr uint32_t kBits = 8;
+  constexpr size_t kBuckets = size_t{1} << kBits;
+  constexpr int kRounds = 16;
+  const simd::KernelTable& kernels = simd::Kernels();
+
+  Rng rng(0xca11b8ULL);
+  std::vector<uint32_t> ids(kTuples);
+  std::vector<int32_t> values(kTuples);
+  std::vector<int32_t> gathered(kTuples);
+  std::vector<uint64_t> tuples(kTuples);
+  for (size_t i = 0; i < kTuples; ++i) {
+    ids[i] = static_cast<uint32_t>(rng.Below(kTuples));
+    values[i] = static_cast<int32_t>(rng.Next());
+    tuples[i] = rng.Next();
+  }
+
+  KernelSpeeds speeds;
+  {
+    // Warm one round, then time the dispatched gather.
+    kernels.gather_i32(ids.data(), kTuples, values.data(), gathered.data());
+    Timer timer;
+    for (int r = 0; r < kRounds; ++r) {
+      kernels.gather_i32(ids.data(), kTuples, values.data(), gathered.data());
+    }
+    speeds.gather_ns_per_tuple =
+        timer.ElapsedSeconds() * 1e9 / (kRounds * kTuples);
+  }
+  if (gathered[0] == 0x5ca1ab1e) (void)std::fprintf(stderr, "?");
+  {
+    // One full clustering pass over 8-byte tuples: dispatched histogram +
+    // prefix sum, then the scatter through the same path production takes
+    // (write-combining when the active tier streams).
+    std::vector<uint64_t> hist(kBuckets);
+    std::vector<uint64_t> cursor(kBuckets + 1);
+    std::vector<uint64_t> out(kTuples);
+    std::vector<uint32_t> keys(kTuples);
+    for (size_t i = 0; i < kTuples; ++i) {
+      keys[i] = static_cast<uint32_t>(tuples[i]);
+    }
+    Timer timer;
+    for (int r = 0; r < kRounds; ++r) {
+      std::fill(hist.begin(), hist.end(), 0);
+      kernels.radix_histogram(keys.data(), kTuples, 0, kBits, hist.data());
+      kernels.prefix_sum(hist.data(), kBuckets, cursor.data());
+      if (simd::UseNtScatter(kBuckets, kTuples)) {
+        simd::WcScatter64 wc(out.data(), kBuckets, cursor.data());
+        for (size_t i = 0; i < kTuples; ++i) {
+          wc.Push(RadixBits(keys[i], 0, kBits), tuples[i]);
+        }
+        wc.Flush();
+      } else {
+        for (size_t i = 0; i < kTuples; ++i) {
+          out[cursor[RadixBits(keys[i], 0, kBits)]++] = tuples[i];
+        }
+      }
+    }
+    speeds.cluster_ns_per_tuple =
+        timer.ElapsedSeconds() * 1e9 / (kRounds * kTuples);
+    if (out[0] == 0x5ca1ab1e) (void)std::fprintf(stderr, "?");
+  }
+  return speeds;
 }
 
 MemoryHierarchy Calibrator::Calibrate(const MemoryHierarchy& base) const {

@@ -44,6 +44,19 @@ class Calibrator {
   /// STREAM-like sequential read bandwidth in GB/s.
   double MeasureSequentialBandwidthGbs() const;
 
+  /// Measured per-tuple speeds of the *dispatched* hot kernels (whatever
+  /// ISA tier cpu::ActiveIsa() resolved to), over cache-resident working
+  /// sets so the numbers estimate pure CPU cost — the memory side is the
+  /// cost model's job. The hardware layer cannot see costmodel::CpuCosts,
+  /// so this returns a plain struct; the engine maps it onto the model.
+  /// Keeping the calibrator on the dispatched kernels is what keeps the
+  /// Fig. 9 drift gate honest when a SIMD variant changes the CPU term.
+  struct KernelSpeeds {
+    double gather_ns_per_tuple = 0.0;   ///< positional-join gather
+    double cluster_ns_per_tuple = 0.0;  ///< histogram+prefix+scatter pass
+  };
+  KernelSpeeds MeasureKernelSpeeds() const;
+
   /// Refine `base` with measured latencies: for each cache level, the miss
   /// latency is the chase latency at 4x its capacity minus the latency at
   /// half its capacity (i.e., the marginal cost of falling out of it).

@@ -5,6 +5,7 @@
 
 #include "cluster/partition_plan.h"
 #include "common/hash.h"
+#include "common/simd_kernels.h"
 #include "join/hash_join.h"
 #include "storage/column.h"
 
@@ -16,8 +17,8 @@ using cluster::KeyOid;
 
 cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
                                       std::span<cluster::KeyOid> out,
-                                      radix_bits_t total_bits,
-                                      uint32_t passes) {
+                                      radix_bits_t total_bits, uint32_t passes,
+                                      ThreadPool* pool) {
   RADIX_CHECK(out.size() == keys.size());
   CheckOidCapacity(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -28,8 +29,12 @@ cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
   spec.ignore_bits = 0;
   spec.passes = std::max<uint32_t>(1, passes);
   storage::Column<KeyOid> scratch(out.size());
-  simcache::NoTracer tracer;
   auto radix = [](const KeyOid& t) -> uint64_t { return KeyHash{}(t.key); };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    return cluster::RadixClusterMultiPassParallel(
+        out.data(), scratch.data(), out.size(), radix, spec, *pool);
+  }
+  simcache::NoTracer tracer;
   return cluster::RadixClusterMultiPass(out.data(), scratch.data(), out.size(),
                                         radix, spec, tracer);
 }
@@ -49,23 +54,61 @@ JoinIndex PartitionedHashJoin(std::span<const value_t> left_keys,
       options.max_pass_bits != 0 ? options.max_pass_bits : cluster::MaxPassBits(hw);
   uint32_t passes = (bits + per_pass - 1) / per_pass;
 
+  ThreadPool* pool =
+      options.pool != nullptr && options.pool->num_threads() > 1
+          ? options.pool
+          : nullptr;
+
   storage::Column<KeyOid> left(left_keys.size());
   storage::Column<KeyOid> right(right_keys.size());
-  ClusterBorders lb = ClusterKeyOid(left_keys, left.span(), bits, passes);
-  ClusterBorders rb = ClusterKeyOid(right_keys, right.span(), bits, passes);
+  ClusterBorders lb = ClusterKeyOid(left_keys, left.span(), bits, passes, pool);
+  ClusterBorders rb =
+      ClusterKeyOid(right_keys, right.span(), bits, passes, pool);
 
-  JoinIndex out;
-  out.Reserve(std::max(left_keys.size(), right_keys.size()));
   size_t clusters = lb.num_clusters();
   RADIX_CHECK(clusters == rb.num_clusters());
-  for (size_t c = 0; c < clusters; ++c) {
+
+  if (pool == nullptr) {
+    JoinIndex out;
+    out.Reserve(std::max(left_keys.size(), right_keys.size()));
+    for (size_t c = 0; c < clusters; ++c) {
+      std::span<const KeyOid> lc{left.data() + lb.start(c),
+                                 static_cast<size_t>(lb.size(c))};
+      std::span<const KeyOid> rc{right.data() + rb.start(c),
+                                 static_cast<size_t>(rb.size(c))};
+      if (lc.empty() || rc.empty()) continue;
+      HashJoinKeyOid(lc, rc, &out);
+    }
+    return out;
+  }
+
+  // Parallel join phase: clusters are disjoint, so each one joins into a
+  // private shard; concatenating the shards in cluster order reproduces
+  // the serial output byte-for-byte.
+  std::vector<std::vector<OidPair>> shards(clusters);
+  pool->ParallelFor(clusters, [&](size_t c) {
     std::span<const KeyOid> lc{left.data() + lb.start(c),
                                static_cast<size_t>(lb.size(c))};
     std::span<const KeyOid> rc{right.data() + rb.start(c),
                                static_cast<size_t>(rb.size(c))};
-    if (lc.empty() || rc.empty()) continue;
-    HashJoinKeyOid(lc, rc, &out);
-  }
+    if (lc.empty() || rc.empty()) return;
+    JoinIndex local;
+    HashJoinKeyOid(lc, rc, &local);
+    shards[c] = std::move(local.pairs());
+  });
+
+  std::vector<uint64_t> sizes(clusters);
+  for (size_t c = 0; c < clusters; ++c) sizes[c] = shards[c].size();
+  std::vector<uint64_t> offsets(clusters + 1);
+  simd::Kernels().prefix_sum(sizes.data(), clusters, offsets.data());
+
+  JoinIndex out;
+  out.pairs().resize(offsets[clusters]);
+  pool->ParallelFor(clusters, [&](size_t c) {
+    if (shards[c].empty()) return;
+    std::copy(shards[c].begin(), shards[c].end(),
+              out.pairs().begin() + static_cast<ptrdiff_t>(offsets[c]));
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "cluster/radix_cluster.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "hardware/memory_hierarchy.h"
 #include "join/join_index.h"
@@ -20,6 +21,11 @@ struct PartitionedHashJoinOptions {
   radix_bits_t radix_bits = kAutoBits;
   /// Per-pass fan-out cap (cursor/TLB constraint); 0 = from hardware.
   radix_bits_t max_pass_bits = 0;
+  /// Worker pool: clustering runs the parallel multi-pass driver and the
+  /// per-cluster hash joins fan out as independent work items (clusters
+  /// are disjoint by construction — the same independence Radix-Decluster
+  /// exploits). null or size-1 runs the byte-identical serial path.
+  ThreadPool* pool = nullptr;
 };
 
 /// Join key columns, emitting the [left-oid, right-oid] join index. With
@@ -32,11 +38,13 @@ JoinIndex PartitionedHashJoin(std::span<const value_t> left_keys,
 
 /// The clustering phase in isolation: materialize (key, oid) pairs and
 /// radix-cluster them on hash(key). Exposed for benchmarks (Fig. 9a) and
-/// for strategies that interleave clustering with payload handling.
+/// for strategies that interleave clustering with payload handling. A
+/// non-null pool with >1 thread runs the parallel cluster driver
+/// (byte-identical output).
 cluster::ClusterBorders ClusterKeyOid(std::span<const value_t> keys,
                                       std::span<cluster::KeyOid> out,
-                                      radix_bits_t total_bits,
-                                      uint32_t passes);
+                                      radix_bits_t total_bits, uint32_t passes,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace radix::join
 

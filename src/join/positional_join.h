@@ -2,16 +2,36 @@
 #define RADIX_JOIN_POSITIONAL_JOIN_H_
 
 #include <algorithm>
+#include <bit>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "cluster/radix_cluster.h"
+#include "common/simd_kernels.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "simcache/mem_tracer.h"
 #include "storage/varchar.h"
 
 namespace radix::join {
+
+namespace detail {
+
+/// Whether the untraced gather over `source_rows` values of T can run the
+/// dispatched SIMD kernel: 4-byte values only, and the source must stay
+/// addressable by the sign-extended 32-bit indices hardware gathers use.
+/// (Little-endian is additionally required by the pair-sided variants,
+/// which reinterpret OidPair as a 64-bit word and pick a 32-bit half.)
+template <typename T>
+inline bool CanDispatchGather(size_t source_rows) {
+  return std::is_same_v<T, value_t> && source_rows <= simd::kMaxGatherIndex;
+}
+
+inline constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
+
+}  // namespace detail
 
 /// Positional-Join (pointer-based join, §3): result[i] = values[ids[i]].
 /// In MonetDB a column is an array, so this is the whole projection kernel;
@@ -29,6 +49,12 @@ void PositionalJoin(std::span<const oid_t> ids, std::span<const T> values,
   const T* v = values.data();
   T* o = out.data();
   size_t n = ids.size();
+  if constexpr (!Tracer::kEnabled && std::is_same_v<T, value_t>) {
+    if (detail::CanDispatchGather<T>(values.size())) {
+      simd::Kernels().gather_i32(id, n, v, o);
+      return;
+    }
+  }
   for (size_t i = 0; i < n; ++i) {
     if constexpr (Tracer::kEnabled) {
       tracer->Touch(&id[i], sizeof(oid_t));
@@ -49,6 +75,18 @@ void PositionalJoinPairs(std::span<const cluster::OidPair> index,
   const T* v = values.data();
   T* o = out.data();
   size_t n = index.size();
+  if constexpr (!Tracer::kEnabled && std::is_same_v<T, value_t> &&
+                detail::kLittleEndian) {
+    if (detail::CanDispatchGather<T>(values.size())) {
+      // OidPair is an 8-byte {left, right}; little-endian makes `left` the
+      // low half of the 64-bit word.
+      const auto* words = reinterpret_cast<const uint64_t*>(p);
+      const simd::KernelTable& kernels = simd::Kernels();
+      (kLeft ? kernels.gather_pairs_lo_i32 : kernels.gather_pairs_hi_i32)(
+          words, n, v, o);
+      return;
+    }
+  }
   for (size_t i = 0; i < n; ++i) {
     oid_t id = kLeft ? p[i].left : p[i].right;
     if constexpr (Tracer::kEnabled) {
@@ -71,6 +109,12 @@ void PositionalJoinRange(std::span<const oid_t> ids, size_t begin, size_t end,
   RADIX_DCHECK(begin <= end && end <= ids.size());
   const oid_t* id = ids.data();
   const T* v = values.data();
+  if constexpr (std::is_same_v<T, value_t>) {
+    if (detail::CanDispatchGather<T>(values.size())) {
+      simd::Kernels().gather_i32(id + begin, end - begin, v, out);
+      return;
+    }
+  }
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = v[id[i]];
   }
@@ -85,6 +129,15 @@ void PositionalJoinPairsRange(std::span<const cluster::OidPair> index,
   RADIX_DCHECK(begin <= end && end <= index.size());
   const cluster::OidPair* p = index.data();
   const T* v = values.data();
+  if constexpr (std::is_same_v<T, value_t> && detail::kLittleEndian) {
+    if (detail::CanDispatchGather<T>(values.size())) {
+      const auto* words = reinterpret_cast<const uint64_t*>(p + begin);
+      const simd::KernelTable& kernels = simd::Kernels();
+      (kLeft ? kernels.gather_pairs_lo_i32 : kernels.gather_pairs_hi_i32)(
+          words, end - begin, v, out);
+      return;
+    }
+  }
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = v[kLeft ? p[i].left : p[i].right];
   }

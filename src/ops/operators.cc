@@ -199,8 +199,13 @@ void RadixJoinOp::Materialize() {
   for (size_t i = 0; i < lrows; ++i) lkeys[i] = lkey_base[lcols[lkey_col][i]];
   for (size_t i = 0; i < rrows; ++i) rkeys[i] = rkey_base[rcols[rkey_col][i]];
 
+  ThreadPool* pool =
+      (ctx_->pool != nullptr && ctx_->pool->num_threads() > 1) ? ctx_->pool
+                                                               : nullptr;
+  join::PartitionedHashJoinOptions jopts;
+  jopts.pool = pool;
   join::JoinIndex index =
-      join::PartitionedHashJoin(lkeys, rkeys, *ctx_->hw);
+      join::PartitionedHashJoin(lkeys, rkeys, *ctx_->hw, jopts);
   lkeys.clear();
   lkeys.shrink_to_fit();
   rkeys.clear();
@@ -208,9 +213,6 @@ void RadixJoinOp::Materialize() {
 
   // Fig. 10, left side: optionally reorder the index (sort / partial
   // cluster on the left positions) before the positional gathers.
-  ThreadPool* pool =
-      (ctx_->pool != nullptr && ctx_->pool->num_threads() > 1) ? ctx_->pool
-                                                               : nullptr;
   project::detail::ReorderIndexLeft(index, lrows, *ctx_->hw, physical_.left,
                                     physical_.left_bits, pool);
 

@@ -156,8 +156,10 @@ join::JoinIndex JoinAndPlanDsmPost(const workload::JoinWorkload& w,
                                    ThreadPool* pool, QueryRun* run,
                                    DsmPostOptions* popts) {
   Timer join_timer;
+  join::PartitionedHashJoinOptions jopts;
+  jopts.pool = pool;
   join::JoinIndex index = join::PartitionedHashJoin(
-      w.dsm_left.key().span(), w.dsm_right.key().span(), hw);
+      w.dsm_left.key().span(), w.dsm_right.key().span(), hw, jopts);
   run->phases.join_seconds = join_timer.ElapsedSeconds();
 
   if (options.plan_sides) {
@@ -277,7 +279,10 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
       Timer join_timer;
       std::vector<value_t> lkeys = ExtractNsmKeys(w.nsm_left);
       std::vector<value_t> rkeys = ExtractNsmKeys(w.nsm_right);
-      join::JoinIndex index = join::PartitionedHashJoin(lkeys, rkeys, hw);
+      join::PartitionedHashJoinOptions jopts;
+      jopts.pool = ResolveQueryPool(options);
+      join::JoinIndex index =
+          join::PartitionedHashJoin(lkeys, rkeys, hw, jopts);
       run.phases.join_seconds = join_timer.ElapsedSeconds();
       storage::NsmResult result = NsmPostProjectDecluster(
           index, w.nsm_left, w.nsm_right, options.pi_left, options.pi_right,
@@ -295,7 +300,10 @@ QueryRun RunQuery(const workload::JoinWorkload& w, JoinStrategy strategy,
       Timer join_timer;
       std::vector<value_t> lkeys = ExtractNsmKeys(w.nsm_left);
       std::vector<value_t> rkeys = ExtractNsmKeys(w.nsm_right);
-      join::JoinIndex index = join::PartitionedHashJoin(lkeys, rkeys, hw);
+      join::PartitionedHashJoinOptions jopts;
+      jopts.pool = ResolveQueryPool(options);
+      join::JoinIndex index =
+          join::PartitionedHashJoin(lkeys, rkeys, hw, jopts);
       run.phases.join_seconds = join_timer.ElapsedSeconds();
       storage::NsmResult result =
           NsmPostProjectJive(index, w.nsm_left, w.nsm_right, options.pi_left,

@@ -132,6 +132,36 @@ TEST(AlignedBufferTest, MoveTransfersOwnership) {
   EXPECT_EQ(a.size(), 0u);
 }
 
+TEST(AlignedBufferTest, ParseHugePagePolicy) {
+  EXPECT_EQ(ParseHugePagePolicy(nullptr), HugePagePolicy::kAuto);
+  EXPECT_EQ(ParseHugePagePolicy("auto"), HugePagePolicy::kAuto);
+  EXPECT_EQ(ParseHugePagePolicy("off"), HugePagePolicy::kOff);
+  EXPECT_EQ(ParseHugePagePolicy("0"), HugePagePolicy::kOff);
+  EXPECT_EQ(ParseHugePagePolicy("hugetlb"), HugePagePolicy::kHugetlb);
+  // Unrecognized values keep the safe default rather than erroring.
+  EXPECT_EQ(ParseHugePagePolicy("banana"), HugePagePolicy::kAuto);
+}
+
+TEST(AlignedBufferTest, HugeBackingFollowsPolicyAndThreshold) {
+  // Small buffers never take the mmap path.
+  AlignedBuffer small(4096);
+  EXPECT_FALSE(small.huge_backed());
+  // Large buffers take it exactly when the latched policy allows; either
+  // way the buffer must be writable, aligned, and survive a resize cycle.
+  AlignedBuffer big(kHugePageBytes + 100);
+  EXPECT_EQ(big.size(), kHugePageBytes + 100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big.data()) % 64, 0u);
+  if (big.huge_backed()) {
+    EXPECT_NE(ActiveHugePagePolicy(), HugePagePolicy::kOff);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(big.data()) % kHugePageBytes, 0u);
+  }
+  big.data()[0] = 1;
+  big.data()[big.size() - 1] = 2;
+  big.Resize(64);
+  EXPECT_FALSE(big.huge_backed());
+  big.data()[0] = 3;
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile uint64_t sink = 0;

@@ -62,5 +62,17 @@ TEST(CalibratorTest, SequentialBandwidthIsPositive) {
   EXPECT_LT(gbs, 1000.0);
 }
 
+TEST(CalibratorTest, KernelSpeedsAreSane) {
+  Calibrator cal;
+  Calibrator::KernelSpeeds speeds = cal.MeasureKernelSpeeds();
+  // Cache-resident per-tuple costs: positive, and nowhere near DRAM
+  // latency (a value that large would mean the measurement escaped cache
+  // or the dispatched kernel is broken).
+  EXPECT_GT(speeds.gather_ns_per_tuple, 0.0);
+  EXPECT_LT(speeds.gather_ns_per_tuple, 100.0);
+  EXPECT_GT(speeds.cluster_ns_per_tuple, 0.0);
+  EXPECT_LT(speeds.cluster_ns_per_tuple, 100.0);
+}
+
 }  // namespace
 }  // namespace radix::hardware

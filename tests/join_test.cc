@@ -125,6 +125,33 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(100, 5000, 100'000),
                        ::testing::Values(0, 1, 4, 8, 12)));
 
+TEST(PartitionedHashJoinTest, ParallelJoinIsByteIdenticalToSerial) {
+  hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Pentium4();
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{100}, size_t{50'000}}) {
+    Rng rng(n + 1);
+    std::vector<value_t> left(n), right(n);
+    for (auto& k : left) k = static_cast<value_t>(rng.Below(n | 1));
+    for (auto& k : right) k = static_cast<value_t>(rng.Below(n | 1));
+    for (radix_bits_t bits : {radix_bits_t{2}, radix_bits_t{8},
+                              PartitionedHashJoinOptions::kAutoBits}) {
+      PartitionedHashJoinOptions serial_opts;
+      serial_opts.radix_bits = bits;
+      PartitionedHashJoinOptions par_opts = serial_opts;
+      par_opts.pool = &pool;
+      JoinIndex serial = PartitionedHashJoin(left, right, hw, serial_opts);
+      JoinIndex parallel = PartitionedHashJoin(left, right, hw, par_opts);
+      // Not just the same set: the same pairs in the same order.
+      ASSERT_EQ(serial.size(), parallel.size()) << "n=" << n;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].left, parallel[i].left) << "n=" << n << " i=" << i;
+        ASSERT_EQ(serial[i].right, parallel[i].right)
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
 TEST(PartitionedHashJoinTest, AutoBitsProducesCorrectJoin) {
   hardware::MemoryHierarchy hw = hardware::MemoryHierarchy::Pentium4();
   workload::JoinWorkloadSpec spec;
